@@ -1,0 +1,108 @@
+"""Table 1: Performance of parallel CHARMM on the (simulated) iPSC/860.
+
+Paper rows: Execution Time, Computation Time, Communication Time, Load
+Balance Index for 1, 16, 32, 64, 128 processors (MbCO + 3830 waters,
+1000 steps, RCB partitioning, non-bonded list updated 40 times).
+
+Expected shape: near-linear computation scaling; slowly-growing
+communication time; LB index ~= 1.0-1.1.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from common import CHARMM_PROCS, charmm_config, print_table  # noqa: E402
+
+from repro.apps.charmm import ParallelMD, build_solvated_system
+from repro.partitioners import RCB
+from repro.sim import Machine
+
+
+def build_system(cfg: dict):
+    return build_solvated_system(
+        n_protein=cfg["n_protein"], n_waters=cfg["n_waters"],
+        density=cfg["density"], seed=42,
+    )
+
+
+def run_charmm(n_ranks: int, cfg: dict) -> dict:
+    system = build_system(cfg)
+    m = Machine(n_ranks)
+    md = ParallelMD(system, m, dt=0.002, update_every=cfg["update_every"],
+                    partitioner=RCB())
+    md.run(cfg["n_steps"])
+    rep = md.time_report()
+    rep["machine"] = m
+    return rep
+
+
+def sequential_time(cfg: dict) -> float:
+    """1-processor row: virtual time of the same workload on one rank."""
+    rep = run_charmm(1, cfg)
+    return rep["execution"]
+
+
+def generate_table(cfg: dict | None = None):
+    cfg = cfg or charmm_config()
+    rows = []
+    t1 = sequential_time(cfg)
+    rows.append([1, t1, t1, 0.0, 1.0])
+    reports = {}
+    for p in CHARMM_PROCS:
+        rep = run_charmm(p, cfg)
+        reports[p] = rep
+        rows.append([
+            p,
+            rep["execution"],
+            rep["computation"],
+            rep["communication"],
+            rep["load_balance"],
+        ])
+    n_atoms = cfg["n_protein"] + 3 * cfg["n_waters"]
+    print_table(
+        f"Table 1: Parallel CHARMM (simulated iPSC/860, virtual seconds; "
+        f"{n_atoms} atoms, {cfg['n_steps']} steps)",
+        ["Procs", "Execution", "Computation", "Communication", "LB index"],
+        rows,
+        float_fmt="{:.4f}",
+    )
+    return rows, reports
+
+
+def check_shape(rows) -> list[str]:
+    """Assertions the paper's numbers satisfy; returns failures."""
+    failures = []
+    by_p = {r[0]: r for r in rows}
+    # computation time scales down with P
+    for a, b in zip(CHARMM_PROCS, CHARMM_PROCS[1:]):
+        if not by_p[b][2] < by_p[a][2]:
+            failures.append(f"computation did not shrink {a}->{b}")
+    # execution time decreases with P
+    for a, b in zip(CHARMM_PROCS, CHARMM_PROCS[1:]):
+        if not by_p[b][1] < by_p[a][1]:
+            failures.append(f"execution did not shrink {a}->{b}")
+    # load balance stays close to 1 (paper: 1.03-1.08)
+    for p in CHARMM_PROCS:
+        if not 1.0 <= by_p[p][4] < 1.3:
+            failures.append(f"LB index out of range at P={p}: {by_p[p][4]}")
+    return failures
+
+
+def test_table1_charmm_scaling(benchmark):
+    cfg = charmm_config()
+    # benchmark the headline kernel: one parallel MD step at P=16
+    md = ParallelMD(build_system(cfg), Machine(16), dt=0.002,
+                    update_every=cfg["update_every"])
+    benchmark.pedantic(lambda: md.run(1), rounds=2, iterations=1)
+    rows, _ = generate_table(cfg)
+    failures = check_shape(rows)
+    assert not failures, failures
+
+
+if __name__ == "__main__":
+    rows, _ = generate_table()
+    problems = check_shape(rows)
+    print("\nshape check:", "OK" if not problems else problems)

@@ -1,0 +1,79 @@
+"""Table 3: Schedule merging vs. multiple schedules.
+
+Paper rows (16-128 procs): communication time and execution time for the
+merged-schedule and multiple-schedule versions of parallel CHARMM.
+
+Expected shape: merging wins on communication time at every P (one
+deduplicated gather instead of per-loop gathers), hence on execution time.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from common import CHARMM_PROCS, charmm_config, print_table  # noqa: E402
+
+from repro.apps.charmm import ParallelMD, build_solvated_system
+from repro.partitioners import RCB
+from repro.sim import Machine
+
+
+def run(n_ranks: int, cfg: dict, mode: str):
+    system = build_solvated_system(
+        n_protein=cfg["n_protein"], n_waters=cfg["n_waters"],
+        density=cfg["density"], seed=42,
+    )
+    m = Machine(n_ranks)
+    md = ParallelMD(system, m, dt=0.002, update_every=cfg["update_every"],
+                    partitioner=RCB(), schedule_mode=mode)
+    md.run(cfg["n_steps"])
+    return md.time_report()
+
+
+def generate_table(cfg: dict | None = None):
+    cfg = cfg or charmm_config()
+    rows = []
+    for p in CHARMM_PROCS:
+        merged = run(p, cfg, "merged")
+        multi = run(p, cfg, "multiple")
+        rows.append([
+            p,
+            merged["communication"], merged["execution"],
+            multi["communication"], multi["execution"],
+        ])
+    print_table(
+        "Table 3: Communication time, schedule merging vs multiple "
+        "schedules (virtual seconds)",
+        ["Procs", "Merged comm", "Merged exec",
+         "Multiple comm", "Multiple exec"],
+        rows,
+        float_fmt="{:.4f}",
+    )
+    return rows
+
+
+def check_shape(rows) -> list[str]:
+    failures = []
+    for p, mc, me, uc, ue in rows:
+        if not mc < uc:
+            failures.append(f"P={p}: merged comm {mc:.4f} !< multiple {uc:.4f}")
+        if not me <= ue * 1.02:
+            failures.append(f"P={p}: merged exec {me:.4f} !<= multiple {ue:.4f}")
+    return failures
+
+
+def test_table3_schedule_merging(benchmark):
+    cfg = charmm_config()
+    benchmark.pedantic(lambda: run(32, dict(cfg, n_steps=1), "merged"),
+                       rounds=1, iterations=1)
+    rows = generate_table(cfg)
+    failures = check_shape(rows)
+    assert not failures, failures
+
+
+if __name__ == "__main__":
+    rows = generate_table()
+    problems = check_shape(rows)
+    print("\nshape check:", "OK" if not problems else problems)

@@ -1,0 +1,97 @@
+"""Table 4: Regular schedules vs. light-weight schedules (2-D DSMC).
+
+Paper rows: total execution time for 48x48 and 96x96 cell grids on
+16-128 processors, with the computational load deliberately uniform.
+
+Expected shape: light-weight schedules win by a large factor everywhere;
+the gap *grows* with P (the regular path's per-step translation-table
+rebuild does not scale, while the light-weight path's per-rank work
+shrinks) — the paper's regular-schedule times even rise from 32 to 128
+processors on the small grid.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from common import CHARMM_PROCS, dsmc2d_config, print_table  # noqa: E402
+
+from repro.apps.dsmc import CartesianGrid, DSMCConfig, FlowConfig, ParallelDSMC
+from repro.sim import Machine
+
+PROCS = CHARMM_PROCS  # 16..128, as in the paper
+
+
+def uniform_flow() -> FlowConfig:
+    """Load deliberately evenly distributed (paper's Table 4 setup)."""
+    return FlowConfig(drift_fraction=0.5, drift_speed=0.3, thermal_speed=0.5)
+
+
+def run(shape, n_ranks: int, cfg: dict, migration: str) -> float:
+    grid = CartesianGrid(shape)
+    m = Machine(n_ranks)
+    par = ParallelDSMC(
+        grid, m,
+        DSMCConfig(n_initial=cfg["n_initial"], inflow_rate=cfg["inflow"],
+                   dt=0.4, flow=uniform_flow()),
+        migration=migration,
+    )
+    par.run(cfg["n_steps"])
+    return m.execution_time()
+
+
+def generate_table(cfg: dict | None = None):
+    cfg = cfg or dsmc2d_config()
+    all_rows = {}
+    for shape in cfg["shapes"]:
+        rows = []
+        for p in PROCS:
+            t_reg = run(shape, p, cfg, "regular")
+            t_lw = run(shape, p, cfg, "lightweight")
+            rows.append([p, t_reg, t_lw, t_reg / t_lw])
+        name = "x".join(str(s) for s in shape)
+        print_table(
+            f"Table 4 ({name} cells): regular vs light-weight schedules "
+            f"(virtual seconds, {cfg['n_steps']} steps)",
+            ["Procs", "Regular", "Light-weight", "Ratio"],
+            rows,
+            float_fmt="{:.4f}",
+        )
+        all_rows[shape] = rows
+    return all_rows
+
+
+def check_shape(all_rows) -> list[str]:
+    failures = []
+    for shape, rows in all_rows.items():
+        for p, reg, lw, ratio in rows:
+            if not lw < reg:
+                failures.append(f"{shape} P={p}: light-weight not faster")
+        ratios = [r[3] for r in rows]
+        if not ratios[-1] > ratios[0]:
+            failures.append(f"{shape}: gap did not grow with P")
+        lws = [r[2] for r in rows]
+        if not lws[-1] < lws[0]:
+            failures.append(f"{shape}: light-weight did not scale")
+    return failures
+
+
+def test_table4_lightweight(benchmark):
+    cfg = dsmc2d_config()
+    shape = cfg["shapes"][0]
+
+    def one_run():
+        return run(shape, 16, dict(cfg, n_steps=2), "lightweight")
+
+    benchmark.pedantic(one_run, rounds=1, iterations=1)
+    all_rows = generate_table(cfg)
+    failures = check_shape(all_rows)
+    assert not failures, failures
+
+
+if __name__ == "__main__":
+    all_rows = generate_table()
+    problems = check_shape(all_rows)
+    print("\nshape check:", "OK" if not problems else problems)

@@ -1,0 +1,89 @@
+"""Shared benchmark harness utilities.
+
+Every ``bench_table*.py`` regenerates one table of the paper's evaluation.
+The simulated iPSC/860 reports *virtual* times with the paper's shape;
+pytest-benchmark additionally measures the wall-clock cost of the Python
+implementation for the headline kernel of each table.
+
+Workloads are scaled down from the paper's (fewer time-steps, and for
+CHARMM a smaller atom count) so the full suite runs in minutes;
+``EXPERIMENTS.md`` records the scaling next to each paper-vs-measured
+comparison.  Set ``REPRO_BENCH_FULL=1`` for paper-sized runs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.util import format_table
+
+#: processor counts used in the paper's CHARMM tables
+CHARMM_PROCS = (16, 32, 64, 128)
+#: processor counts in Table 5 (3-D DSMC)
+DSMC3D_PROCS = (8, 16, 32, 64, 128)
+#: processor counts in Table 7 (compiler DSMC)
+COMPILER_DSMC_PROCS = (4, 8, 16, 32)
+
+
+def full_scale() -> bool:
+    """True when paper-sized workloads were requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+def charmm_config() -> dict:
+    """Mini-CHARMM workload parameters.
+
+    Paper: MbCO + 3830 waters = 14026 atoms, 1000 steps, cutoff list
+    updated 40 times (update_every = 25).  Quick mode keeps the paper's
+    atom count (the compute/communication balance depends on it) but runs
+    few steps at a density that gives ~60 partners per atom.
+    """
+    if full_scale():
+        return dict(n_protein=2536, n_waters=3830, density=2.5,
+                    n_steps=1000, update_every=25)
+    return dict(n_protein=2536, n_waters=3830, density=2.5,
+                n_steps=4, update_every=2)
+
+
+def dsmc2d_config() -> dict:
+    """2-D DSMC workload (paper Table 4: 48x48 and 96x96 cells)."""
+    if full_scale():
+        return dict(shapes=((48, 48), (96, 96)), n_steps=100,
+                    n_initial=40000, inflow=400)
+    return dict(shapes=((16, 16), (32, 32)), n_steps=12,
+                n_initial=3000, inflow=80)
+
+
+def dsmc3d_config() -> dict:
+    """3-D DSMC workload (paper Table 5: 1000 steps, remap every 40).
+
+    Quick mode starts from the *developed plume* profile (dense upstream)
+    so the short run exercises the same load-imbalance regime a 1000-step
+    simulation reaches.
+    """
+    if full_scale():
+        return dict(shape=(16, 16, 16), n_steps=1000, remap_every=40,
+                    n_initial=60000, inflow=600, dt=0.25)
+    return dict(shape=(12, 6, 6), n_steps=24, remap_every=6,
+                n_initial=20000, inflow=800, dt=0.25)
+
+
+def compiler_charmm_config() -> dict:
+    """Table 6 workload (paper: 100 iterations, redistributed every 25)."""
+    if full_scale():
+        return dict(n_atoms=14026, iters=100, redist_every=25)
+    return dict(n_atoms=2000, iters=16, redist_every=4)
+
+
+def compiler_dsmc_config() -> dict:
+    """Table 7 workload (paper: 32x32 cells, 5K molecules, 50 steps)."""
+    if full_scale():
+        return dict(shape=(32, 32), n_steps=50, n_initial=5000, inflow=100)
+    return dict(shape=(16, 16), n_steps=12, n_initial=1500, inflow=50)
+
+
+def print_table(title: str, headers, rows, float_fmt="{:.3f}") -> str:
+    out = format_table(headers, rows, title=title, float_fmt=float_fmt)
+    print("\n" + out, file=sys.stderr)
+    return out

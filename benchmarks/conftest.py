@@ -1,0 +1,7 @@
+"""Make the shared `common` module importable when pytest collects the
+benchmark files from any working directory."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

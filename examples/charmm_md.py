@@ -1,0 +1,52 @@
+"""Mini-CHARMM molecular dynamics, sequential vs CHAOS-parallel.
+
+Builds a small solvated-macromolecule system, runs the same trajectory
+sequentially and on a simulated 16-processor machine, verifies they agree,
+and prints the paper-style time report (Tables 1/2 rows).
+
+Run:  python examples/charmm_md.py
+"""
+
+import numpy as np
+
+from repro.apps.charmm import ParallelMD, SequentialMD, build_small_system
+from repro.partitioners import RCB
+from repro.sim import Machine
+
+N_ATOMS = 600
+N_STEPS = 15
+UPDATE_EVERY = 5          # non-bonded list regeneration cadence
+N_PROCS = 16
+
+
+def main() -> None:
+    system_seq = build_small_system(N_ATOMS, seed=3)
+    system_par = system_seq.copy()
+
+    print(f"system: {system_seq.n_atoms} atoms, {system_seq.n_bonds} bonds, "
+          f"box {system_seq.box:.2f}, cutoff "
+          f"{system_seq.forcefield.cutoff}")
+
+    seq = SequentialMD(system_seq, dt=0.002, update_every=UPDATE_EVERY)
+    seq.run(N_STEPS)
+
+    machine = Machine(N_PROCS)
+    par = ParallelMD(system_par, machine, dt=0.002,
+                     update_every=UPDATE_EVERY, partitioner=RCB())
+    par.run(N_STEPS)
+
+    err = np.abs(par.global_positions() - system_seq.positions).max()
+    print(f"max trajectory deviation after {N_STEPS} steps: {err:.2e}")
+    assert err < 1e-9
+
+    print(f"\nnon-bonded list updated {par.trace.nb_list_updates} times; "
+          f"pair counts: {par.trace.nb_pairs_history}")
+    print("\npaper-style report (virtual seconds on the simulated "
+          "iPSC/860):")
+    for key, value in par.time_report().items():
+        print(f"  {key:16s} {value:10.5f}")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

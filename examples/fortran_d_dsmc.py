@@ -1,0 +1,84 @@
+"""Compile and run the paper's Figure 11: DSMC particle movement in
+Fortran D with the proposed REDUCE(APPEND) intrinsic.
+
+The compiler recognizes the reduce-append nest and lowers it to a
+light-weight schedule + scatter_append — no index translation, no
+permutation lists.  Loops L2/L3 recompute the per-cell particle counts,
+the extra work the paper notes makes compiler-generated code slightly
+slower than the hand version (Table 7).
+
+Run:  python examples/fortran_d_dsmc.py
+"""
+
+import numpy as np
+
+from repro.lang import ProgramInstance, compile_program, interpret_sequential
+from repro.sim import Machine
+
+N_CELLS = 24
+N_PROCS = 4
+
+SOURCE = f"""
+C     Figure 11: DSMC particle movement code in Fortran D
+C$ DECOMPOSITION celltemp({N_CELLS})
+C$ DISTRIBUTE celltemp(BLOCK)
+C$ ALIGN icell(*,:), vel(*,:), size(:), new_size(:) WITH celltemp
+C     Reduce-append particle data into new cells according to icell
+L1:   FORALL j = 1, {N_CELLS}
+        FORALL i = 1, size(j)
+          REDUCE(APPEND, vel(i, icell(i,j)), vel(i,j))
+        END FORALL
+      END FORALL
+C     Recompute the number of particles in each cell
+L2:   FORALL j = 1, {N_CELLS}
+        new_size(j) = 0
+      END FORALL
+L3:   FORALL j = 1, {N_CELLS}
+        FORALL i = 1, size(j)
+          REDUCE(SUM, new_size(icell(i,j)), 1)
+        END FORALL
+      END FORALL
+"""
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    program = compile_program(SOURCE)
+    kinds = {lid: type(p).__name__ for lid, p in program.plans.items()}
+    print("compiled plans:", kinds)
+
+    sizes = rng.integers(0, 9, N_CELLS).astype(np.int64)
+    make = lambda: dict(  # noqa: E731
+        size=sizes.copy(),
+        vel=[rng.standard_normal(s) for s in sizes],
+        icell=[rng.integers(1, N_CELLS + 1, s) for s in sizes],
+        new_size=np.zeros(N_CELLS),
+    )
+    bindings = make()
+    copy = lambda b: {  # noqa: E731
+        k: ([r.copy() for r in v] if isinstance(v, list) else v.copy())
+        for k, v in b.items()
+    }
+
+    expected = interpret_sequential(program, copy(bindings))
+
+    machine = Machine(N_PROCS)
+    inst = ProgramInstance(program, machine, copy(bindings))
+    inst.execute()
+
+    new_size = inst.get_array("new_size")
+    assert np.array_equal(new_size, expected["new_size"])
+    vel = inst.get_array("vel")
+    for c in range(N_CELLS):
+        assert np.allclose(np.sort(vel[c]), np.sort(expected["vel"][c]))
+    print(f"particle movement verified: per-cell counts "
+          f"{new_size.astype(int).tolist()}")
+    print(f"light-weight migration traffic: "
+          f"{machine.traffic.tag_bytes('scatter_append')} bytes in "
+          f"{machine.traffic.tag_messages('scatter_append')} messages")
+    print(f"virtual execution time: {machine.execution_time() * 1e3:.3f} ms")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

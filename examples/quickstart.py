@@ -1,0 +1,91 @@
+"""Quickstart: the paper's Figure 1 loop, end to end.
+
+Parallelizes
+
+    do n = 1, n_step                      ! outer time loop
+      do i = 1, n_edges                   ! irregular inner loop
+        x(ia(i)) = x(ia(i)) + y(ib(i))
+      end do
+    end do
+
+through all six CHAOS phases (paper Figure 4) on a simulated 8-processor
+iPSC/860, then verifies the result against plain numpy.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import ChaosRuntime, IrregularReduction, split_by_block
+from repro.partitioners import RCB
+from repro.sim import Machine
+
+N_ELEMENTS = 1000
+N_EDGES = 6000
+N_STEPS = 5
+N_PROCS = 8
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # The data: two arrays indexed through indirection arrays ia/ib that
+    # are only known at runtime.
+    x = rng.standard_normal(N_ELEMENTS)
+    y = rng.standard_normal(N_ELEMENTS)
+    coords = rng.random((N_ELEMENTS, 2))          # element "positions"
+    ia = rng.integers(0, N_ELEMENTS, N_EDGES)
+    ib = np.clip(ia + rng.integers(-20, 21, N_EDGES), 0, N_ELEMENTS - 1)
+
+    machine = Machine(N_PROCS)                    # simulated iPSC/860
+    rt = ChaosRuntime(machine)
+
+    # Phase A - data partitioning: RCB over element positions.
+    labels = RCB().partition(coords, N_PROCS).labels
+    ttable = rt.irregular_table(labels)           # the translation table
+
+    # Phase B - data remapping: distribute x and y by the new map.
+    x_d = rt.distribute(x, ttable)
+    y_d = rt.distribute(y, ttable)
+
+    # Phases C/D/E - iteration partitioning + inspector: handled by the
+    # IrregularReduction facade (hashing ia and ib under stamps, building
+    # one merged communication schedule).
+    loop = IrregularReduction(rt, ttable, name="fig1").bind(
+        ia=split_by_block(ia, machine),
+        ib=split_by_block(ib, machine),
+    )
+    sched = loop.setup()
+    print(
+        f"schedule: {sched.total_elements()} off-processor elements in "
+        f"{sched.total_messages()} messages "
+        f"(software caching removed duplicates, vectorization aggregated "
+        f"messages)"
+    )
+
+    # Phase F - executor, reused every time step (the access pattern does
+    # not change, so preprocessing ran exactly once).
+    for _ in range(N_STEPS):
+        loop.execute(x_d, "ia", lambda yv: yv, {"y": (y_d, "ib")})
+
+    # verify against the sequential oracle
+    expected = x.copy()
+    for _ in range(N_STEPS):
+        np.add.at(expected, ia, y[ib])
+    err = np.abs(x_d.to_global() - expected).max()
+    print(f"max |parallel - sequential| = {err:.2e}")
+    assert err < 1e-9
+
+    print(
+        f"virtual execution time on {N_PROCS} procs: "
+        f"{machine.execution_time() * 1e3:.2f} ms "
+        f"(compute {machine.clocks.mean_category('compute') * 1e3:.2f} ms, "
+        f"comm {machine.clocks.mean_category('comm') * 1e3:.2f} ms)"
+    )
+    print(f"network traffic: {machine.traffic.n_messages} messages, "
+          f"{machine.traffic.total_bytes} bytes")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

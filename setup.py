@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Offline fallback: `pip install -e .` needs the `wheel` package for PEP 660
+# editable installs, which is unavailable in this environment.  `python
+# setup.py develop` (or the .pth approach) provides the same result.
+setup()

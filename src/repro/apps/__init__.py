@@ -1,0 +1,7 @@
+"""Adaptive irregular applications parallelized with CHAOS.
+
+``charmm`` — a mini molecular-dynamics code with the computational
+structure of CHARMM (static bonded indirection, periodically-regenerated
+non-bonded lists).  ``dsmc`` — a Direct Simulation Monte Carlo
+particle-in-cell code (per-step particle migration, drifting load).
+"""

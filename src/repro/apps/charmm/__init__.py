@@ -1,0 +1,39 @@
+"""Mini-CHARMM: molecular dynamics with adaptive non-bonded lists."""
+
+from repro.apps.charmm.system import ForceField, MolecularSystem
+from repro.apps.charmm.builder import (
+    PAPER_ATOM_COUNT,
+    PAPER_WATER_COUNT,
+    build_small_system,
+    build_solvated_system,
+)
+from repro.apps.charmm.neighbors import (
+    brute_force_nonbonded_list,
+    build_nonbonded_list,
+    list_stats,
+    take_csr_rows,
+)
+from repro.apps.charmm.forces import (
+    compute_bonded_forces,
+    compute_nonbonded_forces,
+)
+from repro.apps.charmm.sequential import MDTrace, SequentialMD
+from repro.apps.charmm.parallel import ParallelMD
+
+__all__ = [
+    "ForceField",
+    "MolecularSystem",
+    "PAPER_ATOM_COUNT",
+    "PAPER_WATER_COUNT",
+    "build_small_system",
+    "build_solvated_system",
+    "brute_force_nonbonded_list",
+    "build_nonbonded_list",
+    "list_stats",
+    "take_csr_rows",
+    "compute_bonded_forces",
+    "compute_nonbonded_forces",
+    "MDTrace",
+    "SequentialMD",
+    "ParallelMD",
+]

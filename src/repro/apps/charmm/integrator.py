@@ -1,0 +1,41 @@
+"""Velocity-Verlet integration for the mini-CHARMM code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def verlet_half_kick(velocities: np.ndarray, forces: np.ndarray,
+                     masses: np.ndarray, dt: float) -> None:
+    """v += (dt/2) F/m, in place."""
+    velocities += (0.5 * dt) * forces / masses[:, None]
+
+
+def verlet_drift(positions: np.ndarray, velocities: np.ndarray,
+                 dt: float, box: float) -> None:
+    """x += dt v, wrapped into the periodic box, in place."""
+    positions += dt * velocities
+    np.mod(positions, box, out=positions)
+
+
+def verlet_step(
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    masses: np.ndarray,
+    forces_old: np.ndarray,
+    compute_forces,
+    dt: float,
+    box: float,
+) -> np.ndarray:
+    """One full velocity-Verlet step; returns the new forces.
+
+    ``compute_forces(positions) -> forces`` is called once, after the
+    drift.  All arrays updated in place.
+    """
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    verlet_half_kick(velocities, forces_old, masses, dt)
+    verlet_drift(positions, velocities, dt, box)
+    forces_new = compute_forces(positions)
+    verlet_half_kick(velocities, forces_new, masses, dt)
+    return forces_new

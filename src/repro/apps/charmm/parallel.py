@@ -1,0 +1,479 @@
+"""CHAOS-parallel mini-CHARMM driver (paper §4.1).
+
+Implements the full six-phase flow on the simulated machine:
+
+* **Phase A** — atoms partitioned by RCB/RIB with computational weights
+  proportional to non-bonded list length; replicated translation table.
+* **Phase B** — all atom-associated arrays remapped with one plan.
+* **Phase C/D** — bonded-loop iterations partitioned almost-owner-computes
+  and indirection arrays (``ib``, ``jb``) remapped; non-bonded outer-loop
+  iterations follow the owner-computes rule (iteration i runs where atom i
+  lives), so its rows need no remap.
+* **Phase E** — indirection arrays hashed with stamps (``bonds``, ``nb``);
+  schedules built merged (one gather per step) or separate (Table 3's
+  comparison).  When the non-bonded list regenerates, only its stamp is
+  cleared and re-hashed — unchanged bonded analysis is reused.
+* **Phase F** — gather coordinates, compute forces locally, scatter-add
+  force contributions, integrate owned atoms.
+
+Virtual-time categories: ``partition``, ``remap``, ``nb_update``,
+``inspector`` (initial schedule generation), ``schedule_regen``
+(adaptive regenerations), ``comm``, ``compute`` — mapping one-to-one onto
+the rows of the paper's Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.charmm.forces import (
+    BOND_OPS,
+    INTEGRATE_OPS,
+    NONBOND_OPS,
+    bond_pair_forces,
+    nonbond_pair_forces,
+)
+from repro.apps.charmm.neighbors import build_nonbonded_list, take_csr_rows
+from repro.apps.charmm.sequential import MDTrace
+from repro.apps.charmm.system import MolecularSystem
+from repro.core.distribution import BlockDistribution
+from repro.core.executor import allocate_ghosts, gather, scatter_op, stack_local_ghost
+from repro.core.inspector import chaos_hash, clear_stamp, make_hash_tables
+from repro.core.iteration import partition_iterations, split_by_block
+from repro.core.remap import remap, remap_array
+from repro.core.schedule import Schedule, build_schedule
+from repro.core.translation import TranslationTable
+from repro.partitioners.base import Partitioner, run_partitioner
+from repro.partitioners.geometric import RCB
+from repro.partitioners.util import degree_weights
+from repro.sim.machine import Machine
+from repro.sim.metrics import load_balance_index
+
+
+class ParallelMD:
+    """Mini-CHARMM parallelized with CHAOS primitives.
+
+    Parameters
+    ----------
+    schedule_mode:
+        ``"merged"`` builds one schedule for the union of bonded and
+        non-bonded stamps (one gather per step); ``"multiple"`` builds one
+        schedule per loop, duplicating shared elements — the Table 3
+        comparison knob.
+    ttable_storage:
+        Translation-table policy (paper used ``"replicated"``).
+    """
+
+    def __init__(
+        self,
+        system: MolecularSystem,
+        machine: Machine,
+        dt: float = 0.002,
+        update_every: int = 10,
+        partitioner: Partitioner | None = None,
+        schedule_mode: str = "merged",
+        ttable_storage: str = "replicated",
+        thermostat_temperature: float | None = None,
+        thermostat_tau: float = 0.1,
+    ):
+        if schedule_mode not in ("merged", "multiple"):
+            raise ValueError(f"unknown schedule_mode {schedule_mode!r}")
+        if update_every < 1:
+            raise ValueError(f"update_every must be >= 1, got {update_every}")
+        if thermostat_temperature is not None and thermostat_temperature <= 0:
+            raise ValueError("thermostat temperature must be positive")
+        if thermostat_tau <= 0:
+            raise ValueError("thermostat tau must be positive")
+        self.thermostat_temperature = thermostat_temperature
+        self.thermostat_tau = float(thermostat_tau)
+        self.system = system
+        self.machine = machine
+        self.dt = float(dt)
+        self.update_every = int(update_every)
+        self.partitioner = partitioner if partitioner is not None else RCB()
+        self.schedule_mode = schedule_mode
+        self.ttable_storage = ttable_storage
+        self.trace = MDTrace()
+        self.step_count = 0
+
+        # global-side copies of adaptive state
+        self.inblo: np.ndarray | None = None
+        self.jnb: np.ndarray | None = None
+
+        self._setup()
+
+    # ==================================================================
+    # setup: phases A-E
+    # ==================================================================
+    def _setup(self) -> None:
+        s = self.system
+        m = self.machine
+        # Initial list (needed for load weights), then partition, then the
+        # paper regenerates the list after redistribution.
+        self.inblo, self.jnb = build_nonbonded_list(
+            s.positions, s.forcefield.cutoff, s.box
+        )
+        self._charge_nb_update()
+        weights = self._atom_weights()
+        result = run_partitioner(m, self.partitioner, s.positions, weights,
+                                 category="partition")
+        self.ttable = TranslationTable(
+            m, result.to_distribution(m.n_ranks), storage=self.ttable_storage
+        )
+        dist = self.ttable.dist
+
+        # Phase B: distribute atom arrays (host-side scatter; the initial
+        # scatter from a BLOCK'd source is charged as a remap).
+        block = BlockDistribution(s.n_atoms, m.n_ranks)
+        plan = remap(m, block, dist, category="remap")
+        split = lambda a: [a[block.global_indices(p)] for p in m.ranks()]  # noqa: E731
+        self.pos = remap_array(m, plan, split(s.positions), category="remap")
+        self.vel = remap_array(m, plan, split(s.velocities), category="remap")
+        self.mass = remap_array(m, plan, split(s.masses), category="remap")
+        self.charge = remap_array(m, plan, split(s.charges), category="remap")
+
+        # Phase C/D for the bonded loop.
+        ib_g, jb_g = (
+            (s.bonds[:, 0], s.bonds[:, 1]) if s.n_bonds
+            else (np.zeros(0, dtype=np.int64),) * 2
+        )
+        assign = partition_iterations(
+            m, self.ttable,
+            [[a, b] for a, b in zip(split_by_block(ib_g, m),
+                                    split_by_block(jb_g, m))],
+            rule="almost-owner-computes", category="partition",
+        )
+        self.ib = assign.remap_iteration_data(m, split_by_block(ib_g, m))
+        self.jb = assign.remap_iteration_data(m, split_by_block(jb_g, m))
+
+        # Phase E: hash tables and schedules.
+        self.htables = make_hash_tables(m, self.ttable)
+        self.ib_loc = chaos_hash(m, self.htables, self.ttable, self.ib,
+                                 "bonds", category="inspector")
+        self.jb_loc = chaos_hash(m, self.htables, self.ttable, self.jb,
+                                 "bonds", category="inspector")
+        self._hash_nonbonded(category="inspector")
+        self._build_schedules(category="inspector")
+        # per-step list regeneration cadence bookkeeping
+        self.trace.nb_list_updates += 1
+        self.trace.nb_pairs_history.append(int(self.jnb.size))
+
+    # ------------------------------------------------------------------
+    def _atom_weights(self) -> np.ndarray:
+        """Paper's CHARMM weighting: "the amount of computation associated
+        with an atom depends on ... the number of non-bonded list entries
+        for that atom" — i.e. the atom's own (half-)list row length, since
+        the owner of atom i executes i's rows under owner-computes."""
+        s = self.system
+        return 1.0 + np.diff(self.inblo).astype(float)
+
+    def _charge_nb_update(self) -> None:
+        """Charge the parallel cost of regenerating the non-bonded list.
+
+        Each rank rebuilds cell lists for its atoms (work ~ its pair
+        count) after an all-gather of coordinates — the structure of the
+        replicated-coordinate list build the paper's CHARMM uses.
+        """
+        m = self.machine
+        s = self.system
+        n_pairs = int(self.jnb.size)
+        per_rank_pairs = n_pairs / m.n_ranks
+        coords_share = np.zeros((max(1, s.n_atoms // m.n_ranks), 3))
+        m.allgather([coords_share] * m.n_ranks, tag="nb_coords",
+                    category="nb_update")
+        for p in m.ranks():
+            m.charge_time(
+                p,
+                m.cost_model.compute_time(6.0 * per_rank_pairs
+                                          + 4.0 * s.n_atoms / m.n_ranks),
+                "nb_update",
+            )
+        m.barrier()
+
+    def _owned_atoms(self, p: int) -> np.ndarray:
+        return self.ttable.dist.global_indices(p)
+
+    def _hash_nonbonded(self, category: str) -> None:
+        """Hash the (current) non-bonded rows of every rank's owned atoms."""
+        m = self.machine
+        i_per, j_per = [], []
+        for p in m.ranks():
+            rows = self._owned_atoms(p)
+            i_exp, j_vals = take_csr_rows(self.inblo, self.jnb, rows)
+            i_per.append(i_exp)
+            j_per.append(j_vals)
+        self.nb_i = i_per
+        self.nb_j = j_per
+        self.nb_i_loc = chaos_hash(m, self.htables, self.ttable, i_per,
+                                   "nb", category=category)
+        self.nb_j_loc = chaos_hash(m, self.htables, self.ttable, j_per,
+                                   "nb", category=category)
+
+    def _build_schedules(self, category: str) -> None:
+        m = self.machine
+        expr = self.htables[0].expr
+        if self.schedule_mode == "merged":
+            self.sched: Schedule = build_schedule(
+                m, self.htables, expr("bonds", "nb"), category=category
+            )
+            self.sched_bonded = self.sched
+            self.sched_nb = self.sched
+        else:
+            self.sched_bonded = build_schedule(
+                m, self.htables, expr("bonds"), category=category
+            )
+            self.sched_nb = build_schedule(
+                m, self.htables, expr("nb"), category=category
+            )
+            self.sched = self.sched_nb  # ghost capacity is table-wide
+        # static ghost data: charges (atoms' charges never change)
+        self.charge_ghost = gather(m, self.sched_nb, self.charge,
+                                   category="comm")
+        if self.schedule_mode == "multiple":
+            gather(m, self.sched_bonded, self.charge, self.charge_ghost,
+                   category="comm")
+
+    # ==================================================================
+    # adaptive: non-bonded list regeneration (stamp reuse)
+    # ==================================================================
+    def refresh_nonbonded_list(self) -> None:
+        """Regenerate the list, re-hash only its stamp, rebuild schedules."""
+        s = self.system
+        m = self.machine
+        self._sync_positions_to_system()
+        self.inblo, self.jnb = build_nonbonded_list(
+            s.positions, s.forcefield.cutoff, s.box
+        )
+        self._charge_nb_update()
+        clear_stamp(m, self.htables, "nb", category="schedule_regen")
+        self._hash_nonbonded(category="schedule_regen")
+        self._build_schedules(category="schedule_regen")
+        self.trace.nb_list_updates += 1
+        self.trace.nb_pairs_history.append(int(self.jnb.size))
+
+    # ==================================================================
+    # remapping: full repartition (Table 6's every-25-iterations RCB/RIB)
+    # ==================================================================
+    def repartition(self, partitioner: Partitioner | None = None) -> None:
+        """Phases A-E again: new partition, remap arrays, rebuild analysis."""
+        m = self.machine
+        part = partitioner if partitioner is not None else self.partitioner
+        self._sync_positions_to_system()
+        weights = self._atom_weights()
+        result = run_partitioner(m, part, self.system.positions, weights,
+                                 category="partition")
+        new_ttable = TranslationTable(
+            m, result.to_distribution(m.n_ranks), storage=self.ttable_storage
+        )
+        plan = remap(m, self.ttable.dist, new_ttable.dist, category="remap")
+        self.pos = remap_array(m, plan, self.pos, category="remap")
+        self.vel = remap_array(m, plan, self.vel, category="remap")
+        self.mass = remap_array(m, plan, self.mass, category="remap")
+        self.charge = remap_array(m, plan, self.charge, category="remap")
+        self.ttable = new_ttable
+
+        ib_g, jb_g = (
+            (self.system.bonds[:, 0], self.system.bonds[:, 1])
+            if self.system.n_bonds else (np.zeros(0, dtype=np.int64),) * 2
+        )
+        assign = partition_iterations(
+            m, self.ttable,
+            [[a, b] for a, b in zip(split_by_block(ib_g, m),
+                                    split_by_block(jb_g, m))],
+            rule="almost-owner-computes", category="partition",
+        )
+        self.ib = assign.remap_iteration_data(m, split_by_block(ib_g, m))
+        self.jb = assign.remap_iteration_data(m, split_by_block(jb_g, m))
+
+        self.htables = make_hash_tables(m, self.ttable)
+        self.ib_loc = chaos_hash(m, self.htables, self.ttable, self.ib,
+                                 "bonds", category="inspector")
+        self.jb_loc = chaos_hash(m, self.htables, self.ttable, self.jb,
+                                 "bonds", category="inspector")
+        self._hash_nonbonded(category="inspector")
+        self._build_schedules(category="inspector")
+
+    # ==================================================================
+    # executor: one force evaluation + integration step
+    # ==================================================================
+    def _compute_forces(self) -> tuple[list[np.ndarray], float]:
+        """Gather coordinates, run both force loops, scatter-add results.
+
+        Returns per-rank local force arrays (owned atoms) and the global
+        potential energy.
+        """
+        m = self.machine
+        s = self.system
+        ff = s.forcefield
+
+        pos_ghost = gather(m, self.sched_nb, self.pos, category="comm")
+        if self.schedule_mode == "multiple":
+            gather(m, self.sched_bonded, self.pos, pos_ghost, category="comm")
+        pos_stacked = stack_local_ghost(self.pos, pos_ghost)
+        charge_stacked = stack_local_ghost(self.charge, self.charge_ghost)
+
+        force_local = [np.zeros_like(self.pos[p]) for p in m.ranks()]
+        force_ghost_nb = allocate_ghosts(self.sched_nb, self.pos)
+        force_ghost_b = (
+            force_ghost_nb if self.schedule_mode == "merged"
+            else allocate_ghosts(self.sched_bonded, self.pos)
+        )
+        energy = 0.0
+
+        for p in m.ranks():
+            ps = pos_stacked[p]
+            qs = charge_stacked[p]
+            n_local = self.pos[p].shape[0]
+
+            fb_stack = np.zeros_like(ps)
+            ib_l, jb_l = self.ib_loc[p], self.jb_loc[p]
+            if ib_l.size:
+                f_i, eb = bond_pair_forces(ps[ib_l], ps[jb_l], ff, s.box)
+                np.add.at(fb_stack, ib_l, f_i)
+                np.add.at(fb_stack, jb_l, -f_i)
+                energy += float(eb.sum())
+                m.charge_compute(p, BOND_OPS * ib_l.size, "compute")
+
+            fn_stack = np.zeros_like(ps)
+            i_l, j_l = self.nb_i_loc[p], self.nb_j_loc[p]
+            if i_l.size:
+                f_i, en = nonbond_pair_forces(
+                    ps[i_l], ps[j_l], qs[i_l], qs[j_l], ff, s.box
+                )
+                np.add.at(fn_stack, i_l, f_i)
+                np.add.at(fn_stack, j_l, -f_i)
+                energy += float(en.sum())
+                m.charge_compute(p, NONBOND_OPS * i_l.size, "compute")
+
+            force_local[p] += fb_stack[:n_local] + fn_stack[:n_local]
+            force_ghost_b[p] += fb_stack[n_local:force_ghost_b[p].shape[0] + n_local]
+            force_ghost_nb[p] += fn_stack[n_local:force_ghost_nb[p].shape[0] + n_local]
+
+        scatter_op(m, self.sched_nb, force_local, force_ghost_nb, np.add,
+                   category="comm")
+        if self.schedule_mode == "multiple":
+            scatter_op(m, self.sched_bonded, force_local, force_ghost_b,
+                       np.add, category="comm")
+        m.barrier()
+        return force_local, energy
+
+    def _integrate_half(self, forces: list[np.ndarray]) -> None:
+        m = self.machine
+        for p in m.ranks():
+            self.vel[p] += (0.5 * self.dt) * forces[p] / self.mass[p][:, None]
+            m.charge_compute(p, INTEGRATE_OPS / 2 * self.vel[p].shape[0],
+                             "compute")
+
+    def _drift(self) -> None:
+        m = self.machine
+        for p in m.ranks():
+            self.pos[p] += self.dt * self.vel[p]
+            np.mod(self.pos[p], self.system.box, out=self.pos[p])
+            m.charge_compute(p, INTEGRATE_OPS / 2 * self.pos[p].shape[0],
+                             "compute")
+
+    # ==================================================================
+    def run(self, n_steps: int, remap_every: int | None = None,
+            remap_partitioners: list[Partitioner] | None = None) -> MDTrace:
+        """Advance ``n_steps`` with the sequential driver's exact cadence.
+
+        ``remap_every`` triggers a full repartition+remap every so many
+        steps (Table 6 redistributes every 25 iterations, alternating RCB
+        and RIB via ``remap_partitioners``).
+        """
+        if n_steps < 0:
+            raise ValueError(f"negative step count {n_steps}")
+        m = self.machine
+        if not hasattr(self, "_forces"):
+            self._forces, self._pe = self._compute_forces()
+        remap_idx = 0
+        for _ in range(n_steps):
+            step = self.step_count
+            if remap_every and step > 0 and step % remap_every == 0:
+                parts = remap_partitioners or [self.partitioner]
+                self.repartition(parts[remap_idx % len(parts)])
+                remap_idx += 1
+                self._forces, self._pe = self._compute_forces()
+            if step > 0 and step % self.update_every == 0:
+                self.refresh_nonbonded_list()
+                self._forces, self._pe = self._compute_forces()
+            self._integrate_half(self._forces)
+            self._drift()
+            self._forces, self._pe = self._compute_forces()
+            self._integrate_half(self._forces)
+            if self.thermostat_temperature is not None:
+                self._apply_thermostat()
+            ke = sum(
+                float(0.5 * np.sum(self.mass[p][:, None] * self.vel[p] ** 2))
+                for p in m.ranks()
+            )
+            self.trace.potential_energy.append(self._pe)
+            self.trace.kinetic_energy.append(ke)
+            self.step_count += 1
+        self._sync_positions_to_system()
+        return self.trace
+
+    def _apply_thermostat(self) -> None:
+        """Berendsen rescale: per-rank kinetic energies are all-reduced
+        (a charged collective), then every rank rescales its atoms with
+        the globally-agreed factor — the standard parallel thermostat."""
+        m = self.machine
+        s = self.system
+        local_ke = [
+            float(0.5 * np.sum(self.mass[p][:, None] * self.vel[p] ** 2))
+            for p in m.ranks()
+        ]
+        ke = m.allreduce_sum(local_ke, category="comm")[0]
+        n = s.n_atoms
+        if n == 0 or ke <= 0:
+            return
+        temperature = 2.0 * ke / (3.0 * n)
+        factor = 1.0 + (self.dt / self.thermostat_tau) * (
+            self.thermostat_temperature / temperature - 1.0
+        )
+        scale = float(np.sqrt(np.clip(factor, 0.25, 4.0)))
+        for p in m.ranks():
+            self.vel[p] *= scale
+            m.charge_compute(p, 3.0 * self.vel[p].shape[0], "compute")
+
+    # ==================================================================
+    # host-side assembly (verification / list rebuild)
+    # ==================================================================
+    def _sync_positions_to_system(self) -> None:
+        s = self.system
+        dist = self.ttable.dist
+        for p in self.machine.ranks():
+            g = dist.global_indices(p)
+            s.positions[g] = self.pos[p]
+            s.velocities[g] = self.vel[p]
+
+    def global_positions(self) -> np.ndarray:
+        self._sync_positions_to_system()
+        return self.system.positions.copy()
+
+    def global_velocities(self) -> np.ndarray:
+        self._sync_positions_to_system()
+        return self.system.velocities.copy()
+
+    # ==================================================================
+    # reporting (paper table rows)
+    # ==================================================================
+    def load_balance(self) -> float:
+        return load_balance_index(
+            self.machine.clocks.category_times("compute")
+        )
+
+    def time_report(self) -> dict[str, float]:
+        """Virtual-time rows matching Tables 1 and 2."""
+        c = self.machine.clocks
+        return {
+            "execution": self.machine.execution_time(),
+            "computation": c.mean_category("compute"),
+            "communication": c.mean_category("comm"),
+            "partition": c.mean_category("partition"),
+            "remap": c.mean_category("remap"),
+            "nb_update": c.mean_category("nb_update"),
+            "inspector": c.mean_category("inspector"),
+            "schedule_regen": c.mean_category("schedule_regen"),
+            "load_balance": self.load_balance(),
+        }

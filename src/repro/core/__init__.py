@@ -1,0 +1,103 @@
+"""CHAOS core runtime: the paper's primary contribution.
+
+Inspector/executor runtime support for adaptive irregular problems:
+translation tables, stamped index-analysis hash tables, communication
+schedules (regular, merged, incremental, light-weight), data
+transportation primitives, remapping, and iteration partitioning.
+"""
+
+from repro.core.distribution import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    Distribution,
+    IrregularDistribution,
+)
+from repro.core.translation import TranslationTable
+from repro.core.hashtable import IndexHashTable, StampExpr, StampRegistry
+from repro.core.schedule import Schedule, build_schedule, merge_schedules
+from repro.core.lightweight import (
+    LightweightSchedule,
+    build_lightweight_schedule,
+    scatter_append,
+    scatter_append_multi,
+)
+from repro.core.inspector import (
+    chaos_hash,
+    clear_stamp,
+    localize_only,
+    make_hash_tables,
+)
+from repro.core.executor import (
+    allocate_ghosts,
+    gather,
+    scatter,
+    scatter_op,
+    stack_local_ghost,
+    split_local_ghost,
+)
+from repro.core.remap import RemapPlan, remap, remap_array, remap_global_values
+from repro.core.iteration import (
+    IterationAssignment,
+    block_iteration_slices,
+    partition_iterations,
+    split_by_block,
+)
+from repro.core.reuse import ModificationRecord, ScheduleCache
+from repro.core.api import ChaosRuntime, DistributedArray, IrregularReduction
+from repro.core.verify import (
+    check_distribution,
+    check_lightweight,
+    check_remap_plan,
+    check_schedule,
+    check_schedule_against_hash_tables,
+    check_translation_table,
+)
+
+__all__ = [
+    "BlockCyclicDistribution",
+    "BlockDistribution",
+    "CyclicDistribution",
+    "Distribution",
+    "IrregularDistribution",
+    "TranslationTable",
+    "IndexHashTable",
+    "StampExpr",
+    "StampRegistry",
+    "Schedule",
+    "build_schedule",
+    "merge_schedules",
+    "LightweightSchedule",
+    "build_lightweight_schedule",
+    "scatter_append",
+    "scatter_append_multi",
+    "chaos_hash",
+    "clear_stamp",
+    "localize_only",
+    "make_hash_tables",
+    "allocate_ghosts",
+    "gather",
+    "scatter",
+    "scatter_op",
+    "stack_local_ghost",
+    "split_local_ghost",
+    "RemapPlan",
+    "remap",
+    "remap_array",
+    "remap_global_values",
+    "IterationAssignment",
+    "block_iteration_slices",
+    "partition_iterations",
+    "split_by_block",
+    "ModificationRecord",
+    "ScheduleCache",
+    "ChaosRuntime",
+    "DistributedArray",
+    "IrregularReduction",
+    "check_distribution",
+    "check_lightweight",
+    "check_remap_plan",
+    "check_schedule",
+    "check_schedule_against_hash_tables",
+    "check_translation_table",
+]

@@ -1,0 +1,355 @@
+"""High-level CHAOS facade: distributed arrays and the six-phase loop flow.
+
+This module wires the lower-level pieces (translation tables, hash tables,
+schedules, executors) into the workflow of Figure 4:
+
+  A. data partitioning      → :meth:`ChaosRuntime.irregular_table` et al.
+  B. data remapping         → :meth:`DistributedArray.redistribute`
+  C. iteration partitioning → :func:`repro.core.iteration.partition_iterations`
+  D. iteration remapping    → :meth:`IterationAssignment.remap_iteration_data`
+  E. inspector              → :meth:`ChaosRuntime.hash_indirection` /
+                              :meth:`ChaosRuntime.build_schedule`
+  F. executor               → :meth:`ChaosRuntime.gather` /
+                              :meth:`ChaosRuntime.scatter_add` / ...
+
+Applications with special structure (CHARMM, DSMC) use the pieces directly;
+the facade keeps simple irregular loops (Figure 1) to a few lines — see
+``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.distribution import (
+    BlockDistribution,
+    CyclicDistribution,
+    Distribution,
+    IrregularDistribution,
+)
+from repro.core.executor import (
+    allocate_ghosts,
+    gather,
+    scatter,
+    scatter_op,
+    stack_local_ghost,
+)
+from repro.core.hashtable import IndexHashTable, StampExpr
+from repro.core.inspector import chaos_hash, clear_stamp, localize_only, make_hash_tables
+from repro.core.lightweight import build_lightweight_schedule, scatter_append
+from repro.core.remap import remap, remap_array
+from repro.core.reuse import ModificationRecord, ScheduleCache
+from repro.core.schedule import Schedule, build_schedule
+from repro.core.translation import TranslationTable
+from repro.sim.machine import Machine
+
+
+class DistributedArray:
+    """A global array partitioned across the machine's ranks.
+
+    ``local[p]`` holds rank ``p``'s elements in local-offset order; rows
+    (axis 0) are distributed, trailing dimensions ride along (so an
+    ``(n, 3)`` coordinate array distributes by atom).
+    """
+
+    def __init__(self, machine: Machine, ttable: TranslationTable,
+                 local: list[np.ndarray]):
+        machine.check_per_rank(local, "local arrays")
+        for p in machine.ranks():
+            expect = ttable.dist.local_size(p)
+            if np.asarray(local[p]).shape[0] != expect:
+                raise ValueError(
+                    f"rank {p}: local array has {np.asarray(local[p]).shape[0]}"
+                    f" rows, distribution owns {expect}"
+                )
+        self.machine = machine
+        self.ttable = ttable
+        self.local = [np.asarray(a) for a in local]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(cls, machine: Machine, ttable: TranslationTable,
+                    global_array: np.ndarray) -> "DistributedArray":
+        """Scatter a host-side global array out to the ranks."""
+        g = np.asarray(global_array)
+        if g.shape[0] != ttable.dist.n_global:
+            raise ValueError(
+                f"global array has {g.shape[0]} rows, distribution expects "
+                f"{ttable.dist.n_global}"
+            )
+        local = [g[ttable.dist.global_indices(p)] for p in machine.ranks()]
+        return cls(machine, ttable, local)
+
+    def to_global(self) -> np.ndarray:
+        """Assemble the global array on the host (test/verification aid)."""
+        dist = self.ttable.dist
+        shape = (dist.n_global,) + self.local[0].shape[1:]
+        out = np.zeros(shape, dtype=self.local[0].dtype)
+        for p in self.machine.ranks():
+            out[dist.global_indices(p)] = self.local[p]
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self):
+        return self.local[0].dtype
+
+    @property
+    def n_global(self) -> int:
+        return self.ttable.dist.n_global
+
+    def local_sizes(self) -> np.ndarray:
+        return self.ttable.dist.local_sizes()
+
+    def redistribute(self, new_ttable: TranslationTable,
+                     category: str = "remap") -> "DistributedArray":
+        """Phase B: move to a new distribution (charged remap)."""
+        plan = remap(self.machine, self.ttable.dist, new_ttable.dist,
+                     category=category)
+        new_local = remap_array(self.machine, plan, self.local,
+                                category=category)
+        return DistributedArray(self.machine, new_ttable, new_local)
+
+    def copy(self) -> "DistributedArray":
+        return DistributedArray(
+            self.machine, self.ttable, [a.copy() for a in self.local]
+        )
+
+
+class ChaosRuntime:
+    """Convenience binding of a machine to the CHAOS primitives.
+
+    Owns one hash-table group and one schedule cache per translation
+    table, so adaptive applications get stamp reuse and schedule reuse
+    without extra bookkeeping.
+    """
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self._htables: dict[int, list[IndexHashTable]] = {}
+        self.modification_record = ModificationRecord()
+        self.schedule_cache = ScheduleCache(self.modification_record)
+
+    # ---- Phase A: distributions/translation tables --------------------
+    def block_table(self, n_global: int, storage: str = "replicated"
+                    ) -> TranslationTable:
+        return TranslationTable(
+            self.machine, BlockDistribution(n_global, self.machine.n_ranks),
+            storage=storage,
+        )
+
+    def cyclic_table(self, n_global: int, storage: str = "replicated"
+                     ) -> TranslationTable:
+        return TranslationTable(
+            self.machine, CyclicDistribution(n_global, self.machine.n_ranks),
+            storage=storage,
+        )
+
+    def irregular_table(self, map_array, storage: str = "replicated",
+                        page_size: int = 1024) -> TranslationTable:
+        return TranslationTable.from_map(
+            self.machine, map_array, storage=storage, page_size=page_size
+        )
+
+    def table_for(self, dist: Distribution, storage: str = "replicated"
+                  ) -> TranslationTable:
+        return TranslationTable(self.machine, dist, storage=storage)
+
+    # ---- distributed arrays -------------------------------------------
+    def distribute(self, global_array: np.ndarray, ttable: TranslationTable
+                   ) -> DistributedArray:
+        return DistributedArray.from_global(self.machine, ttable, global_array)
+
+    def zeros_like_table(self, ttable: TranslationTable, dtype=np.float64,
+                         trailing: tuple = ()) -> DistributedArray:
+        local = [
+            np.zeros((ttable.dist.local_size(p),) + trailing, dtype=dtype)
+            for p in self.machine.ranks()
+        ]
+        return DistributedArray(self.machine, ttable, local)
+
+    # ---- Phase E: inspector --------------------------------------------
+    def hash_tables(self, ttable: TranslationTable) -> list[IndexHashTable]:
+        key = id(ttable)
+        if key not in self._htables:
+            self._htables[key] = make_hash_tables(self.machine, ttable)
+        return self._htables[key]
+
+    def drop_hash_tables(self, ttable: TranslationTable) -> None:
+        self._htables.pop(id(ttable), None)
+
+    def hash_indirection(
+        self,
+        ttable: TranslationTable,
+        indices: list[np.ndarray | None],
+        stamp: str,
+    ) -> list[np.ndarray]:
+        """``CHAOS_hash``: hash + translate + localize one indirection array."""
+        return chaos_hash(self.machine, self.hash_tables(ttable), ttable,
+                          indices, stamp)
+
+    def localize(self, ttable: TranslationTable,
+                 indices: list[np.ndarray | None]) -> list[np.ndarray]:
+        return localize_only(self.machine, self.hash_tables(ttable), indices)
+
+    def clear_stamp(self, ttable: TranslationTable, stamp: str,
+                    release: bool = False) -> int:
+        return clear_stamp(self.machine, self.hash_tables(ttable), stamp,
+                           release=release)
+
+    def build_schedule(self, ttable: TranslationTable,
+                       expr: StampExpr | str) -> Schedule:
+        """``CHAOS_schedule``: build from stamped hash-table entries."""
+        return build_schedule(self.machine, self.hash_tables(ttable), expr)
+
+    def stamp_expr(self, ttable: TranslationTable, *names: str) -> StampExpr:
+        """Union stamp expression (merged schedules) by name."""
+        return self.hash_tables(ttable)[0].expr(*names)
+
+    # ---- Phase F: executor ----------------------------------------------
+    def gather(self, sched: Schedule, x: DistributedArray,
+               ghosts: list[np.ndarray] | None = None) -> list[np.ndarray]:
+        return gather(self.machine, sched, x.local, ghosts)
+
+    def scatter(self, sched: Schedule, x: DistributedArray,
+                ghosts: list[np.ndarray]) -> None:
+        scatter(self.machine, sched, x.local, ghosts)
+
+    def scatter_add(self, sched: Schedule, x: DistributedArray,
+                    ghosts: list[np.ndarray]) -> None:
+        scatter_op(self.machine, sched, x.local, ghosts, np.add)
+
+    def scatter_reduce(self, sched: Schedule, x: DistributedArray,
+                       ghosts: list[np.ndarray], op) -> None:
+        scatter_op(self.machine, sched, x.local, ghosts, op)
+
+    def ghosts_for(self, sched: Schedule, x: DistributedArray
+                   ) -> list[np.ndarray]:
+        return allocate_ghosts(sched, x.local)
+
+    # ---- light-weight path ----------------------------------------------
+    def lightweight_schedule(self, dest_ranks: list[np.ndarray]):
+        return build_lightweight_schedule(self.machine, dest_ranks)
+
+    def scatter_append(self, lw_sched, values: list[np.ndarray]
+                       ) -> list[np.ndarray]:
+        return scatter_append(self.machine, lw_sched, values)
+
+
+class IrregularReduction:
+    """The canonical Figure-1 loop, fully orchestrated.
+
+    Represents ``forall i: lhs[A[i]] op= kernel(rhs0[B0[i]], rhs1[B1[i]], …)``
+    where ``A``/``Bk`` are per-rank slices of indirection arrays holding
+    *global* indices into arrays distributed like ``ttable``.
+
+    ``setup()`` runs the inspector once (hash + schedule); ``execute()``
+    runs the executor any number of times; ``adapt()`` re-hashes a changed
+    indirection array, reusing unchanged index analysis.
+    """
+
+    def __init__(self, runtime: ChaosRuntime, ttable: TranslationTable,
+                 name: str = "loop"):
+        self.rt = runtime
+        self.ttable = ttable
+        self.name = name
+        self._indirections: dict[str, list[np.ndarray]] = {}
+        self._localized: dict[str, list[np.ndarray]] = {}
+        self._schedule: Schedule | None = None
+        self._stamps: list[str] = []
+
+    def bind(self, **indirections: list[np.ndarray]) -> "IrregularReduction":
+        """Bind named indirection arrays (per-rank global-index slices)."""
+        for nm, per_rank in indirections.items():
+            self.rt.machine.check_per_rank(per_rank, f"indirection {nm!r}")
+            self._indirections[nm] = [np.asarray(a, dtype=np.int64)
+                                      for a in per_rank]
+        return self
+
+    def setup(self) -> Schedule:
+        """Inspector: hash every indirection array, build merged schedule."""
+        if not self._indirections:
+            raise RuntimeError("bind() indirection arrays before setup()")
+        self._stamps = []
+        for nm, per_rank in self._indirections.items():
+            stamp = f"{self.name}:{nm}"
+            self._localized[nm] = self.rt.hash_indirection(
+                self.ttable, per_rank, stamp
+            )
+            self._stamps.append(stamp)
+        expr = self.rt.stamp_expr(self.ttable, *self._stamps)
+        self._schedule = self.rt.build_schedule(self.ttable, expr)
+        return self._schedule
+
+    def adapt(self, name: str, new_per_rank: list[np.ndarray]) -> Schedule:
+        """One indirection array changed: clear its stamp, re-hash, rebuild."""
+        if name not in self._indirections:
+            raise KeyError(f"unknown indirection array {name!r}")
+        stamp = f"{self.name}:{name}"
+        self.rt.clear_stamp(self.ttable, stamp)
+        self._indirections[name] = [np.asarray(a, dtype=np.int64)
+                                    for a in new_per_rank]
+        self._localized[name] = self.rt.hash_indirection(
+            self.ttable, self._indirections[name], stamp
+        )
+        expr = self.rt.stamp_expr(self.ttable, *self._stamps)
+        self._schedule = self.rt.build_schedule(self.ttable, expr)
+        return self._schedule
+
+    @property
+    def schedule(self) -> Schedule:
+        if self._schedule is None:
+            raise RuntimeError("setup() has not been run")
+        return self._schedule
+
+    def localized(self, name: str) -> list[np.ndarray]:
+        """Per-rank localized indices for one indirection array."""
+        if name not in self._localized:
+            raise KeyError(f"indirection array {name!r} not hashed")
+        return self._localized[name]
+
+    def execute(
+        self,
+        lhs: DistributedArray,
+        lhs_index: str,
+        kernel: Callable[..., np.ndarray],
+        rhs: dict[str, tuple[DistributedArray, str]],
+        op=np.add,
+        compute_ops_per_iter: float = 1.0,
+    ) -> None:
+        """Executor: gather, compute per rank, scatter-reduce.
+
+        ``kernel(*rhs_values)`` receives the gathered right-hand-side
+        element values (one array per entry of ``rhs``, in dict order) and
+        must return the per-iteration contribution to
+        ``lhs[lhs_index[i]]``.
+        """
+        m = self.rt.machine
+        sched = self.schedule
+        # gather every distinct rhs array once
+        stacked: dict[int, list[np.ndarray]] = {}
+        ghost_of: dict[int, list[np.ndarray]] = {}
+        for da, _ in rhs.values():
+            if id(da) not in stacked:
+                g = self.rt.gather(sched, da)
+                ghost_of[id(da)] = g
+                stacked[id(da)] = stack_local_ghost(da.local, g)
+        lhs_ghosts = self.rt.ghosts_for(sched, lhs)
+        lhs_stacked = stack_local_ghost(lhs.local, lhs_ghosts)
+        lhs_idx = self.localized(lhs_index)
+        for p in m.ranks():
+            args = [stacked[id(da)][p][self.localized(idx_name)[p]]
+                    for da, idx_name in rhs.values()]
+            contrib = kernel(*args) if args else kernel()
+            n_iter = lhs_idx[p].size
+            op.at(lhs_stacked[p], lhs_idx[p], contrib)
+            m.charge_compute(p, compute_ops_per_iter * n_iter, "compute")
+        # write back: local part mutated in place via views? stacking copies,
+        # so split explicitly:
+        for p in m.ranks():
+            n_local = lhs.local[p].shape[0]
+            lhs.local[p][...] = lhs_stacked[p][:n_local]
+            lhs_ghosts[p][...] = lhs_stacked[p][n_local:]
+        self.rt.scatter_reduce(sched, lhs, lhs_ghosts, op)

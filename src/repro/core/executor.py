@@ -1,0 +1,180 @@
+"""Executor-phase data transportation: gather, scatter, scatter-with-op.
+
+These are the CHAOS primitives that *use* a built schedule (paper Phase F).
+Data arrays live one-per-rank; each may be 1-D (scalars per element) or
+2-D (``(n, k)`` — e.g. xyz coordinates), moved row-wise.  Ghost regions are
+separate arrays sized ``schedule.ghost_size[p]`` so the same local array
+can serve many schedules.
+
+``gather``   — owners push copies of requested elements into requesters'
+               ghost buffers (prefetch before a loop).
+``scatter``  — ghost values return to their owners, overwriting.
+``scatter_op`` — ghost values return and are *combined* (np.add etc.),
+               the irregular-reduction path for ``x(ia(i)) += ...``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.sim.machine import Machine
+
+
+def _ghost_like(local: np.ndarray, n_ghost: int) -> np.ndarray:
+    shape = (n_ghost,) + local.shape[1:]
+    return np.zeros(shape, dtype=local.dtype)
+
+
+def allocate_ghosts(
+    sched: Schedule, data: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Fresh ghost buffers matching ``data``'s dtype/row-shape."""
+    return [_ghost_like(d, g) for d, g in zip(data, sched.ghost_size)]
+
+
+def gather(
+    machine: Machine,
+    sched: Schedule,
+    data: list[np.ndarray],
+    ghosts: list[np.ndarray] | None = None,
+    category: str = "comm",
+) -> list[np.ndarray]:
+    """Fetch off-processor elements into ghost buffers.
+
+    Returns the ghost arrays (newly allocated unless ``ghosts`` given).
+    After the call, rank ``p``'s copy of remote element with buffer slot
+    ``s`` is at ``ghosts[p][s]``; localized indices ``n_local + s`` from
+    the inspector address it directly when local and ghost arrays are
+    stacked (see :func:`stack_local_ghost`).
+    """
+    machine.check_per_rank(data, "data")
+    if ghosts is None:
+        ghosts = allocate_ghosts(sched, data)
+    machine.check_per_rank(ghosts, "ghosts")
+    n = machine.n_ranks
+    send = [[None] * n for _ in machine.ranks()]
+    for p in machine.ranks():
+        d = np.asarray(data[p])
+        for q in machine.ranks():
+            sel = sched.send_indices[p][q]
+            if sel.size:
+                if sel.max() >= d.shape[0]:
+                    raise IndexError(
+                        f"rank {p}: schedule wants element {int(sel.max())} "
+                        f"but local array has {d.shape[0]}"
+                    )
+                send[p][q] = d[sel]
+                machine.charge_copyops(p, sel.size, category)
+    received = machine.alltoallv(send, tag="gather", category=category)
+    for p in machine.ranks():
+        g = ghosts[p]
+        if g.shape[0] < sched.ghost_size[p]:
+            raise ValueError(
+                f"rank {p}: ghost buffer {g.shape[0]} < required "
+                f"{sched.ghost_size[p]}"
+            )
+        for q in machine.ranks():
+            got = received[p][q]
+            slots = sched.recv_slots[p][q]
+            if slots.size:
+                g[slots] = got
+                machine.charge_copyops(p, slots.size, category)
+    return ghosts
+
+
+def scatter(
+    machine: Machine,
+    sched: Schedule,
+    data: list[np.ndarray],
+    ghosts: list[np.ndarray],
+    category: str = "comm",
+) -> None:
+    """Return ghost values to their owners, overwriting local elements.
+
+    The exact reverse of :func:`gather`: rank ``p`` sends
+    ``ghosts[p][recv_slots[p][q]]`` back to ``q``, which writes them at
+    ``send_indices[q][p]``.
+    """
+    _scatter_impl(machine, sched, data, ghosts, None, category)
+
+
+def scatter_op(
+    machine: Machine,
+    sched: Schedule,
+    data: list[np.ndarray],
+    ghosts: list[np.ndarray],
+    op: Callable = np.add,
+    category: str = "comm",
+) -> None:
+    """Return ghost contributions and combine with ``op`` at the owner.
+
+    ``op`` must be a numpy ufunc with an ``.at`` method (``np.add``,
+    ``np.maximum``, ...); accumulation order across sources is by source
+    rank, deterministic.  This implements irregular reductions: each rank
+    accumulates into its ghost copy during the executor loop, then one
+    ``scatter_op(np.add)`` folds all contributions into the owners.
+    """
+    if not hasattr(op, "at"):
+        raise TypeError(f"op {op!r} must be a ufunc with an .at method")
+    _scatter_impl(machine, sched, data, ghosts, op, category)
+
+
+def _scatter_impl(
+    machine: Machine,
+    sched: Schedule,
+    data: list[np.ndarray],
+    ghosts: list[np.ndarray],
+    op: Callable | None,
+    category: str,
+) -> None:
+    machine.check_per_rank(data, "data")
+    machine.check_per_rank(ghosts, "ghosts")
+    n = machine.n_ranks
+    send = [[None] * n for _ in machine.ranks()]
+    for p in machine.ranks():
+        g = np.asarray(ghosts[p])
+        for q in machine.ranks():
+            slots = sched.recv_slots[p][q]
+            if slots.size:
+                send[p][q] = g[slots]
+                machine.charge_copyops(p, slots.size, category)
+    received = machine.alltoallv(send, tag="scatter", category=category)
+    for p in machine.ranks():
+        d = data[p]
+        for q in machine.ranks():
+            got = received[p][q]
+            sel = sched.send_indices[p][q]
+            if sel.size:
+                if op is None:
+                    d[sel] = got
+                else:
+                    op.at(d, sel, got)
+                machine.charge_copyops(p, sel.size, category)
+
+
+def stack_local_ghost(
+    data: list[np.ndarray], ghosts: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Concatenate local and ghost regions per rank.
+
+    The inspector numbers off-processor references ``n_local + slot``, so
+    an executor loop can fancy-index one stacked array with localized
+    indices.  (Copies; write results back explicitly if mutated.)
+    """
+    if len(data) != len(ghosts):
+        raise ValueError("data/ghosts rank-count mismatch")
+    return [np.concatenate([d, g], axis=0) for d, g in zip(data, ghosts)]
+
+
+def split_local_ghost(
+    stacked: list[np.ndarray], n_locals: list[int]
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Inverse of :func:`stack_local_ghost`."""
+    if len(stacked) != len(n_locals):
+        raise ValueError("stacked/n_locals rank-count mismatch")
+    data = [s[:n] for s, n in zip(stacked, n_locals)]
+    ghosts = [s[n:] for s, n in zip(stacked, n_locals)]
+    return data, ghosts

@@ -1,0 +1,268 @@
+"""The stamped index-analysis hash table (paper §3.2.2).
+
+For each global index hashed in, the table stores: the global index, its
+translated address (owner processor + offset), the local ghost-buffer slot
+assigned if the element is off-processor, and a *stamp* bitmask recording
+which indirection arrays entered it.  Keeping the table across adaptive
+steps is the paper's central inspector optimization: when an indirection
+array changes, most entries are already present and index analysis becomes
+a cheap lookup instead of a translation-table round trip.
+
+Schedules are built from *stamp expressions* — logical combinations of
+stamps (Figure 6):
+
+* ``stamp_a | stamp_b``  → merged schedule (gathers the union),
+* ``stamp_b - stamp_a``  → incremental schedule (only what earlier
+  schedules did not fetch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_GROW = 1024
+
+
+class StampRegistry:
+    """Assigns stamp bits to names; shared by the ranks of one table group.
+
+    At most 63 live stamps (bits of an int64 mask).  Clearing a stamp
+    frees its bit for reuse — the paper reuses the non-bonded list's stamp
+    after clearing it on each list regeneration.
+    """
+
+    MAX_STAMPS = 63
+
+    def __init__(self) -> None:
+        self._bits: dict[str, int] = {}
+        self._free: list[int] = list(range(self.MAX_STAMPS))
+
+    def acquire(self, name: str) -> int:
+        """Get (or create) the bit for stamp ``name``; returns the mask."""
+        if name in self._bits:
+            return 1 << self._bits[name]
+        if not self._free:
+            raise RuntimeError(
+                f"out of stamp bits ({self.MAX_STAMPS} in use); "
+                "release stamps you no longer need"
+            )
+        bit = self._free.pop(0)
+        self._bits[name] = bit
+        return 1 << bit
+
+    def mask_of(self, name: str) -> int:
+        if name not in self._bits:
+            raise KeyError(f"unknown stamp {name!r}")
+        return 1 << self._bits[name]
+
+    def release(self, name: str) -> int:
+        """Forget ``name`` and free its bit; returns the freed mask."""
+        bit = self._bits.pop(name, None)
+        if bit is None:
+            raise KeyError(f"unknown stamp {name!r}")
+        self._free.append(bit)
+        self._free.sort()
+        return 1 << bit
+
+    def names(self) -> list[str]:
+        return sorted(self._bits)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bits
+
+
+@dataclass(frozen=True)
+class StampExpr:
+    """A selection over hash-table entries: include-any minus exclude-any.
+
+    An entry with stamp mask ``m`` matches iff ``(m & include) != 0`` and
+    ``(m & exclude) == 0``.
+    """
+
+    include: int
+    exclude: int = 0
+
+    def __or__(self, other: "StampExpr") -> "StampExpr":
+        """Union of selections → merged schedules."""
+        return StampExpr(self.include | other.include,
+                         self.exclude | other.exclude)
+
+    def __sub__(self, other: "StampExpr") -> "StampExpr":
+        """Difference → incremental schedules (mine, minus theirs)."""
+        return StampExpr(self.include, self.exclude | other.include)
+
+    def matches(self, masks: np.ndarray) -> np.ndarray:
+        """Boolean match vector over an array of entry masks."""
+        m = np.asarray(masks, dtype=np.int64)
+        sel = (m & self.include) != 0
+        if self.exclude:
+            sel &= (m & self.exclude) == 0
+        return sel
+
+
+class IndexHashTable:
+    """One rank's index-analysis table (vectorized, dict-backed).
+
+    Parameters
+    ----------
+    rank:
+        The owning rank (entries whose translated owner equals ``rank``
+        are *on-processor* and get no ghost-buffer slot).
+    n_local:
+        Local size of the data array this table indexes; localized
+        off-processor references are numbered ``n_local + buffer_slot``.
+    """
+
+    def __init__(self, rank: int, n_local: int, registry: StampRegistry | None = None):
+        if rank < 0:
+            raise ValueError(f"negative rank {rank}")
+        if n_local < 0:
+            raise ValueError(f"negative local size {n_local}")
+        self.rank = int(rank)
+        self.n_local = int(n_local)
+        self.registry = registry if registry is not None else StampRegistry()
+        self._slot_of: dict[int, int] = {}
+        self.n_entries = 0
+        self._cap = _GROW
+        self.g = np.zeros(self._cap, dtype=np.int64)       # global index
+        self.proc = np.zeros(self._cap, dtype=np.int64)    # translated owner
+        self.off = np.zeros(self._cap, dtype=np.int64)     # translated offset
+        self.buf = np.full(self._cap, -1, dtype=np.int64)  # ghost slot or -1
+        self.mask = np.zeros(self._cap, dtype=np.int64)    # stamp bits
+        self.n_ghost = 0                                    # slots assigned
+
+    # ------------------------------------------------------------------
+    def _grow_to(self, n: int) -> None:
+        if n <= self._cap:
+            return
+        new_cap = max(n, self._cap * 2)
+        for name in ("g", "proc", "off", "buf", "mask"):
+            old = getattr(self, name)
+            fill = -1 if name == "buf" else 0
+            arr = np.full(new_cap, fill, dtype=np.int64)
+            arr[: self._cap] = old[: self._cap]
+            setattr(self, name, arr)
+        self._cap = new_cap
+
+    # ------------------------------------------------------------------
+    def lookup_slots(self, gidx: np.ndarray) -> np.ndarray:
+        """Slot of each global index, or -1 if absent."""
+        arr = np.asarray(gidx, dtype=np.int64)
+        get = self._slot_of.get
+        return np.fromiter(
+            (get(int(k), -1) for k in arr), dtype=np.int64, count=arr.size
+        )
+
+    def missing_uniques(self, gidx: np.ndarray) -> np.ndarray:
+        """Unique global indices from ``gidx`` not yet in the table."""
+        uniq = np.unique(np.asarray(gidx, dtype=np.int64))
+        has = self._slot_of
+        return np.array([k for k in uniq.tolist() if k not in has],
+                        dtype=np.int64)
+
+    def insert_translated(
+        self, gidx: np.ndarray, owners: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        """Insert new (already-translated) entries; returns their slots.
+
+        Off-processor entries receive ghost-buffer slots in insertion
+        order.  Duplicate keys in ``gidx`` are an error (pass uniques).
+        """
+        gidx = np.asarray(gidx, dtype=np.int64)
+        owners = np.asarray(owners, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if not (gidx.size == owners.size == offsets.size):
+            raise ValueError("gidx/owners/offsets length mismatch")
+        n_new = gidx.size
+        if n_new == 0:
+            return np.zeros(0, dtype=np.int64)
+        self._grow_to(self.n_entries + n_new)
+        slots = np.arange(self.n_entries, self.n_entries + n_new, dtype=np.int64)
+        self.g[slots] = gidx
+        self.proc[slots] = owners
+        self.off[slots] = offsets
+        offproc = owners != self.rank
+        n_off = int(np.count_nonzero(offproc))
+        self.buf[slots[offproc]] = np.arange(
+            self.n_ghost, self.n_ghost + n_off, dtype=np.int64
+        )
+        self.n_ghost += n_off
+        for k, s in zip(gidx.tolist(), slots.tolist()):
+            if k in self._slot_of:
+                raise ValueError(f"duplicate insert of global index {k}")
+            self._slot_of[k] = s
+        self.n_entries += n_new
+        return slots
+
+    def stamp_slots(self, slots: np.ndarray, stamp_name: str) -> None:
+        """Mark entries at ``slots`` with the stamp's bit."""
+        bit = self.registry.acquire(stamp_name)
+        self.mask[np.asarray(slots, dtype=np.int64)] |= bit
+
+    def clear_stamp(self, stamp_name: str, release: bool = False) -> int:
+        """Remove a stamp's bit from every entry.
+
+        With ``release=True`` the bit itself is freed for reuse (the paper
+        reuses the cleared stamp when re-hashing a regenerated non-bonded
+        list).  Returns the number of entries that carried the stamp.
+        """
+        bit = self.registry.mask_of(stamp_name)
+        live = self.mask[: self.n_entries]
+        n = int(np.count_nonzero(live & bit))
+        live &= ~bit
+        if release:
+            self.registry.release(stamp_name)
+        return n
+
+    # ------------------------------------------------------------------
+    def localize(self, gidx: np.ndarray) -> np.ndarray:
+        """Translate global indices to local/localized indices.
+
+        Owned elements map to their local offset; off-processor elements
+        map to ``n_local + buffer_slot``.  All indices must already be in
+        the table (hash first).
+        """
+        slots = self.lookup_slots(gidx)
+        if np.any(slots < 0):
+            missing = np.asarray(gidx, dtype=np.int64)[slots < 0][0]
+            raise KeyError(f"global index {missing} not hashed yet")
+        out = np.where(
+            self.proc[slots] == self.rank,
+            self.off[slots],
+            self.n_local + self.buf[slots],
+        )
+        return out.astype(np.int64)
+
+    def select(self, expr: StampExpr, off_processor_only: bool = True
+               ) -> np.ndarray:
+        """Slots matching a stamp expression (optionally off-proc only)."""
+        sel = expr.matches(self.mask[: self.n_entries])
+        if off_processor_only:
+            sel &= self.proc[: self.n_entries] != self.rank
+        return np.flatnonzero(sel).astype(np.int64)
+
+    def expr(self, *names: str) -> StampExpr:
+        """Union stamp expression over named stamps."""
+        inc = 0
+        for n in names:
+            inc |= self.registry.mask_of(n)
+        return StampExpr(inc)
+
+    # ------------------------------------------------------------------
+    def ghost_capacity(self) -> int:
+        """Ghost-buffer slots assigned so far (size the ghost region)."""
+        return self.n_ghost
+
+    def __len__(self) -> int:
+        return self.n_entries
+
+    def __contains__(self, gidx: int) -> bool:
+        return int(gidx) in self._slot_of
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"IndexHashTable(rank={self.rank}, entries={self.n_entries}, "
+            f"ghost={self.n_ghost}, stamps={self.registry.names()})"
+        )

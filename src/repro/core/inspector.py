@@ -1,0 +1,143 @@
+"""The inspector phase: index analysis (``CHAOS_hash``) and localization.
+
+``chaos_hash`` is the paper's two-step inspector front half (§3.2.2): it
+enters an indirection array's global indices into the per-rank hash
+tables, translating only the indices *not already present* (the adaptive
+reuse win), assigns ghost-buffer slots to new off-processor references,
+marks every touched entry with the indirection array's stamp, and returns
+the indirection array rewritten to localized indices.
+
+The back half — schedule generation from stamped entries — lives in
+:mod:`repro.core.schedule`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hashtable import IndexHashTable, StampRegistry
+from repro.core.translation import TranslationTable
+from repro.sim.machine import Machine
+
+#: memops charged per hash probe / per new-entry insert
+_PROBE_COST = 1
+_INSERT_COST = 3
+
+
+def make_hash_tables(
+    machine: Machine, ttable: TranslationTable
+) -> list[IndexHashTable]:
+    """One hash table per rank for arrays distributed like ``ttable``.
+
+    All tables share one :class:`StampRegistry` so stamp names mean the
+    same thing on every rank.
+    """
+    registry = StampRegistry()
+    return [
+        IndexHashTable(
+            rank=p,
+            n_local=ttable.dist.local_size(p),
+            registry=registry,
+        )
+        for p in machine.ranks()
+    ]
+
+
+def chaos_hash(
+    machine: Machine,
+    htables: list[IndexHashTable],
+    ttable: TranslationTable,
+    indices: list[np.ndarray | None],
+    stamp: str,
+    category: str = "inspector",
+) -> list[np.ndarray]:
+    """Hash one indirection array into the tables; return localized copy.
+
+    ``indices[p]`` is rank ``p``'s slice of the indirection array (global
+    indices into the data array described by ``ttable``).  Only indices
+    absent from the hash table are translated through the translation
+    table — re-hashing a mostly-unchanged indirection array is cheap.
+
+    Returns per-rank localized index arrays: owned references become local
+    offsets, off-processor references become ``n_local + buffer_slot``.
+    """
+    machine.check_per_rank(htables, "hash tables")
+    machine.check_per_rank(indices, "indices")
+    idx = [
+        np.zeros(0, dtype=np.int64) if x is None else np.asarray(x, dtype=np.int64)
+        for x in indices
+    ]
+
+    # Step 1: probe; find the uniques each rank has never seen.
+    new_per_rank: list[np.ndarray] = []
+    for p in machine.ranks():
+        machine.charge_memops(p, _PROBE_COST * idx[p].size, category)
+        new_per_rank.append(htables[p].missing_uniques(idx[p]))
+
+    # Step 2: translate only the new uniques (collective; the expensive
+    # part the hash table amortizes away in adaptive runs).
+    owners, offsets = ttable.dereference(new_per_rank, category=category)
+
+    # Step 3: insert and stamp.
+    localized: list[np.ndarray] = []
+    for p in machine.ranks():
+        ht = htables[p]
+        new = new_per_rank[p]
+        machine.charge_memops(p, _INSERT_COST * new.size, category)
+        ht.insert_translated(new, owners[p], offsets[p])
+        if idx[p].size:
+            uniq = np.unique(idx[p])
+            slots = ht.lookup_slots(uniq)
+            ht.stamp_slots(slots, stamp)
+            machine.charge_memops(p, uniq.size, category)
+            localized.append(ht.localize(idx[p]))
+        else:
+            ht.registry.acquire(stamp)  # stamp exists even if rank is empty
+            localized.append(np.zeros(0, dtype=np.int64))
+    return localized
+
+
+def clear_stamp(
+    machine: Machine,
+    htables: list[IndexHashTable],
+    stamp: str,
+    release: bool = False,
+    category: str = "inspector",
+) -> int:
+    """Clear a stamp on every rank (paper: before re-hashing a regenerated
+    non-bonded list, its old entries are cleared and the stamp reused).
+
+    Returns the total number of entries that carried the stamp.
+    """
+    machine.check_per_rank(htables, "hash tables")
+    total = 0
+    for p in machine.ranks():
+        ht = htables[p]
+        machine.charge_memops(p, ht.n_entries, category)
+        if stamp in ht.registry:
+            total += ht.clear_stamp(stamp, release=False)
+    if release and htables and stamp in htables[0].registry:
+        htables[0].registry.release(stamp)
+    return total
+
+
+def localize_only(
+    machine: Machine,
+    htables: list[IndexHashTable],
+    indices: list[np.ndarray | None],
+    category: str = "inspector",
+) -> list[np.ndarray]:
+    """Localize indirection arrays already fully present in the tables.
+
+    This is the fast path for *unchanged* indirection arrays: a pure
+    lookup, no translation-table traffic at all.
+    """
+    machine.check_per_rank(htables, "hash tables")
+    machine.check_per_rank(indices, "indices")
+    out = []
+    for p in machine.ranks():
+        x = indices[p]
+        arr = np.zeros(0, dtype=np.int64) if x is None else np.asarray(x, dtype=np.int64)
+        machine.charge_memops(p, _PROBE_COST * arr.size, category)
+        out.append(htables[p].localize(arr) if arr.size else arr)
+    return out

@@ -1,0 +1,98 @@
+"""Schedule reuse records (paper §5.3.1).
+
+The compiler-generated code "maintains a record of when statements or
+array intrinsics of loops may have modified indirection arrays.  Before
+executing an irregular loop, the inspector checks this record to see
+whether any indirection array used in the loop has been modified since the
+last time the inspector was invoked."
+
+:class:`ModificationRecord` is that record — a version counter per named
+array.  :class:`ScheduleCache` keys built schedules (or any preprocessing
+artifact) by loop id and remembers the dependency versions they were built
+against; ``get_or_build`` rebuilds only when a dependency moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class ModificationRecord:
+    """Version counters for named (indirection) arrays."""
+
+    def __init__(self) -> None:
+        self._versions: dict[str, int] = {}
+
+    def touch(self, name: str) -> int:
+        """Record that ``name`` may have been modified; bump its version."""
+        v = self._versions.get(name, 0) + 1
+        self._versions[name] = v
+        return v
+
+    def version(self, name: str) -> int:
+        return self._versions.get(name, 0)
+
+    def versions_of(self, names: tuple[str, ...]) -> dict[str, int]:
+        return {n: self.version(n) for n in names}
+
+    def names(self) -> list[str]:
+        return sorted(self._versions)
+
+
+@dataclass
+class _CacheEntry:
+    value: Any
+    dep_versions: dict[str, int]
+    hits: int = 0
+    builds: int = 0
+
+
+class ScheduleCache:
+    """Caches preprocessing results keyed by loop id + dependency versions."""
+
+    def __init__(self, record: ModificationRecord | None = None):
+        self.record = record if record is not None else ModificationRecord()
+        self._entries: dict[str, _CacheEntry] = {}
+
+    def get_or_build(
+        self,
+        loop_id: str,
+        deps: tuple[str, ...],
+        builder: Callable[[], Any],
+    ) -> tuple[Any, bool]:
+        """Return ``(value, rebuilt)``.
+
+        ``builder`` runs only when ``loop_id`` has no cached value or one of
+        its dependency arrays has been touched since the value was built.
+        """
+        current = self.record.versions_of(deps)
+        entry = self._entries.get(loop_id)
+        if entry is not None and entry.dep_versions == current:
+            entry.hits += 1
+            return entry.value, False
+        value = builder()
+        builds = entry.builds + 1 if entry else 1
+        hits = entry.hits if entry else 0
+        self._entries[loop_id] = _CacheEntry(
+            value=value, dep_versions=current, hits=hits, builds=builds
+        )
+        return value, True
+
+    def invalidate(self, loop_id: str) -> bool:
+        """Drop one loop's cached value; True if it existed."""
+        return self._entries.pop(loop_id, None) is not None
+
+    def invalidate_all(self) -> None:
+        self._entries.clear()
+
+    def stats(self, loop_id: str) -> tuple[int, int]:
+        """(hits, builds) for one loop id."""
+        e = self._entries.get(loop_id)
+        return (e.hits, e.builds) if e else (0, 0)
+
+    def __contains__(self, loop_id: str) -> bool:
+        return loop_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,209 @@
+"""Communication schedules (paper §3.2.1) and schedule generation.
+
+A schedule for rank ``p`` stores exactly what the paper lists:
+
+1. *send list* — local elements ``p`` must send to each other rank,
+2. *permutation list* — where incoming off-processor elements land in
+   ``p``'s ghost buffer,
+3. *send sizes* and 4. *fetch sizes* — per-destination message sizes.
+
+Schedules are built collectively from the stamped hash tables
+(:func:`build_schedule`): each rank selects the off-processor entries
+matching a :class:`~repro.core.hashtable.StampExpr`, groups them by owner,
+and a request exchange tells every owner which of its local elements other
+ranks need.  Merged and incremental schedules fall out of the stamp
+algebra for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hashtable import IndexHashTable, StampExpr
+from repro.sim.machine import Machine
+
+
+@dataclass
+class Schedule:
+    """A built communication schedule, rank-major.
+
+    ``send_indices[p][q]`` — local offsets on ``p`` of elements to send to
+    ``q``; ``recv_slots[p][q]`` — ghost-buffer slots on ``p`` where data
+    arriving from ``q`` is placed (aligned element-wise with
+    ``send_indices[q][p]``); ``ghost_size[p]`` — ghost-buffer slots rank
+    ``p`` must allocate.
+    """
+
+    n_ranks: int
+    send_indices: list[list[np.ndarray]]
+    recv_slots: list[list[np.ndarray]]
+    ghost_size: list[int]
+
+    def __post_init__(self):
+        if len(self.send_indices) != self.n_ranks:
+            raise ValueError("send_indices must have one row per rank")
+        if len(self.recv_slots) != self.n_ranks:
+            raise ValueError("recv_slots must have one row per rank")
+        for p in range(self.n_ranks):
+            for q in range(self.n_ranks):
+                ns = self.send_indices[p][q].size
+                nr = self.recv_slots[q][p].size
+                if ns != nr:
+                    raise ValueError(
+                        f"schedule inconsistent: {p} sends {ns} to {q} "
+                        f"but {q} expects {nr}"
+                    )
+
+    # -- paper's four components, per rank ------------------------------
+    def send_list(self, rank: int) -> np.ndarray:
+        """All local elements ``rank`` sends, concatenated by destination."""
+        parts = [self.send_indices[rank][q] for q in range(self.n_ranks)]
+        return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+
+    def permutation_list(self, rank: int) -> np.ndarray:
+        """Ghost-buffer placement order of incoming elements."""
+        parts = [self.recv_slots[rank][q] for q in range(self.n_ranks)]
+        return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+
+    def send_sizes(self, rank: int) -> np.ndarray:
+        return np.array(
+            [self.send_indices[rank][q].size for q in range(self.n_ranks)],
+            dtype=np.int64,
+        )
+
+    def fetch_sizes(self, rank: int) -> np.ndarray:
+        return np.array(
+            [self.recv_slots[rank][q].size for q in range(self.n_ranks)],
+            dtype=np.int64,
+        )
+
+    # -- aggregate stats -------------------------------------------------
+    def total_elements(self) -> int:
+        """Off-processor elements moved by one gather with this schedule."""
+        return int(sum(self.send_sizes(p).sum() for p in range(self.n_ranks)))
+
+    def total_messages(self) -> int:
+        """Messages per gather (non-empty (p,q) pairs, p != q)."""
+        return sum(
+            1
+            for p in range(self.n_ranks)
+            for q in range(self.n_ranks)
+            if p != q and self.send_indices[p][q].size
+        )
+
+    @classmethod
+    def empty(cls, n_ranks: int) -> "Schedule":
+        z = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
+        return cls(
+            n_ranks=n_ranks,
+            send_indices=[[z() for _ in range(n_ranks)] for _ in range(n_ranks)],
+            recv_slots=[[z() for _ in range(n_ranks)] for _ in range(n_ranks)],
+            ghost_size=[0] * n_ranks,
+        )
+
+
+def build_schedule(
+    machine: Machine,
+    htables: list[IndexHashTable],
+    expr: StampExpr | str,
+    category: str = "inspector",
+) -> Schedule:
+    """Construct a communication schedule from stamped hash tables.
+
+    ``expr`` selects which entries participate: a stamp name for a plain
+    schedule, or a :class:`StampExpr` for merged (``a | b``) and
+    incremental (``b - a``) schedules.  This is the paper's
+    ``CHAOS_schedule`` primitive (Figure 6).
+    """
+    machine.check_per_rank(htables, "hash tables")
+    n = machine.n_ranks
+    z = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
+
+    requests: list[list[np.ndarray]] = [[z() for _ in range(n)] for _ in range(n)]
+    recv_slots: list[list[np.ndarray]] = [[z() for _ in range(n)] for _ in range(n)]
+    ghost_size = [0] * n
+
+    for p in machine.ranks():
+        ht = htables[p]
+        if isinstance(expr, str):
+            sel_expr = ht.expr(expr)
+        else:
+            sel_expr = expr
+        slots = ht.select(sel_expr, off_processor_only=True)
+        machine.charge_memops(p, ht.n_entries + 2 * slots.size, category)
+        ghost_size[p] = ht.ghost_capacity()
+        if slots.size == 0:
+            continue
+        owners = ht.proc[slots]
+        order = np.argsort(owners, kind="stable")
+        slots = slots[order]
+        owners = owners[order]
+        bounds = np.searchsorted(owners, np.arange(n + 1, dtype=np.int64))
+        for q in machine.ranks():
+            lo, hi = bounds[q], bounds[q + 1]
+            if lo == hi:
+                continue
+            grp = slots[lo:hi]
+            requests[p][q] = ht.off[grp].astype(np.int64)
+            recv_slots[p][q] = ht.buf[grp].astype(np.int64)
+
+    # Size exchange (schedule setup), then the request exchange itself:
+    lengths = [[requests[p][q].size for q in machine.ranks()] for p in machine.ranks()]
+    machine.alltoall_lengths(lengths, tag="sched_sizes", category=category)
+    send_payload = [
+        [requests[p][q] if requests[p][q].size and p != q else
+         (requests[p][q] if requests[p][q].size else None)
+         for q in machine.ranks()]
+        for p in machine.ranks()
+    ]
+    received = machine.alltoallv(send_payload, tag="sched_requests",
+                                 category=category)
+    send_indices: list[list[np.ndarray]] = [[z() for _ in range(n)] for _ in range(n)]
+    for q in machine.ranks():
+        for p in machine.ranks():
+            got = received[q][p]
+            if got is not None and np.size(got):
+                send_indices[q][p] = np.asarray(got, dtype=np.int64)
+                machine.charge_memops(q, np.size(got), category)
+    return Schedule(
+        n_ranks=n,
+        send_indices=send_indices,
+        recv_slots=recv_slots,
+        ghost_size=ghost_size,
+    )
+
+
+def merge_schedules(machine: Machine, scheds: list[Schedule],
+                    category: str = "inspector") -> Schedule:
+    """Merge already-built schedules into one (duplicates NOT removed).
+
+    Prefer building a merged schedule from the hash table via a stamp
+    union, which removes duplicates; this helper exists for schedules
+    whose hash tables are gone, and for testing the difference between
+    the two approaches.
+    """
+    if not scheds:
+        raise ValueError("need at least one schedule to merge")
+    n = scheds[0].n_ranks
+    for s in scheds:
+        if s.n_ranks != n:
+            raise ValueError("schedules span different machines")
+    send_indices = [
+        [np.concatenate([s.send_indices[p][q] for s in scheds]).astype(np.int64)
+         for q in range(n)]
+        for p in range(n)
+    ]
+    recv_slots = [
+        [np.concatenate([s.recv_slots[p][q] for s in scheds]).astype(np.int64)
+         for q in range(n)]
+        for p in range(n)
+    ]
+    ghost_size = [max(s.ghost_size[p] for s in scheds) for p in range(n)]
+    for p in range(n):
+        machine.charge_memops(
+            p, sum(s.send_sizes(p).sum() for s in scheds), category
+        )
+    return Schedule(n_ranks=n, send_indices=send_indices,
+                    recv_slots=recv_slots, ghost_size=ghost_size)

@@ -1,0 +1,221 @@
+"""Translation tables: the CHAOS record of an irregular distribution.
+
+A translation table lists, for every global array element, its *home
+processor* and *offset address* (paper §3.1, item 1).  The paper notes the
+table "may be replicated, distributed regularly, or stored in a paged
+fashion, depending on storage requirements" — all three storage policies
+are implemented here, with their different lookup costs:
+
+``replicated``
+    Every rank holds the whole table.  Build pays an all-gather; lookups
+    are local.  This is what the paper used for CHARMM and DSMC.
+``distributed``
+    Table entries are block-distributed by global index.  A lookup for a
+    remotely-homed entry costs a request/reply exchange (the "costly part
+    of index analysis" the paper mentions in §3.2.2).
+``paged``
+    Like ``distributed`` but ranks cache fetched pages, so repeated
+    lookups of nearby indices hit the local page cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distribution import (
+    BlockDistribution,
+    Distribution,
+    IrregularDistribution,
+)
+from repro.sim.machine import Machine
+
+_ENTRY_BYTES = 12  # (proc: int32, offset: int64) per table entry
+
+
+class TranslationTable:
+    """Globally accessible (owner, offset) directory for one distribution.
+
+    Construct via :meth:`from_distribution` or :meth:`from_map` so that
+    build-time communication is charged to the machine.
+    """
+
+    VALID_STORAGE = ("replicated", "distributed", "paged")
+
+    def __init__(
+        self,
+        machine: Machine,
+        dist: Distribution,
+        storage: str = "replicated",
+        page_size: int = 1024,
+    ):
+        if storage not in self.VALID_STORAGE:
+            raise ValueError(
+                f"storage must be one of {self.VALID_STORAGE}, got {storage!r}"
+            )
+        if page_size < 1:
+            raise ValueError(f"page size must be positive, got {page_size}")
+        self.machine = machine
+        self.dist = dist
+        self.storage = storage
+        self.page_size = int(page_size)
+        # Physical content (simulation holds it centrally; the storage
+        # policy only affects *charged* communication).
+        self._owners = dist.owner(np.arange(dist.n_global, dtype=np.int64)) \
+            if dist.n_global else np.zeros(0, dtype=np.int64)
+        self._offsets = dist.local_index(np.arange(dist.n_global, dtype=np.int64)) \
+            if dist.n_global else np.zeros(0, dtype=np.int64)
+        # Table homes for distributed/paged storage: block by global index.
+        self._table_dist = BlockDistribution(dist.n_global, machine.n_ranks)
+        # Per-rank page caches (paged mode only).
+        self._page_cache: list[set[int]] = [set() for _ in machine.ranks()]
+        self._charge_build()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_map(
+        cls,
+        machine: Machine,
+        map_array,
+        storage: str = "replicated",
+        page_size: int = 1024,
+    ) -> "TranslationTable":
+        """Build from a Fortran D ``map`` array (owner per element)."""
+        dist = IrregularDistribution(map_array, machine.n_ranks)
+        return cls(machine, dist, storage=storage, page_size=page_size)
+
+    @classmethod
+    def from_distribution(
+        cls,
+        machine: Machine,
+        dist: Distribution,
+        storage: str = "replicated",
+        page_size: int = 1024,
+    ) -> "TranslationTable":
+        return cls(machine, dist, storage=storage, page_size=page_size)
+
+    # ------------------------------------------------------------------
+    def _charge_build(self) -> None:
+        """Charge the communication needed to assemble the table."""
+        m = self.machine
+        n = self.dist.n_global
+        if self.storage == "replicated":
+            # Each rank contributes its slice; all-gather replicates it.
+            share = np.zeros(max(1, n // max(1, m.n_ranks)), dtype=np.int64)
+            m.allgather([share] * m.n_ranks, tag="ttable_build",
+                        category="partition")
+        else:
+            # Entries only need to reach their block-home rank: one
+            # all-to-all of ~n/P entries per rank.
+            per = max(0, n // max(1, m.n_ranks))
+            buf = np.zeros(per, dtype=np.int64)
+            send = [[buf if p != q else None for q in m.ranks()]
+                    for p in m.ranks()]
+            m.alltoallv(send, tag="ttable_build", category="partition")
+
+    # ------------------------------------------------------------------
+    def memory_per_rank(self, rank: int) -> int:
+        """Bytes of table storage held by ``rank`` under this policy."""
+        n = self.dist.n_global
+        if self.storage == "replicated":
+            return n * _ENTRY_BYTES
+        if self.storage == "distributed":
+            return self._table_dist.local_size(rank) * _ENTRY_BYTES
+        cached = len(self._page_cache[rank]) * self.page_size
+        return (self._table_dist.local_size(rank) + cached) * _ENTRY_BYTES
+
+    def clear_page_caches(self) -> None:
+        for c in self._page_cache:
+            c.clear()
+
+    # ------------------------------------------------------------------
+    def dereference(
+        self,
+        queries: list[np.ndarray | None],
+        category: str = "inspector",
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Collective lookup: each rank presents global indices, receives
+        (owner, offset) arrays aligned with its query order.
+
+        ``queries[p]`` may be ``None`` (no lookups on rank ``p``).
+        """
+        m = self.machine
+        m.check_per_rank(queries, "queries")
+        qs = [
+            np.zeros(0, dtype=np.int64) if q is None
+            else self.dist.check_indices(q)
+            for q in queries
+        ]
+        if self.storage == "replicated":
+            for p in m.ranks():
+                m.charge_memops(p, qs[p].size, category)
+        elif self.storage == "distributed":
+            self._charge_remote_lookup(qs, category, use_cache=False)
+        else:  # paged
+            self._charge_remote_lookup(qs, category, use_cache=True)
+        owners = [self._owners[q] for q in qs]
+        offsets = [self._offsets[q] for q in qs]
+        return owners, offsets
+
+    def _charge_remote_lookup(
+        self, qs: list[np.ndarray], category: str, use_cache: bool
+    ) -> None:
+        """Charge the request/reply exchange for non-replicated tables."""
+        m = self.machine
+        request_counts = [[0] * m.n_ranks for _ in m.ranks()]
+        for p in m.ranks():
+            q = qs[p]
+            if q.size == 0:
+                continue
+            homes = self._table_dist.owner(q)
+            if use_cache:
+                pages = q // self.page_size
+                cache = self._page_cache[p]
+                uniq_pages, first_idx = np.unique(pages, return_index=True)
+                missing = [pg for pg in uniq_pages.tolist() if pg not in cache]
+                cache.update(missing)
+                # only missing pages generate requests, whole pages return
+                for pg in missing:
+                    home = int(self._table_dist.owner(
+                        np.array([min(pg * self.page_size,
+                                      self.dist.n_global - 1)], dtype=np.int64)
+                    )[0])
+                    request_counts[p][home] += self.page_size
+                m.charge_memops(p, q.size, category)  # local cache probes
+            else:
+                uniq_homes, counts = np.unique(homes, return_counts=True)
+                for h, c in zip(uniq_homes.tolist(), counts.tolist()):
+                    request_counts[p][h] += int(c)
+        # request: 8 bytes/index; reply: _ENTRY_BYTES per entry
+        req = [
+            [np.zeros(request_counts[p][h], dtype=np.int64)
+             if request_counts[p][h] and p != h else None
+             for h in m.ranks()]
+            for p in m.ranks()
+        ]
+        m.alltoallv(req, tag="ttable_lookup_req", category=category)
+        rep = [
+            [np.zeros(request_counts[q][h] * _ENTRY_BYTES // 8, dtype=np.int64)
+             if request_counts[q][h] and q != h else None
+             for q in m.ranks()]
+            for h in m.ranks()
+        ]
+        rep = [[rep[h][q] for q in m.ranks()] for h in m.ranks()]
+        m.alltoallv(rep, tag="ttable_lookup_rep", category=category)
+        for h in m.ranks():
+            served = sum(request_counts[p][h] for p in m.ranks())
+            m.charge_memops(h, served, category)
+
+    # ------------------------------------------------------------------
+    def owner_local(self, indices) -> np.ndarray:
+        """Uncharged owner lookup (host-side convenience for tests/apps)."""
+        return self._owners[self.dist.check_indices(indices)]
+
+    def offset_local(self, indices) -> np.ndarray:
+        """Uncharged offset lookup (host-side convenience)."""
+        return self._offsets[self.dist.check_indices(indices)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"TranslationTable(n={self.dist.n_global}, storage={self.storage!r},"
+            f" ranks={self.machine.n_ranks})"
+        )

@@ -1,0 +1,180 @@
+"""Consistency validators for CHAOS data structures.
+
+Debugging aids a runtime-library user reaches for when a parallel loop
+produces wrong answers: each function checks the internal invariants of
+one artifact and returns a list of human-readable problems (empty = OK).
+They are pure inspections — no communication is charged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distribution import Distribution
+from repro.core.hashtable import IndexHashTable
+from repro.core.lightweight import LightweightSchedule
+from repro.core.remap import RemapPlan
+from repro.core.schedule import Schedule
+from repro.core.translation import TranslationTable
+
+
+def check_distribution(dist: Distribution) -> list[str]:
+    """Every global element owned exactly once; offsets bijective."""
+    problems: list[str] = []
+    n = dist.n_global
+    if n == 0:
+        return problems
+    idx = np.arange(n, dtype=np.int64)
+    owners = dist.owner(idx)
+    offsets = dist.local_index(idx)
+    if owners.min() < 0 or owners.max() >= dist.n_ranks:
+        problems.append("owner outside rank range")
+    total = 0
+    for p in range(dist.n_ranks):
+        mine = offsets[owners == p]
+        size = dist.local_size(p)
+        if mine.size != size:
+            problems.append(
+                f"rank {p}: local_size() = {size} but {mine.size} elements "
+                "map to it"
+            )
+        if mine.size and (
+            sorted(mine.tolist()) != list(range(mine.size))
+        ):
+            problems.append(f"rank {p}: local offsets are not 0..{mine.size - 1}")
+        g = dist.global_indices(p)
+        if g.size != mine.size:
+            problems.append(f"rank {p}: global_indices length mismatch")
+        elif g.size and not np.all(dist.owner(g) == p):
+            problems.append(f"rank {p}: global_indices contains foreign elements")
+        total += mine.size
+    if total != n:
+        problems.append(f"{total} elements assigned, expected {n}")
+    return problems
+
+
+def check_schedule(sched: Schedule, dist: Distribution | None = None
+                   ) -> list[str]:
+    """Send/recv symmetry, slot uniqueness, ghost bounds, index ranges."""
+    problems: list[str] = []
+    n = sched.n_ranks
+    for p in range(n):
+        seen_slots: set[int] = set()
+        for q in range(n):
+            ns = sched.send_indices[p][q].size
+            nr = sched.recv_slots[q][p].size
+            if ns != nr:
+                problems.append(
+                    f"{p}->{q}: sends {ns} but receiver expects {nr}"
+                )
+            slots = sched.recv_slots[p][q]
+            if slots.size:
+                if slots.min() < 0 or slots.max() >= sched.ghost_size[p]:
+                    problems.append(
+                        f"rank {p}: ghost slot out of range from {q}"
+                    )
+                dup = set(slots.tolist()) & seen_slots
+                if dup:
+                    problems.append(
+                        f"rank {p}: ghost slots reused across sources: "
+                        f"{sorted(dup)[:5]}"
+                    )
+                seen_slots.update(slots.tolist())
+            sel = sched.send_indices[p][q]
+            if dist is not None and sel.size:
+                if sel.min() < 0 or sel.max() >= dist.local_size(p):
+                    problems.append(
+                        f"rank {p}: send index beyond local size "
+                        f"{dist.local_size(p)}"
+                    )
+    return problems
+
+
+def check_schedule_against_hash_tables(
+    sched: Schedule, htables: list[IndexHashTable]
+) -> list[str]:
+    """Every ghost slot the schedule fills must exist in the hash table
+    (i.e. some localized reference can read it)."""
+    problems: list[str] = []
+    for p, ht in enumerate(htables):
+        cap = ht.ghost_capacity()
+        if sched.ghost_size[p] > cap:
+            problems.append(
+                f"rank {p}: schedule ghost size {sched.ghost_size[p]} "
+                f"exceeds hash-table capacity {cap}"
+            )
+        filled = set()
+        for q in range(sched.n_ranks):
+            filled.update(sched.recv_slots[p][q].tolist())
+        valid = set(ht.buf[: ht.n_entries][ht.buf[: ht.n_entries] >= 0].tolist())
+        orphan = filled - valid
+        if orphan:
+            problems.append(
+                f"rank {p}: schedule fills slots no entry references: "
+                f"{sorted(orphan)[:5]}"
+            )
+    return problems
+
+
+def check_lightweight(sched: LightweightSchedule) -> list[str]:
+    """Counts symmetric; selections disjoint and covering."""
+    problems: list[str] = []
+    n = sched.n_ranks
+    for p in range(n):
+        total = int(sched.send_sizes(p).sum())
+        seen: set[int] = set()
+        for q in range(n):
+            sel = sched.send_sel[p][q]
+            if sel.size:
+                if sel.min() < 0 or sel.max() >= total:
+                    problems.append(f"rank {p}: selection out of range")
+                dup = set(sel.tolist()) & seen
+                if dup:
+                    problems.append(
+                        f"rank {p}: element sent to multiple destinations"
+                    )
+                seen.update(sel.tolist())
+            if sel.size != sched.recv_counts[q][p]:
+                problems.append(f"{p}->{q}: count mismatch")
+        if len(seen) != total:
+            problems.append(
+                f"rank {p}: {total - len(seen)} elements have no destination"
+            )
+    return problems
+
+
+def check_remap_plan(plan: RemapPlan) -> list[str]:
+    """Every new slot filled exactly once; no slot out of range."""
+    problems: list[str] = []
+    n = plan.n_ranks
+    for p in range(n):
+        filled: list[int] = []
+        for q in range(n):
+            if plan.send_sel[p][q].size != plan.place_sel[q][p].size:
+                problems.append(f"{p}->{q}: plan asymmetry")
+        for q in range(n):
+            sel = plan.place_sel[p][q]
+            if sel.size:
+                if sel.min() < 0 or sel.max() >= plan.new_sizes[p]:
+                    problems.append(f"rank {p}: placement out of range")
+                filled.extend(sel.tolist())
+        if len(filled) != plan.new_sizes[p] or \
+                len(set(filled)) != plan.new_sizes[p]:
+            problems.append(
+                f"rank {p}: {len(set(filled))} distinct slots filled, "
+                f"need {plan.new_sizes[p]}"
+            )
+    return problems
+
+
+def check_translation_table(tt: TranslationTable) -> list[str]:
+    """Table content consistent with its distribution."""
+    problems = check_distribution(tt.dist)
+    n = tt.dist.n_global
+    if n:
+        idx = np.arange(n, dtype=np.int64)
+        if not np.array_equal(tt.owner_local(idx), tt.dist.owner(idx)):
+            problems.append("table owners diverge from distribution")
+        if not np.array_equal(tt.offset_local(idx), tt.dist.local_index(idx)):
+            problems.append("table offsets diverge from distribution")
+    return problems

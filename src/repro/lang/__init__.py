@@ -1,0 +1,47 @@
+"""Mini Fortran D front end and compiler (paper §5).
+
+Parses the paper's language subset (DECOMPOSITION / DISTRIBUTE / ALIGN
+directives, FORALL + REDUCE loops, the proposed REDUCE(APPEND) intrinsic),
+analyzes distributions and indirection patterns, and lowers irregular
+loop nests to inspector/executor plans over the CHAOS runtime.
+"""
+
+from repro.lang.errors import (
+    AnalysisError,
+    ExecutionError,
+    FortranDError,
+    LexError,
+    ParseError,
+)
+from repro.lang.tokens import tokenize
+from repro.lang.parser import parse_program
+from repro.lang.analysis import Analyzer, analyze
+from repro.lang.codegen import lower_loop, lower_program
+from repro.lang.plans import AppendPlan, LocalPlan, ReductionPlan
+from repro.lang.program import (
+    CompiledProgram,
+    ProgramInstance,
+    compile_program,
+    interpret_sequential,
+)
+
+__all__ = [
+    "FortranDError",
+    "LexError",
+    "ParseError",
+    "AnalysisError",
+    "ExecutionError",
+    "tokenize",
+    "parse_program",
+    "Analyzer",
+    "analyze",
+    "lower_loop",
+    "lower_program",
+    "AppendPlan",
+    "LocalPlan",
+    "ReductionPlan",
+    "CompiledProgram",
+    "ProgramInstance",
+    "compile_program",
+    "interpret_sequential",
+]

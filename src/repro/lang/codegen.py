@@ -1,0 +1,125 @@
+"""Lowering: analyzed loop nests → executable plans.
+
+The code generator decides, per loop, what the inspector must hash and
+what the executor must gather/scatter — the paper's compiler
+transformation "embedding appropriate CHAOS runtime procedures" (§5.3).
+"""
+
+from __future__ import annotations
+
+from repro.lang.analysis import (
+    Analyzer,
+    LoopNest,
+    SubscriptPattern,
+    classify_subscript,
+)
+from repro.lang.ast_nodes import ArrayRef, Assign, Reduce, array_refs
+from repro.lang.errors import AnalysisError
+from repro.lang.plans import AppendPlan, LocalPlan, RefPlan, ReductionPlan
+
+
+def _loop_vars(nest: LoopNest) -> set[str]:
+    vs = {nest.outer.var}
+    if nest.inner is not None:
+        vs.add(nest.inner.var)
+    return vs
+
+
+def _collect_refs(analyzer: Analyzer, nest: LoopNest) -> list[RefPlan]:
+    """Every distributed-array reference in the nest body, classified."""
+    loop_vars = _loop_vars(nest)
+    refs: list[RefPlan] = []
+    for stmt in nest.statements:
+        all_refs = []
+        if isinstance(stmt, (Reduce, Assign)):
+            all_refs.append(stmt.target)
+            all_refs += array_refs(stmt.value)
+        for ref in all_refs:
+            info = analyzer.symbols.arrays.get(ref.name)
+            if info is None or info.decomposition is None:
+                continue
+            pat = classify_subscript(ref.subscripts[0], loop_vars)
+            refs.append(RefPlan(ref.name, pat))
+    return refs
+
+
+def lower_loop(analyzer: Analyzer, nest: LoopNest):
+    """Lower one analyzed nest into its plan object."""
+    if nest.kind == "cell_append":
+        red = nest.statements[0]
+        src_ref = array_refs(red.value)[0]
+        return AppendPlan(
+            nest=nest,
+            routing=nest.indirections[0],
+            size_array=nest.csr_offsets,
+            source=src_ref.name,
+            target=red.target.name,
+        )
+    if nest.kind == "local_assign":
+        return LocalPlan(nest=nest)
+    if nest.kind not in ("flat", "csr", "ragged"):
+        raise AnalysisError(f"cannot lower loop kind {nest.kind!r}",
+                            nest.outer.line)
+
+    refs = _collect_refs(analyzer, nest)
+    patterns: dict[str, SubscriptPattern] = {}
+    gather_arrays: list[str] = []
+    targets: list[RefPlan] = []
+    for stmt in nest.statements:
+        if isinstance(stmt, Reduce):
+            loop_vars = _loop_vars(nest)
+            info = analyzer.symbols.array(stmt.target.name, stmt.line)
+            if info.decomposition is None:
+                raise AnalysisError(
+                    f"REDUCE target {stmt.target.name!r} must be distributed",
+                    stmt.line,
+                )
+            pat = classify_subscript(stmt.target.subscripts[0], loop_vars)
+            targets.append(RefPlan(stmt.target.name, pat))
+    for rp in refs:
+        patterns.setdefault(rp.key(), rp.pattern)
+        # arrays read through indirection need gathering; direct refs are
+        # owner-local under owner-computes iteration placement
+        if rp.pattern.kind in ("indirect", "indirect2"):
+            is_target = any(
+                t.array == rp.array and t.key() == rp.key() for t in targets
+            )
+            if not is_target and rp.array not in gather_arrays:
+                gather_arrays.append(rp.array)
+    # arrays that are BOTH gathered and reduce targets must still be
+    # gathered (read-modify-write): include them
+    for t in targets:
+        for rp in refs:
+            if rp.array == t.array and rp.pattern.kind in ("indirect", "indirect2"):
+                read_too = any(
+                    r2.array == rp.array and not (
+                        r2.key() == t.key() and r2.array == t.array
+                    )
+                    for r2 in refs
+                )
+                del read_too
+    # estimated arithmetic per iteration: nodes in statement expressions
+    n_ops = 0
+    for stmt in nest.statements:
+        if isinstance(stmt, (Reduce, Assign)):
+            n_ops += 1 + sum(1 for _ in _expr_nodes(stmt.value))
+    plan = ReductionPlan(
+        nest=nest,
+        index_patterns=list(patterns.values()),
+        gather_arrays=gather_arrays,
+        reduce_targets=targets,
+        compute_ops_per_iter=float(max(1, n_ops)),
+    )
+    return plan
+
+
+def _expr_nodes(expr):
+    from repro.lang.ast_nodes import walk_expr
+
+    yield from walk_expr(expr)
+
+
+def lower_program(analyzer: Analyzer) -> dict[str, object]:
+    """Lower every loop; returns plans keyed by loop id."""
+    return {nest.loop_id: lower_loop(analyzer, nest)
+            for nest in analyzer.loops}

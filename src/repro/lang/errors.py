@@ -1,0 +1,29 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class FortranDError(Exception):
+    """Base class for all mini-Fortran-D front-end errors."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+class LexError(FortranDError):
+    """Tokenization failure."""
+
+
+class ParseError(FortranDError):
+    """Syntax error."""
+
+
+class AnalysisError(FortranDError):
+    """Semantic error: undeclared arrays, bad distributions, unsupported
+    loop shapes, ..."""
+
+
+class ExecutionError(FortranDError):
+    """Runtime failure while executing a compiled program."""

@@ -1,0 +1,328 @@
+"""Recursive-descent parser for the mini Fortran D dialect.
+
+Parses the statement forms the paper's figures use (Figures 7-11):
+declarations, DECOMPOSITION/DISTRIBUTE/ALIGN directives, nested FORALL
+loops with REDUCE intrinsics, and plain assignments.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    INTRINSIC_NAMES,
+    AlignStmt,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    DecompositionStmt,
+    DistributeStmt,
+    Expr,
+    Forall,
+    FullSlice,
+    Num,
+    Program,
+    Reduce,
+    Statement,
+    UnaryOp,
+    VarRef,
+)
+from repro.lang.errors import ParseError
+from repro.lang.tokens import Line, TokKind, Token, tokenize
+
+
+class _LineParser:
+    """Token cursor over one logical line."""
+
+    def __init__(self, line: Line):
+        self.toks = line.tokens
+        self.i = 0
+        self.lineno = line.number
+
+    def peek(self) -> Token:
+        return self.toks[self.i]
+
+    def next(self) -> Token:
+        t = self.toks[self.i]
+        if t.kind is not TokKind.EOL:
+            self.i += 1
+        return t
+
+    def expect_op(self, op: str) -> Token:
+        t = self.next()
+        if not t.is_op(op):
+            raise ParseError(f"expected {op!r}, found {t.text!r}", self.lineno)
+        return t
+
+    def expect_ident(self, *names: str) -> Token:
+        t = self.next()
+        if t.kind is not TokKind.IDENT:
+            raise ParseError(f"expected identifier, found {t.text!r}", self.lineno)
+        if names and t.text.upper() not in names:
+            raise ParseError(
+                f"expected one of {names}, found {t.text!r}", self.lineno
+            )
+        return t
+
+    def at_end(self) -> bool:
+        return self.peek().kind is TokKind.EOL
+
+    def expect_end(self) -> None:
+        if not self.at_end():
+            raise ParseError(
+                f"trailing tokens starting at {self.peek().text!r}", self.lineno
+            )
+
+    # ---- expressions (precedence climbing) ---------------------------
+    _PREC = {"+": 10, "-": 10, "*": 20, "/": 20, "**": 30}
+
+    def parse_expr(self, min_prec: int = 0) -> Expr:
+        left = self._parse_atom()
+        while True:
+            t = self.peek()
+            if t.kind is TokKind.OP and t.text in self._PREC \
+                    and self._PREC[t.text] >= min_prec:
+                self.next()
+                prec = self._PREC[t.text]
+                # ** is right-associative
+                nxt = prec if t.text == "**" else prec + 1
+                right = self.parse_expr(nxt)
+                left = BinOp(t.text, left, right, t.line)
+            else:
+                return left
+
+    def _parse_atom(self) -> Expr:
+        t = self.peek()
+        if t.is_op("-"):
+            self.next()
+            return UnaryOp("-", self._parse_atom(), t.line)
+        if t.is_op("+"):
+            self.next()
+            return self._parse_atom()
+        if t.is_op("("):
+            self.next()
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        if t.is_op(":"):
+            self.next()
+            return FullSlice(t.line)
+        if t.kind is TokKind.NUMBER:
+            self.next()
+            text = t.text.lower().replace("d", "e")
+            return Num(float(text), t.line)
+        if t.kind is TokKind.IDENT:
+            self.next()
+            if self.peek().is_op("("):
+                self.next()
+                subs = [self.parse_expr()]
+                while self.peek().is_op(","):
+                    self.next()
+                    subs.append(self.parse_expr())
+                self.expect_op(")")
+                name = t.text.lower()
+                if name in INTRINSIC_NAMES:
+                    return Call(name, tuple(subs), t.line)
+                return ArrayRef(name, tuple(subs), t.line)
+            return VarRef(t.text.lower(), t.line)
+        raise ParseError(f"unexpected token {t.text!r}", self.lineno)
+
+
+class Parser:
+    """Parses a full program from source text."""
+
+    def __init__(self, source: str):
+        self.lines = tokenize(source)
+        self.i = 0
+
+    def _peek_line(self) -> Line | None:
+        return self.lines[self.i] if self.i < len(self.lines) else None
+
+    def _next_line(self) -> Line:
+        line = self.lines[self.i]
+        self.i += 1
+        return line
+
+    # ------------------------------------------------------------------
+    def parse(self) -> Program:
+        prog = Program()
+        while self._peek_line() is not None:
+            stmts = self._parse_statement()
+            prog.statements.extend(stmts)
+        return prog
+
+    def _parse_statement(self) -> list[Statement]:
+        line = self._next_line()
+        lp = _LineParser(line)
+        t = lp.peek()
+        u = t.text.upper() if t.kind is TokKind.IDENT else ""
+        if u == "REAL" or u == "INTEGER":
+            return self._parse_decl(lp)
+        if u == "DECOMPOSITION":
+            return self._parse_decomposition(lp)
+        if u == "DISTRIBUTE":
+            return [self._parse_distribute(lp)]
+        if u == "ALIGN":
+            return [self._parse_align(lp)]
+        if u == "FORALL":
+            return [self._parse_forall(lp)]
+        if u in ("END", "ENDDO", "ENDFORALL"):
+            raise ParseError("unmatched END", line.number)
+        if u == "REDUCE":
+            return [self._parse_reduce(lp)]
+        return [self._parse_assign(lp)]
+
+    # ------------------------------------------------------------------
+    def _parse_decl(self, lp: _LineParser) -> list[Statement]:
+        kw = lp.next().text.upper()
+        dtype = "real" if kw == "REAL" else "integer"
+        # optional *8 width suffix
+        if lp.peek().is_op("*"):
+            lp.next()
+            width = lp.next()
+            if width.kind is not TokKind.NUMBER:
+                raise ParseError("expected width after *", lp.lineno)
+        out: list[Statement] = []
+        while True:
+            name = lp.expect_ident()
+            shape: tuple[int, ...] = ()
+            if lp.peek().is_op("("):
+                lp.next()
+                dims = [self._const_dim(lp)]
+                while lp.peek().is_op(","):
+                    lp.next()
+                    dims.append(self._const_dim(lp))
+                lp.expect_op(")")
+                shape = tuple(dims)
+            out.append(ArrayDecl(name.text.lower(), dtype, shape, lp.lineno))
+            if lp.peek().is_op(","):
+                lp.next()
+                continue
+            break
+        lp.expect_end()
+        return out
+
+    def _const_dim(self, lp: _LineParser) -> int:
+        t = lp.next()
+        if t.kind is not TokKind.NUMBER or not float(t.text).is_integer():
+            raise ParseError(
+                f"array dimensions must be integer literals, got {t.text!r}",
+                lp.lineno,
+            )
+        return int(float(t.text))
+
+    def _parse_decomposition(self, lp: _LineParser) -> list[Statement]:
+        lp.expect_ident("DECOMPOSITION")
+        out: list[Statement] = []
+        while True:
+            name = lp.expect_ident()
+            lp.expect_op("(")
+            size = self._const_dim(lp)
+            lp.expect_op(")")
+            out.append(DecompositionStmt(name.text.lower(), size, lp.lineno))
+            if lp.peek().is_op(","):
+                lp.next()
+                continue
+            break
+        lp.expect_end()
+        return out
+
+    def _parse_distribute(self, lp: _LineParser) -> Statement:
+        lp.expect_ident("DISTRIBUTE")
+        target = lp.expect_ident().text.lower()
+        lp.expect_op("(")
+        scheme_tok = lp.expect_ident()
+        lp.expect_op(")")
+        lp.expect_end()
+        up = scheme_tok.text.upper()
+        if up in ("BLOCK", "CYCLIC"):
+            return DistributeStmt(target, up, None, lp.lineno)
+        return DistributeStmt(target, "MAP", scheme_tok.text.lower(), lp.lineno)
+
+    def _parse_align(self, lp: _LineParser) -> Statement:
+        lp.expect_ident("ALIGN")
+        arrays: list[str] = []
+        ragged: list[bool] = []
+        while True:
+            name = lp.expect_ident()
+            is_ragged = False
+            # alignment subscript patterns: (:) plain, (*,:) ragged
+            if lp.peek().is_op("("):
+                depth = 0
+                while True:
+                    t = lp.next()
+                    if t.is_op("("):
+                        depth += 1
+                    elif t.is_op(")"):
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif t.is_op("*"):
+                        is_ragged = True
+                    elif t.kind is TokKind.EOL:
+                        raise ParseError("unterminated ALIGN pattern", lp.lineno)
+            arrays.append(name.text.lower())
+            ragged.append(is_ragged)
+            if lp.peek().is_op(","):
+                lp.next()
+                continue
+            break
+        lp.expect_ident("WITH")
+        target = lp.expect_ident().text.lower()
+        lp.expect_end()
+        return AlignStmt(tuple(arrays), target, tuple(ragged), lp.lineno)
+
+    # ------------------------------------------------------------------
+    def _parse_forall(self, lp: _LineParser) -> Forall:
+        lp.expect_ident("FORALL")
+        var = lp.expect_ident().text.lower()
+        lp.expect_op("=")
+        lower = lp.parse_expr()
+        lp.expect_op(",")
+        upper = lp.parse_expr()
+        lp.expect_end()
+        body: list[Statement] = []
+        while True:
+            line = self._peek_line()
+            if line is None:
+                raise ParseError("FORALL without END", lp.lineno)
+            first = line.tokens[0]
+            u = first.text.upper() if first.kind is TokKind.IDENT else ""
+            if u in ("END", "ENDDO", "ENDFORALL"):
+                endlp = _LineParser(self._next_line())
+                endlp.next()
+                if u == "END" and not endlp.at_end():
+                    endlp.expect_ident("DO", "FORALL")
+                break
+            body.extend(self._parse_statement())
+        return Forall(var, lower, upper, tuple(body), lp.lineno)
+
+    def _parse_reduce(self, lp: _LineParser) -> Reduce:
+        lp.expect_ident("REDUCE")
+        lp.expect_op("(")
+        op = lp.expect_ident("SUM", "APPEND", "MAX", "MIN", "PROD").text.upper()
+        lp.expect_op(",")
+        target = lp.parse_expr()
+        if not isinstance(target, ArrayRef):
+            raise ParseError("REDUCE target must be an array reference",
+                             lp.lineno)
+        lp.expect_op(",")
+        value = lp.parse_expr()
+        lp.expect_op(")")
+        lp.expect_end()
+        return Reduce(op, target, value, lp.lineno)
+
+    def _parse_assign(self, lp: _LineParser) -> Assign:
+        target = lp.parse_expr()
+        if not isinstance(target, ArrayRef):
+            raise ParseError("assignment target must be an array reference",
+                             lp.lineno)
+        lp.expect_op("=")
+        value = lp.parse_expr()
+        lp.expect_end()
+        return Assign(target, value, lp.lineno)
+
+
+def parse_program(source: str) -> Program:
+    """Parse mini-Fortran-D source text into a :class:`Program`."""
+    return Parser(source).parse()

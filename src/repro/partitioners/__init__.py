@@ -1,0 +1,48 @@
+"""Data partitioners: RCB, RIB, chain, block/cyclic, graph-based."""
+
+from repro.partitioners.base import Partitioner, PartitionResult, run_partitioner
+from repro.partitioners.geometric import (
+    RCB,
+    RIB,
+    RecursiveCoordinateBisection,
+    RecursiveInertialBisection,
+)
+from repro.partitioners.chain import ChainPartitioner, chain_boundaries
+from repro.partitioners.regular import BlockPartitioner, CyclicPartitioner
+from repro.partitioners.sfc import MortonPartitioner, morton_keys
+from repro.partitioners.graph import (
+    GreedyGraphGrowing,
+    SpectralBisection,
+    edge_cut,
+    edges_to_csr,
+)
+from repro.partitioners.util import (
+    communication_volume,
+    degree_weights,
+    imbalance,
+    part_weights,
+)
+
+__all__ = [
+    "Partitioner",
+    "PartitionResult",
+    "run_partitioner",
+    "RCB",
+    "RIB",
+    "RecursiveCoordinateBisection",
+    "RecursiveInertialBisection",
+    "ChainPartitioner",
+    "chain_boundaries",
+    "BlockPartitioner",
+    "CyclicPartitioner",
+    "MortonPartitioner",
+    "morton_keys",
+    "GreedyGraphGrowing",
+    "SpectralBisection",
+    "edge_cut",
+    "edges_to_csr",
+    "communication_volume",
+    "degree_weights",
+    "imbalance",
+    "part_weights",
+]

@@ -1,0 +1,113 @@
+"""Per-rank virtual clocks.
+
+Each simulated processor owns a :class:`Clock` that accumulates virtual
+time in named categories (``compute``, ``comm``, ``inspector``, ...).  A
+:class:`ClockArray` groups the clocks of one machine and implements barrier
+semantics: at a synchronization point every clock jumps to the maximum,
+which is how load imbalance turns into wall-clock time on a real machine.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class Clock:
+    """Accumulates virtual seconds, split by category."""
+
+    __slots__ = ("time", "categories")
+
+    def __init__(self) -> None:
+        self.time: float = 0.0
+        self.categories: dict[str, float] = defaultdict(float)
+
+    def advance(self, dt: float, category: str = "compute") -> None:
+        """Add ``dt`` virtual seconds under ``category``."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative time {dt}")
+        self.time += dt
+        self.categories[category] += dt
+
+    def wait_until(self, t: float) -> float:
+        """Advance to absolute time ``t`` (idle time); no-op if already past.
+
+        Returns the idle time added, recorded under ``"idle"``.
+        """
+        idle = t - self.time
+        if idle > 0:
+            self.time = t
+            self.categories["idle"] += idle
+            return idle
+        return 0.0
+
+    def category(self, name: str) -> float:
+        return self.categories.get(name, 0.0)
+
+    def busy_time(self) -> float:
+        """Total time excluding idle (i.e. actual work + communication)."""
+        return self.time - self.categories.get("idle", 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        out = dict(self.categories)
+        out["total"] = self.time
+        return out
+
+    def reset(self) -> None:
+        self.time = 0.0
+        self.categories.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cats = ", ".join(f"{k}={v:.6f}" for k, v in sorted(self.categories.items()))
+        return f"Clock(t={self.time:.6f}, {cats})"
+
+
+class ClockArray:
+    """The clocks of all ranks of one machine."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"need at least one rank, got {n_ranks}")
+        self.clocks = [Clock() for _ in range(n_ranks)]
+
+    def __len__(self) -> int:
+        return len(self.clocks)
+
+    def __getitem__(self, rank: int) -> Clock:
+        return self.clocks[rank]
+
+    def __iter__(self):
+        return iter(self.clocks)
+
+    def barrier(self) -> float:
+        """Synchronize: every clock advances to the global maximum.
+
+        Returns the post-barrier time.  The gap each rank spends waiting is
+        charged to its ``"idle"`` category — this is where load imbalance
+        becomes visible.
+        """
+        t = self.max_time()
+        for c in self.clocks:
+            c.wait_until(t)
+        return t
+
+    def max_time(self) -> float:
+        return max(c.time for c in self.clocks)
+
+    def min_time(self) -> float:
+        return min(c.time for c in self.clocks)
+
+    def mean_time(self) -> float:
+        return sum(c.time for c in self.clocks) / len(self.clocks)
+
+    def category_times(self, name: str) -> list[float]:
+        return [c.category(name) for c in self.clocks]
+
+    def mean_category(self, name: str) -> float:
+        return sum(self.category_times(name)) / len(self.clocks)
+
+    def max_category(self, name: str) -> float:
+        return max(self.category_times(name))
+
+    def reset(self) -> None:
+        for c in self.clocks:
+            c.reset()

@@ -1,0 +1,332 @@
+"""The simulated distributed-memory machine.
+
+A :class:`Machine` stands in for the paper's Intel iPSC/860: ``n_ranks``
+processors, each with its own virtual clock, connected by a topology with a
+linear message cost model.  The CHAOS runtime layer above is written in a
+*rank-major collective* style: distributed objects hold one component per
+rank, and communication happens through the machine's bulk-synchronous
+collectives (``alltoallv``, ``allgather``, reductions).  This keeps the
+whole system single-process and deterministic while measuring communication
+exactly.
+
+Timing semantics
+----------------
+Local work is charged to one rank's clock via :meth:`charge_compute` /
+:meth:`charge_memops`.  A collective charges each participating rank the
+cost of the messages it sends and receives, then (by default) executes a
+barrier so that every clock advances to the slowest rank — mirroring the
+loosely-synchronous execution model of CHAOS applications.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.sim.clock import ClockArray
+from repro.sim.cost_model import CostModel, IPSC860
+from repro.sim.message import Message, TrafficStats
+from repro.sim.topology import Topology, default_topology
+
+
+def _payload_bytes(obj: Any) -> int:
+    """Best-effort byte size of a message payload.
+
+    Arrays report their true buffer size; other objects get a small
+    flat-rate estimate (they only appear in metadata exchanges).
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return sum(_payload_bytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(_payload_bytes(k) + _payload_bytes(v) for k, v in obj.items())
+    return 64
+
+
+class Machine:
+    """A simulated multiprocessor.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of simulated processors.
+    cost_model:
+        :class:`~repro.sim.cost_model.CostModel` converting messages and
+        work units into virtual time.  Defaults to iPSC/860 constants.
+    topology:
+        Interconnect; defaults to a hypercube for power-of-two rank
+        counts, otherwise a single-hop crossbar.
+    record_messages:
+        Keep individual :class:`Message` records in ``traffic.messages``
+        (useful for tests).
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        cost_model: CostModel = IPSC860,
+        topology: Topology | None = None,
+        record_messages: bool = False,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"need at least 1 rank, got {n_ranks}")
+        self.n_ranks = int(n_ranks)
+        self.cost_model = cost_model
+        self.topology = topology if topology is not None else default_topology(n_ranks)
+        if self.topology.n_ranks != self.n_ranks:
+            raise ValueError(
+                f"topology is sized for {self.topology.n_ranks} ranks, "
+                f"machine has {self.n_ranks}"
+            )
+        self.clocks = ClockArray(self.n_ranks)
+        self.traffic = TrafficStats(record=record_messages)
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    def ranks(self) -> range:
+        """Iterable over rank ids."""
+        return range(self.n_ranks)
+
+    def check_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.n_ranks:
+            raise IndexError(f"rank {rank} out of range [0, {self.n_ranks})")
+        return int(rank)
+
+    def check_per_rank(self, seq: Sequence, what: str = "argument") -> None:
+        """Validate that ``seq`` has exactly one entry per rank."""
+        if len(seq) != self.n_ranks:
+            raise ValueError(
+                f"per-rank {what} has length {len(seq)}, expected {self.n_ranks}"
+            )
+
+    # ------------------------------------------------------------------
+    # charging local work
+    # ------------------------------------------------------------------
+    def charge_compute(self, rank: int, ops: float, category: str = "compute") -> None:
+        """Charge ``ops`` abstract work units to ``rank``'s clock."""
+        self.check_rank(rank)
+        self.clocks[rank].advance(self.cost_model.compute_time(ops), category)
+
+    def charge_memops(self, rank: int, ops: float, category: str = "inspector") -> None:
+        """Charge ``ops`` local memory operations (hashing, copies, ...)."""
+        self.check_rank(rank)
+        self.clocks[rank].advance(self.cost_model.memory_time(ops), category)
+
+    def charge_copyops(self, rank: int, ops: float, category: str = "comm") -> None:
+        """Charge ``ops`` bulk-copy element moves (pack/unpack buffers)."""
+        self.check_rank(rank)
+        self.clocks[rank].advance(self.cost_model.copy_time(ops), category)
+
+    def charge_time(self, rank: int, seconds: float, category: str) -> None:
+        """Charge raw virtual seconds (partitioner models etc.)."""
+        self.check_rank(rank)
+        self.clocks[rank].advance(seconds, category)
+
+    def barrier(self, category: str = "comm") -> float:
+        """Synchronize all clocks to the slowest rank."""
+        del category  # idle time is recorded under "idle" by the clocks
+        return self.clocks.barrier()
+
+    # ------------------------------------------------------------------
+    # message accounting
+    # ------------------------------------------------------------------
+    def _deliver(
+        self, src: int, dst: int, payload: Any, tag: str, category: str
+    ) -> None:
+        """Record one message and charge both endpoints."""
+        nbytes = _payload_bytes(payload)
+        self.traffic.add(Message(src=src, dst=dst, nbytes=nbytes, tag=tag))
+        hops = max(1, self.topology.hops(src, dst))
+        dt = self.cost_model.message_time(nbytes, hops)
+        self.clocks[src].advance(dt, category)
+        self.clocks[dst].advance(dt, category)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def alltoallv(
+        self,
+        sendbufs: Sequence[Sequence[Any]],
+        tag: str = "alltoallv",
+        category: str = "comm",
+        sync: bool = True,
+    ) -> list[list[Any]]:
+        """All-to-all exchange of arbitrary per-pair payloads.
+
+        ``sendbufs[p][q]`` is what rank ``p`` sends to rank ``q`` (``None``
+        or an empty array means "no message" and costs nothing).  Returns
+        ``recv`` with ``recv[q][p]`` = payload received by ``q`` from ``p``.
+        Self-deliveries (``p == q``) are local copies: free of network cost.
+        """
+        self.check_per_rank(sendbufs, "sendbufs")
+        for p in self.ranks():
+            self.check_per_rank(sendbufs[p], f"sendbufs[{p}]")
+        recv: list[list[Any]] = [[None] * self.n_ranks for _ in self.ranks()]
+        for p in self.ranks():
+            for q in self.ranks():
+                payload = sendbufs[p][q]
+                if payload is None:
+                    continue
+                if isinstance(payload, np.ndarray) and payload.size == 0:
+                    recv[q][p] = payload
+                    continue
+                recv[q][p] = payload
+                if p != q:
+                    self._deliver(p, q, payload, tag, category)
+        if sync:
+            self.barrier()
+        return recv
+
+    def alltoall_lengths(
+        self,
+        lengths: Sequence[Sequence[int]],
+        tag: str = "sizes",
+        category: str = "comm",
+        sync: bool = True,
+    ) -> list[list[int]]:
+        """Exchange message-size metadata (one small int per pair).
+
+        This is the schedule-setup exchange CHAOS performs to learn how
+        much each rank will receive; it is charged as one small message per
+        non-empty pair.
+        """
+        self.check_per_rank(lengths, "lengths")
+        recv = [[0] * self.n_ranks for _ in self.ranks()]
+        for p in self.ranks():
+            self.check_per_rank(lengths[p], f"lengths[{p}]")
+            for q in self.ranks():
+                n = int(lengths[p][q])
+                if n < 0:
+                    raise ValueError(f"negative length {n} from {p} to {q}")
+                recv[q][p] = n
+                if n > 0 and p != q:
+                    self._deliver(p, q, 8, tag, category)
+        if sync:
+            self.barrier()
+        return recv
+
+    def allgather(
+        self,
+        items: Sequence[Any],
+        tag: str = "allgather",
+        category: str = "comm",
+        sync: bool = True,
+    ) -> list[list[Any]]:
+        """Every rank contributes one item; every rank receives all items.
+
+        Modeled as a hypercube-style exchange: each rank is charged
+        ``log2(P)`` messages of (roughly) doubling size rather than ``P``
+        point-to-point sends, matching efficient collective algorithms.
+        Returns the same gathered list for each rank.
+        """
+        self.check_per_rank(items, "items")
+        gathered = list(items)
+        if self.n_ranks > 1:
+            nbytes = max(1, sum(_payload_bytes(x) for x in items) // self.n_ranks)
+            rounds = max(1, (self.n_ranks - 1).bit_length())
+            for r in range(rounds):
+                step_bytes = nbytes * (1 << r)
+                dt = self.cost_model.message_time(step_bytes)
+                for p in self.ranks():
+                    self.clocks[p].advance(dt, category)
+                    self.traffic.add(
+                        Message(src=p, dst=p ^ 1 if self.n_ranks > 1 else p,
+                                nbytes=step_bytes, tag=tag)
+                    )
+        if sync:
+            self.barrier()
+        return [list(gathered) for _ in self.ranks()]
+
+    def bcast(
+        self,
+        item: Any,
+        root: int = 0,
+        tag: str = "bcast",
+        category: str = "comm",
+        sync: bool = True,
+    ) -> list[Any]:
+        """Broadcast ``item`` from ``root``; returns one copy per rank.
+
+        Charged as a binomial tree: ``log2(P)`` rounds.
+        """
+        self.check_rank(root)
+        if self.n_ranks > 1:
+            nbytes = _payload_bytes(item)
+            rounds = max(1, (self.n_ranks - 1).bit_length())
+            dt = self.cost_model.message_time(max(1, nbytes))
+            for _ in range(rounds):
+                for p in self.ranks():
+                    self.clocks[p].advance(dt, category)
+            self.traffic.add(
+                Message(src=root, dst=(root + 1) % self.n_ranks,
+                        nbytes=nbytes * (self.n_ranks - 1), tag=tag)
+            )
+        if sync:
+            self.barrier()
+        return [item for _ in self.ranks()]
+
+    def allreduce(
+        self,
+        values: Sequence[Any],
+        op: Callable[[Any, Any], Any],
+        tag: str = "allreduce",
+        category: str = "comm",
+        sync: bool = True,
+    ) -> list[Any]:
+        """Reduce one value per rank with ``op``; all ranks get the result.
+
+        Charged as ``log2(P)`` exchange rounds of the value size.
+        """
+        self.check_per_rank(values, "values")
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        if self.n_ranks > 1:
+            nbytes = max(8, _payload_bytes(values[0]))
+            rounds = max(1, (self.n_ranks - 1).bit_length())
+            dt = self.cost_model.message_time(nbytes)
+            for _ in range(rounds):
+                for p in self.ranks():
+                    self.clocks[p].advance(dt, category)
+            self.traffic.add(Message(src=0, dst=0, nbytes=nbytes * rounds, tag=tag))
+        if sync:
+            self.barrier()
+        return [acc for _ in self.ranks()]
+
+    def allreduce_sum(self, values: Sequence[Any], **kw) -> list[Any]:
+        return self.allreduce(values, lambda a, b: a + b, tag="allreduce_sum", **kw)
+
+    def allreduce_max(self, values: Sequence[Any], **kw) -> list[Any]:
+        return self.allreduce(values, max, tag="allreduce_max", **kw)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def reset_clocks(self) -> None:
+        self.clocks.reset()
+
+    def reset_traffic(self) -> None:
+        self.traffic.reset()
+
+    def execution_time(self) -> float:
+        """Paper convention: maximum of net execution time over ranks."""
+        return self.clocks.max_time()
+
+    def mean_category_time(self, category: str) -> float:
+        """Paper convention: computation/communication averaged over ranks."""
+        return self.clocks.mean_category(category)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Machine(n_ranks={self.n_ranks}, cost_model={self.cost_model.name}, "
+            f"topology={type(self.topology).__name__})"
+        )

@@ -1,0 +1,91 @@
+"""Message records and traffic statistics.
+
+Every simulated message is recorded so that tests and benchmarks can make
+*exact* claims about what the CHAOS optimizations do: software caching must
+shrink total bytes, communication vectorization must shrink message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message in the simulated network."""
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: str = ""
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size {self.nbytes}")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"negative rank in message {self.src}->{self.dst}")
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate network counters for one machine.
+
+    ``record=True`` additionally keeps the individual :class:`Message`
+    objects (useful in tests; off by default to stay light in long runs).
+    """
+
+    n_messages: int = 0
+    total_bytes: int = 0
+    by_tag: dict = field(default_factory=dict)
+    record: bool = False
+    messages: list = field(default_factory=list)
+
+    def add(self, msg: Message) -> None:
+        self.n_messages += 1
+        self.total_bytes += msg.nbytes
+        tag = msg.tag or "untagged"
+        cnt, byt = self.by_tag.get(tag, (0, 0))
+        self.by_tag[tag] = (cnt + 1, byt + msg.nbytes)
+        if self.record:
+            self.messages.append(msg)
+
+    def tag_messages(self, tag: str) -> int:
+        return self.by_tag.get(tag, (0, 0))[0]
+
+    def tag_bytes(self, tag: str) -> int:
+        return self.by_tag.get(tag, (0, 0))[1]
+
+    def reset(self) -> None:
+        self.n_messages = 0
+        self.total_bytes = 0
+        self.by_tag.clear()
+        self.messages.clear()
+
+    def snapshot(self) -> dict:
+        return {
+            "n_messages": self.n_messages,
+            "total_bytes": self.total_bytes,
+            "by_tag": dict(self.by_tag),
+        }
+
+    def __sub__(self, other: "TrafficStats") -> "TrafficStats":
+        """Difference of two snapshots (for measuring one phase)."""
+        diff = TrafficStats(
+            n_messages=self.n_messages - other.n_messages,
+            total_bytes=self.total_bytes - other.total_bytes,
+        )
+        tags = set(self.by_tag) | set(other.by_tag)
+        for t in tags:
+            c1, b1 = self.by_tag.get(t, (0, 0))
+            c0, b0 = other.by_tag.get(t, (0, 0))
+            if c1 - c0 or b1 - b0:
+                diff.by_tag[t] = (c1 - c0, b1 - b0)
+        return diff
+
+    def copy(self) -> "TrafficStats":
+        c = TrafficStats(
+            n_messages=self.n_messages,
+            total_bytes=self.total_bytes,
+            by_tag=dict(self.by_tag),
+        )
+        return c

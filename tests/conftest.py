@@ -1,0 +1,26 @@
+"""Shared fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Machine
+
+
+@pytest.fixture
+def machine4() -> Machine:
+    return Machine(4)
+
+
+@pytest.fixture
+def machine8() -> Machine:
+    return Machine(8)
+
+
+@pytest.fixture
+def machine1() -> Machine:
+    return Machine(1)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

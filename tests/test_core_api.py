@@ -1,0 +1,166 @@
+"""Unit tests: DistributedArray, ChaosRuntime facade, IrregularReduction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChaosRuntime,
+    DistributedArray,
+    IrregularReduction,
+    split_by_block,
+)
+from repro.sim import Machine
+
+
+class TestDistributedArray:
+    def test_roundtrip(self, machine4, rng):
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 20))
+        x_g = rng.standard_normal(20)
+        x = rt.distribute(x_g, tt)
+        assert np.array_equal(x.to_global(), x_g)
+
+    def test_2d_roundtrip(self, machine4, rng):
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 20))
+        pos_g = rng.standard_normal((20, 3))
+        pos = rt.distribute(pos_g, tt)
+        assert np.array_equal(pos.to_global(), pos_g)
+
+    def test_wrong_size_rejected(self, machine4, rng):
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 20))
+        with pytest.raises(ValueError):
+            rt.distribute(np.zeros(19), tt)
+
+    def test_wrong_local_shape_rejected(self, machine4, rng):
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 8))
+        bad = [np.zeros(100) for _ in range(4)]
+        with pytest.raises(ValueError):
+            DistributedArray(machine4, tt, bad)
+
+    def test_redistribute_preserves_values(self, machine4, rng):
+        rt = ChaosRuntime(machine4)
+        tt1 = rt.irregular_table(rng.integers(0, 4, 30))
+        tt2 = rt.irregular_table(rng.integers(0, 4, 30))
+        x_g = rng.standard_normal(30)
+        x = rt.distribute(x_g, tt1)
+        y = x.redistribute(tt2)
+        assert np.array_equal(y.to_global(), x_g)
+        assert y.ttable is tt2
+
+    def test_copy_is_deep(self, machine4, rng):
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 10))
+        x = rt.distribute(rng.standard_normal(10), tt)
+        y = x.copy()
+        y.local[0][...] = 0
+        assert not np.array_equal(x.to_global(), y.to_global())
+
+    def test_zeros_like_table(self, machine4, rng):
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 12))
+        z = rt.zeros_like_table(tt, trailing=(3,))
+        assert z.to_global().shape == (12, 3)
+        assert z.n_global == 12
+
+    def test_block_and_cyclic_tables(self, machine4):
+        rt = ChaosRuntime(machine4)
+        bt = rt.block_table(10)
+        ct = rt.cyclic_table(10)
+        assert bt.dist.local_size(0) == 3
+        assert ct.dist.owner(np.array([5]))[0] == 1
+
+
+class TestIrregularReduction:
+    def make(self, rng, n=40, e=100, p=4):
+        m = Machine(p)
+        rt = ChaosRuntime(m)
+        tt = rt.irregular_table(rng.integers(0, p, n))
+        x_g = rng.standard_normal(n)
+        y_g = rng.standard_normal(n)
+        ia_g = rng.integers(0, n, e)
+        ib_g = rng.integers(0, n, e)
+        return m, rt, tt, x_g, y_g, ia_g, ib_g
+
+    def test_figure1_loop(self, rng):
+        """x(ia(i)) += y(ib(i)) — the paper's canonical irregular loop."""
+        m, rt, tt, x_g, y_g, ia_g, ib_g = self.make(rng)
+        x = rt.distribute(x_g, tt)
+        y = rt.distribute(y_g, tt)
+        loop = IrregularReduction(rt, tt, "fig1").bind(
+            ia=split_by_block(ia_g, m), ib=split_by_block(ib_g, m)
+        )
+        loop.setup()
+        loop.execute(x, "ia", lambda yv: yv, {"y": (y, "ib")})
+        expected = x_g.copy()
+        np.add.at(expected, ia_g, y_g[ib_g])
+        assert np.allclose(x.to_global(), expected)
+
+    def test_executes_repeatedly_with_one_schedule(self, rng):
+        m, rt, tt, x_g, y_g, ia_g, ib_g = self.make(rng)
+        x = rt.distribute(x_g, tt)
+        y = rt.distribute(y_g, tt)
+        loop = IrregularReduction(rt, tt, "L").bind(
+            ia=split_by_block(ia_g, m), ib=split_by_block(ib_g, m)
+        )
+        s1 = loop.setup()
+        for _ in range(3):
+            loop.execute(x, "ia", lambda v: v, {"y": (y, "ib")})
+        expected = x_g.copy()
+        for _ in range(3):
+            np.add.at(expected, ia_g, y_g[ib_g])
+        assert np.allclose(x.to_global(), expected)
+        assert loop.schedule is s1  # never rebuilt
+
+    def test_adapt_rebuilds_only_changed_stamp(self, rng):
+        m, rt, tt, x_g, y_g, ia_g, ib_g = self.make(rng)
+        x = rt.distribute(x_g, tt)
+        y = rt.distribute(y_g, tt)
+        loop = IrregularReduction(rt, tt, "L").bind(
+            ia=split_by_block(ia_g, m), ib=split_by_block(ib_g, m)
+        )
+        loop.setup()
+        ib2_g = rng.integers(0, x_g.size, ib_g.size)
+        loop.adapt("ib", split_by_block(ib2_g, m))
+        loop.execute(x, "ia", lambda v: v, {"y": (y, "ib")})
+        expected = x_g.copy()
+        np.add.at(expected, ia_g, y_g[ib2_g])
+        assert np.allclose(x.to_global(), expected)
+
+    def test_setup_requires_bind(self, rng):
+        m = Machine(2)
+        rt = ChaosRuntime(m)
+        tt = rt.irregular_table([0, 1])
+        with pytest.raises(RuntimeError):
+            IrregularReduction(rt, tt).setup()
+
+    def test_schedule_before_setup_rejected(self, rng):
+        m = Machine(2)
+        rt = ChaosRuntime(m)
+        tt = rt.irregular_table([0, 1])
+        loop = IrregularReduction(rt, tt)
+        with pytest.raises(RuntimeError):
+            _ = loop.schedule
+
+    def test_adapt_unknown_name_rejected(self, rng):
+        m, rt, tt, x_g, y_g, ia_g, ib_g = self.make(rng)
+        loop = IrregularReduction(rt, tt, "L").bind(
+            ia=split_by_block(ia_g, m)
+        )
+        loop.setup()
+        with pytest.raises(KeyError):
+            loop.adapt("nope", [np.zeros(0, np.int64)] * m.n_ranks)
+
+    def test_single_rank_machine(self, rng):
+        m = Machine(1)
+        rt = ChaosRuntime(m)
+        tt = rt.block_table(10)
+        x = rt.distribute(np.zeros(10), tt)
+        y = rt.distribute(np.ones(10), tt)
+        ia = [np.arange(10, dtype=np.int64)]
+        loop = IrregularReduction(rt, tt, "L").bind(ia=ia, ib=ia)
+        loop.setup()
+        loop.execute(x, "ia", lambda v: 2 * v, {"y": (y, "ib")})
+        assert np.allclose(x.to_global(), 2.0)

@@ -1,0 +1,163 @@
+"""Unit tests: gather / scatter / scatter_op against numpy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChaosRuntime,
+    allocate_ghosts,
+    gather,
+    scatter,
+    scatter_op,
+    split_local_ghost,
+    stack_local_ghost,
+)
+from repro.sim import Machine
+
+
+def env(rng, n=40, p=4, n_ref=120):
+    m = Machine(p)
+    rt = ChaosRuntime(m)
+    tt = rt.irregular_table(rng.integers(0, p, n))
+    x_g = rng.standard_normal(n)
+    x = rt.distribute(x_g, tt)
+    idx_g = rng.integers(0, n, n_ref)
+    from repro.core import split_by_block
+
+    loc = rt.hash_indirection(tt, split_by_block(idx_g, m), "s")
+    sched = rt.build_schedule(tt, "s")
+    return m, rt, tt, x, x_g, idx_g, loc, sched
+
+
+class TestGather:
+    def test_ghosts_hold_remote_values(self, rng):
+        m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
+        ghosts = rt.gather(sched, x)
+        stacked = stack_local_ghost(x.local, ghosts)
+        from repro.core import split_by_block
+
+        for p, part in enumerate(split_by_block(idx_g, m)):
+            got = stacked[p][loc[p]]
+            assert np.array_equal(got, x_g[part])
+
+    def test_gather_into_provided_buffers(self, rng):
+        m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
+        ghosts = allocate_ghosts(sched, x.local)
+        out = gather(m, sched, x.local, ghosts)
+        assert out is ghosts
+
+    def test_small_ghost_buffer_rejected(self, rng):
+        m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
+        bad = [np.zeros(max(0, g - 1)) for g in sched.ghost_size]
+        if any(g > 0 for g in sched.ghost_size):
+            with pytest.raises(ValueError):
+                gather(m, sched, x.local, bad)
+
+    def test_gather_2d_rows(self, rng):
+        m = Machine(4)
+        rt = ChaosRuntime(m)
+        tt = rt.irregular_table(rng.integers(0, 4, 30))
+        pos_g = rng.standard_normal((30, 3))
+        pos = rt.distribute(pos_g, tt)
+        from repro.core import split_by_block
+
+        idx_g = rng.integers(0, 30, 50)
+        loc = rt.hash_indirection(tt, split_by_block(idx_g, m), "s")
+        sched = rt.build_schedule(tt, "s")
+        ghosts = rt.gather(sched, pos)
+        stacked = stack_local_ghost(pos.local, ghosts)
+        for p, part in enumerate(split_by_block(idx_g, m)):
+            assert np.array_equal(stacked[p][loc[p]], pos_g[part])
+
+    def test_schedule_vs_local_size_mismatch_rejected(self, rng):
+        m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
+        short = [a[:1] for a in x.local]
+        if sched.total_elements():
+            with pytest.raises(IndexError):
+                gather(m, sched, short)
+
+    def test_gather_charges_comm(self, rng):
+        m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
+        before = m.clocks.mean_category("comm")
+        rt.gather(sched, x)
+        assert m.clocks.mean_category("comm") > before
+
+
+class TestScatter:
+    def test_scatter_inverts_gather(self, rng):
+        m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
+        ghosts = rt.gather(sched, x)
+        # perturb owners, then scatter ghost copies back: owners restored
+        modified = [a * 0 for a in x.local]
+        scatter(m, sched, modified, ghosts)
+        # every element that was fetched by someone is restored
+        for p in m.ranks():
+            sent = sched.send_list(p)
+            if sent.size:
+                assert np.allclose(modified[p][sent], x.local[p][sent])
+
+    def test_scatter_add_matches_np_add_at(self, rng):
+        m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
+        contrib_g = rng.standard_normal(idx_g.size)
+        from repro.core import split_by_block
+
+        acc = rt.zeros_like_table(tt)
+        ghosts = allocate_ghosts(sched, acc.local)
+        stacked = stack_local_ghost(acc.local, ghosts)
+        for p, (part, c) in enumerate(
+            zip(split_by_block(idx_g, m), split_by_block(contrib_g, m))
+        ):
+            np.add.at(stacked[p], loc[p], c)
+        for p in m.ranks():
+            n_local = acc.local[p].shape[0]
+            acc.local[p][...] = stacked[p][:n_local]
+            ghosts[p][...] = stacked[p][n_local:]
+        scatter_op(m, sched, acc.local, ghosts, np.add)
+        expected = np.zeros_like(x_g)
+        np.add.at(expected, idx_g, contrib_g)
+        assert np.allclose(acc.to_global(), expected)
+
+    def test_scatter_max(self, rng):
+        m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
+        vals_g = rng.standard_normal(idx_g.size)
+        from repro.core import split_by_block
+
+        acc = rt.zeros_like_table(tt)
+        for a in acc.local:
+            a.fill(-np.inf)
+        ghosts = [np.full(g, -np.inf) for g in sched.ghost_size]
+        stacked = stack_local_ghost(acc.local, ghosts)
+        for p, (part, c) in enumerate(
+            zip(split_by_block(idx_g, m), split_by_block(vals_g, m))
+        ):
+            np.maximum.at(stacked[p], loc[p], c)
+        for p in m.ranks():
+            n_local = acc.local[p].shape[0]
+            acc.local[p][...] = stacked[p][:n_local]
+            ghosts[p][...] = stacked[p][n_local:]
+        scatter_op(m, sched, acc.local, ghosts, np.maximum)
+        expected = np.full_like(x_g, -np.inf)
+        np.maximum.at(expected, idx_g, vals_g)
+        assert np.allclose(acc.to_global(), expected)
+
+    def test_scatter_op_requires_ufunc(self, rng):
+        m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
+        ghosts = allocate_ghosts(sched, x.local)
+        with pytest.raises(TypeError):
+            scatter_op(m, sched, x.local, ghosts, lambda a, b: a + b)
+
+
+class TestStacking:
+    def test_roundtrip(self, rng):
+        data = [rng.standard_normal(5), rng.standard_normal(3)]
+        ghosts = [rng.standard_normal(2), rng.standard_normal(4)]
+        stacked = stack_local_ghost(data, ghosts)
+        d2, g2 = split_local_ghost(stacked, [5, 3])
+        assert np.array_equal(d2[0], data[0])
+        assert np.array_equal(g2[1], ghosts[1])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            stack_local_ghost([np.zeros(1)], [])
+        with pytest.raises(ValueError):
+            split_local_ghost([np.zeros(1)], [1, 2])

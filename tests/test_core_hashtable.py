@@ -1,0 +1,174 @@
+"""Unit tests: stamped index hash table and stamp algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core import IndexHashTable, StampExpr, StampRegistry
+
+
+class TestStampRegistry:
+    def test_acquire_idempotent(self):
+        r = StampRegistry()
+        m1 = r.acquire("a")
+        m2 = r.acquire("a")
+        assert m1 == m2
+
+    def test_distinct_bits(self):
+        r = StampRegistry()
+        assert r.acquire("a") != r.acquire("b")
+
+    def test_release_frees_bit(self):
+        r = StampRegistry()
+        m = r.acquire("a")
+        r.release("a")
+        assert "a" not in r
+        assert r.acquire("fresh") == m  # lowest bit reused
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            StampRegistry().release("nope")
+
+    def test_mask_of_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            StampRegistry().mask_of("nope")
+
+    def test_exhaustion(self):
+        r = StampRegistry()
+        for i in range(StampRegistry.MAX_STAMPS):
+            r.acquire(f"s{i}")
+        with pytest.raises(RuntimeError):
+            r.acquire("one-too-many")
+
+    def test_names_sorted(self):
+        r = StampRegistry()
+        r.acquire("b")
+        r.acquire("a")
+        assert r.names() == ["a", "b"]
+
+
+class TestStampExpr:
+    def test_union(self):
+        e = StampExpr(0b01) | StampExpr(0b10)
+        assert e.include == 0b11
+
+    def test_difference(self):
+        e = StampExpr(0b10) - StampExpr(0b01)
+        masks = np.array([0b01, 0b10, 0b11, 0b00])
+        assert np.array_equal(e.matches(masks), [False, True, False, False])
+
+    def test_matches_union(self):
+        e = StampExpr(0b011)
+        masks = np.array([0b001, 0b010, 0b100, 0b110])
+        assert np.array_equal(e.matches(masks), [True, True, False, True])
+
+
+class TestIndexHashTable:
+    def make(self, rank=0, n_local=10):
+        return IndexHashTable(rank=rank, n_local=n_local)
+
+    def test_insert_and_lookup(self):
+        ht = self.make()
+        slots = ht.insert_translated(
+            np.array([5, 17, 3]), np.array([0, 1, 2]), np.array([5, 7, 3])
+        )
+        assert slots.tolist() == [0, 1, 2]
+        assert np.array_equal(ht.lookup_slots(np.array([17, 5])), [1, 0])
+        assert ht.lookup_slots(np.array([99]))[0] == -1
+        assert len(ht) == 3
+        assert 17 in ht and 99 not in ht
+
+    def test_ghost_slots_only_for_offproc(self):
+        ht = self.make(rank=1)
+        ht.insert_translated(
+            np.array([1, 2, 3]), np.array([1, 0, 1]), np.array([0, 0, 1])
+        )
+        # element 1, 3 owned by rank1: no ghost slot; element 2 gets slot 0
+        slots = ht.lookup_slots(np.array([1, 2, 3]))
+        assert ht.buf[slots[0]] == -1
+        assert ht.buf[slots[1]] == 0
+        assert ht.n_ghost == 1
+
+    def test_duplicate_insert_rejected(self):
+        ht = self.make()
+        ht.insert_translated(np.array([1]), np.array([0]), np.array([1]))
+        with pytest.raises(ValueError):
+            ht.insert_translated(np.array([1]), np.array([0]), np.array([1]))
+
+    def test_length_mismatch_rejected(self):
+        ht = self.make()
+        with pytest.raises(ValueError):
+            ht.insert_translated(np.array([1, 2]), np.array([0]), np.array([1]))
+
+    def test_missing_uniques(self):
+        ht = self.make()
+        ht.insert_translated(np.array([4]), np.array([0]), np.array([4]))
+        missing = ht.missing_uniques(np.array([4, 5, 5, 6]))
+        assert missing.tolist() == [5, 6]
+
+    def test_localize_owned_and_ghost(self):
+        ht = self.make(rank=0, n_local=10)
+        ht.insert_translated(
+            np.array([2, 50]), np.array([0, 1]), np.array([2, 7])
+        )
+        out = ht.localize(np.array([2, 50, 2]))
+        assert out.tolist() == [2, 10, 2]  # 50 -> n_local + slot0
+
+    def test_localize_unhashed_rejected(self):
+        ht = self.make()
+        with pytest.raises(KeyError):
+            ht.localize(np.array([1]))
+
+    def test_stamps_and_select(self):
+        ht = self.make(rank=0)
+        s = ht.insert_translated(
+            np.array([20, 21, 22]), np.array([1, 1, 2]), np.array([0, 1, 0])
+        )
+        ht.stamp_slots(s[:2], "a")
+        ht.stamp_slots(s[1:], "b")
+        sel_a = ht.select(ht.expr("a"))
+        sel_b_minus_a = ht.select(ht.expr("b") - ht.expr("a"))
+        sel_union = ht.select(ht.expr("a", "b"))
+        assert sel_a.tolist() == [0, 1]
+        assert sel_b_minus_a.tolist() == [2]
+        assert sel_union.tolist() == [0, 1, 2]
+
+    def test_select_off_processor_only(self):
+        ht = self.make(rank=1)
+        s = ht.insert_translated(
+            np.array([1, 2]), np.array([1, 0]), np.array([0, 0])
+        )
+        ht.stamp_slots(s, "x")
+        assert ht.select(ht.expr("x"), off_processor_only=True).tolist() == [1]
+        assert ht.select(ht.expr("x"), off_processor_only=False).tolist() == [0, 1]
+
+    def test_clear_stamp_keeps_entries(self):
+        ht = self.make()
+        s = ht.insert_translated(np.array([9]), np.array([1]), np.array([0]))
+        ht.stamp_slots(s, "nb")
+        n = ht.clear_stamp("nb")
+        assert n == 1
+        assert ht.select(ht.expr("nb")).size == 0
+        assert len(ht) == 1  # entry retained for reuse
+        assert ht.ghost_capacity() == 1  # slot retained
+
+    def test_clear_stamp_release_frees_bit(self):
+        ht = self.make()
+        s = ht.insert_translated(np.array([9]), np.array([1]), np.array([0]))
+        ht.stamp_slots(s, "nb")
+        ht.clear_stamp("nb", release=True)
+        assert "nb" not in ht.registry
+
+    def test_growth_beyond_initial_capacity(self):
+        ht = self.make(n_local=0)
+        n = 5000
+        ht.insert_translated(
+            np.arange(n), np.ones(n, dtype=np.int64), np.arange(n)
+        )
+        assert len(ht) == n
+        assert ht.n_ghost == n
+
+    def test_bad_init(self):
+        with pytest.raises(ValueError):
+            IndexHashTable(rank=-1, n_local=0)
+        with pytest.raises(ValueError):
+            IndexHashTable(rank=0, n_local=-1)

@@ -1,0 +1,146 @@
+"""Unit tests: iteration partitioning (Phases C/D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChaosRuntime,
+    block_iteration_slices,
+    partition_iterations,
+    split_by_block,
+)
+from repro.sim import Machine
+
+
+def env(rng, n=24, p=4):
+    m = Machine(p)
+    rt = ChaosRuntime(m)
+    tt = rt.irregular_table(rng.integers(0, p, n))
+    return m, rt, tt
+
+
+class TestBlockSlices:
+    def test_cover_everything(self, machine4):
+        slices = block_iteration_slices(10, machine4)
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(10))
+
+    def test_split_by_block(self, machine4):
+        arr = np.arange(10)
+        parts = split_by_block(arr, machine4)
+        assert np.array_equal(np.concatenate(parts), arr)
+        assert len(parts) == 4
+
+
+class TestOwnerComputes:
+    def test_iterations_follow_first_access(self, rng):
+        m, rt, tt = env(rng)
+        ia_g = rng.integers(0, 24, 40)
+        ib_g = rng.integers(0, 24, 40)
+        accesses = [
+            [a, b] for a, b in zip(split_by_block(ia_g, m),
+                                   split_by_block(ib_g, m))
+        ]
+        assign = partition_iterations(m, tt, accesses, rule="owner-computes")
+        owners_ia = tt.owner_local(ia_g)
+        flat_dest = np.concatenate(assign.dest)
+        assert np.array_equal(flat_dest, owners_ia)
+
+    def test_counts_match_schedule(self, rng):
+        m, rt, tt = env(rng)
+        ia_g = rng.integers(0, 24, 40)
+        accesses = [[a] for a in split_by_block(ia_g, m)]
+        assign = partition_iterations(m, tt, accesses, rule="owner-computes")
+        assert assign.counts.sum() == 40
+
+
+class TestAlmostOwnerComputes:
+    def test_majority_wins(self, rng):
+        m = Machine(2)
+        rt = ChaosRuntime(m)
+        # elements 0,1 on rank0; 2,3 on rank1
+        tt = rt.irregular_table([0, 0, 1, 1])
+        # iteration accesses elements (0, 2, 3): majority rank1
+        accesses = [
+            [np.array([0]), np.array([2]), np.array([3])],
+            [np.zeros(0, np.int64)] * 3,
+        ]
+        assign = partition_iterations(m, tt, accesses,
+                                      rule="almost-owner-computes")
+        assert assign.dest[0][0] == 1
+
+    def test_tie_breaks_to_first_reference(self, rng):
+        m = Machine(2)
+        rt = ChaosRuntime(m)
+        tt = rt.irregular_table([0, 0, 1, 1])
+        # 1-1 tie between rank1 (first ref) and rank0
+        accesses = [
+            [np.array([3]), np.array([0])],
+            [np.zeros(0, np.int64)] * 2,
+        ]
+        assign = partition_iterations(m, tt, accesses,
+                                      rule="almost-owner-computes")
+        assert assign.dest[0][0] == 1
+
+    def test_remap_iteration_data_aligned(self, rng):
+        m, rt, tt = env(rng)
+        ia_g = rng.integers(0, 24, 30)
+        payload_g = rng.standard_normal(30)
+        accesses = [[a] for a in split_by_block(ia_g, m)]
+        assign = partition_iterations(m, tt, accesses)
+        new_ia = assign.remap_iteration_data(m, split_by_block(ia_g, m))
+        new_pay = assign.remap_iteration_data(m, split_by_block(payload_g, m))
+        # multiset preserved and alignment kept
+        assert sorted(np.concatenate(new_ia).tolist()) == sorted(ia_g.tolist())
+        pair_map = dict()
+        for a, v in zip(ia_g.tolist(), payload_g.tolist()):
+            pair_map.setdefault(a, []).append(v)
+        for p in m.ranks():
+            for a, v in zip(new_ia[p].tolist(), new_pay[p].tolist()):
+                assert v in pair_map[a]
+
+    def test_reduces_communication_vs_block(self, rng):
+        """Almost-owner-computes places iterations where their data lives:
+        fewer off-processor references than leaving iterations blocked."""
+        m, rt, tt = env(rng, n=64)
+        ia_g = rng.integers(0, 64, 200)
+        ib_g = rng.integers(0, 64, 200)
+        accesses = [
+            [a, b] for a, b in zip(split_by_block(ia_g, m),
+                                   split_by_block(ib_g, m))
+        ]
+        assign = partition_iterations(m, tt, accesses)
+        new_ia = assign.remap_iteration_data(m, split_by_block(ia_g, m))
+        new_ib = assign.remap_iteration_data(m, split_by_block(ib_g, m))
+
+        def offproc(parts_a, parts_b):
+            total = 0
+            for p in m.ranks():
+                for arr in (parts_a[p], parts_b[p]):
+                    total += int(np.count_nonzero(tt.owner_local(arr) != p))
+            return total
+
+        assert offproc(new_ia, new_ib) <= offproc(
+            split_by_block(ia_g, m), split_by_block(ib_g, m)
+        )
+
+
+class TestValidation:
+    def test_bad_rule_rejected(self, rng):
+        m, rt, tt = env(rng)
+        with pytest.raises(ValueError):
+            partition_iterations(m, tt, [[np.zeros(0, np.int64)]] * 4,
+                                 rule="magic")
+
+    def test_mismatched_lengths_rejected(self, rng):
+        m, rt, tt = env(rng)
+        bad = [[np.array([0, 1]), np.array([0])]] + [[np.zeros(0, np.int64)] * 2] * 3
+        with pytest.raises(ValueError):
+            partition_iterations(m, tt, bad)
+
+    def test_empty_everywhere(self, rng):
+        m, rt, tt = env(rng)
+        assign = partition_iterations(m, tt, [[] for _ in range(4)])
+        assert assign.counts.sum() == 0

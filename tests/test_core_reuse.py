@@ -1,0 +1,92 @@
+"""Unit tests: modification records and the schedule cache (§5.3.1)."""
+
+from repro.core import ModificationRecord, ScheduleCache
+
+
+class TestModificationRecord:
+    def test_touch_bumps_version(self):
+        r = ModificationRecord()
+        assert r.version("jnb") == 0
+        assert r.touch("jnb") == 1
+        assert r.touch("jnb") == 2
+        assert r.version("jnb") == 2
+
+    def test_versions_of(self):
+        r = ModificationRecord()
+        r.touch("a")
+        assert r.versions_of(("a", "b")) == {"a": 1, "b": 0}
+
+    def test_names(self):
+        r = ModificationRecord()
+        r.touch("z")
+        r.touch("a")
+        assert r.names() == ["a", "z"]
+
+
+class TestScheduleCache:
+    def test_builds_once_then_hits(self):
+        cache = ScheduleCache()
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return "sched"
+
+        v1, rebuilt1 = cache.get_or_build("L2", ("jnb",), builder)
+        v2, rebuilt2 = cache.get_or_build("L2", ("jnb",), builder)
+        assert v1 == v2 == "sched"
+        assert rebuilt1 and not rebuilt2
+        assert len(calls) == 1
+        assert cache.stats("L2") == (1, 1)
+
+    def test_rebuild_on_dependency_touch(self):
+        cache = ScheduleCache()
+        counter = {"n": 0}
+
+        def builder():
+            counter["n"] += 1
+            return counter["n"]
+
+        cache.get_or_build("L", ("jnb", "ia"), builder)
+        cache.record.touch("ia")
+        v, rebuilt = cache.get_or_build("L", ("jnb", "ia"), builder)
+        assert rebuilt and v == 2
+
+    def test_unrelated_touch_does_not_rebuild(self):
+        cache = ScheduleCache()
+        cache.get_or_build("L", ("jnb",), lambda: "x")
+        cache.record.touch("other")
+        _, rebuilt = cache.get_or_build("L", ("jnb",), lambda: "y")
+        assert not rebuilt
+
+    def test_independent_loops(self):
+        cache = ScheduleCache()
+        cache.get_or_build("L1", ("a",), lambda: 1)
+        cache.get_or_build("L2", ("b",), lambda: 2)
+        cache.record.touch("a")
+        _, r1 = cache.get_or_build("L1", ("a",), lambda: 10)
+        _, r2 = cache.get_or_build("L2", ("b",), lambda: 20)
+        assert r1 and not r2
+
+    def test_invalidate(self):
+        cache = ScheduleCache()
+        cache.get_or_build("L", (), lambda: 1)
+        assert "L" in cache
+        assert cache.invalidate("L")
+        assert "L" not in cache
+        assert not cache.invalidate("L")
+
+    def test_invalidate_all(self):
+        cache = ScheduleCache()
+        cache.get_or_build("A", (), lambda: 1)
+        cache.get_or_build("B", (), lambda: 2)
+        cache.invalidate_all()
+        assert len(cache) == 0
+
+    def test_shared_record(self):
+        r = ModificationRecord()
+        cache = ScheduleCache(r)
+        cache.get_or_build("L", ("x",), lambda: 1)
+        r.touch("x")
+        _, rebuilt = cache.get_or_build("L", ("x",), lambda: 2)
+        assert rebuilt

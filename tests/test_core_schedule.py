@@ -1,0 +1,143 @@
+"""Unit tests: communication schedules and the Figure 6 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChaosRuntime,
+    Schedule,
+    build_schedule,
+    merge_schedules,
+)
+from repro.sim import Machine
+
+
+def make_env(n_ranks=2, map_array=None):
+    m = Machine(n_ranks)
+    rt = ChaosRuntime(m)
+    if map_array is None:
+        map_array = [0] * 5 + [1] * 5
+    tt = rt.irregular_table(map_array)
+    return m, rt, tt
+
+
+class TestScheduleStructure:
+    def test_empty(self):
+        s = Schedule.empty(3)
+        assert s.total_messages() == 0
+        assert s.total_elements() == 0
+        assert s.send_list(0).size == 0
+        assert s.permutation_list(1).size == 0
+
+    def test_inconsistent_rejected(self):
+        s = Schedule.empty(2)
+        s.send_indices[0][1] = np.array([1, 2])
+        with pytest.raises(ValueError):
+            Schedule(
+                n_ranks=2,
+                send_indices=s.send_indices,
+                recv_slots=s.recv_slots,
+                ghost_size=[0, 0],
+            )
+
+    def test_sizes(self):
+        m, rt, tt = make_env()
+        rt.hash_indirection(tt, [np.array([7, 8]), np.array([1])], "s")
+        sched = rt.build_schedule(tt, "s")
+        # rank0 fetches 7,8 from rank1; rank1 fetches 1 from rank0
+        assert sched.fetch_sizes(0)[1] == 2
+        assert sched.fetch_sizes(1)[0] == 1
+        assert sched.send_sizes(1)[0] == 2
+        assert sched.total_messages() == 2
+        assert sched.total_elements() == 3
+
+
+class TestFigure6:
+    """The paper's worked example, exactly (1-based elements 1..10;
+    y(1..5) on proc0, y(6..10) on proc1; proc0 hashes ia, ib, ic)."""
+
+    def setup_method(self):
+        self.m, self.rt, self.tt = make_env()
+        z = np.zeros(0, dtype=np.int64)
+        self.ia = [np.array([1, 3, 7, 9, 2]) - 1, z]
+        self.ib = [np.array([1, 5, 7, 8, 2]) - 1, z]
+        self.ic = [np.array([4, 3, 10, 8, 9]) - 1, z]
+        self.rt.hash_indirection(self.tt, self.ia, "a")
+        self.rt.hash_indirection(self.tt, self.ib, "b")
+        self.rt.hash_indirection(self.tt, self.ic, "c")
+        self.e = self.rt.hash_tables(self.tt)[0].expr
+
+    def fetched(self, expr) -> list[int]:
+        s = self.rt.build_schedule(self.tt, expr)
+        return sorted(5 + off + 1 for off in s.send_indices[1][0].tolist())
+
+    def test_sched_a(self):
+        assert self.fetched(self.e("a")) == [7, 9]
+
+    def test_sched_b(self):
+        assert self.fetched(self.e("b")) == [7, 8]
+
+    def test_incremental_b_minus_a(self):
+        assert self.fetched(self.e("b") - self.e("a")) == [8]
+
+    def test_merged_abc(self):
+        assert self.fetched(self.e("a", "b", "c")) == [7, 8, 9, 10]
+
+    def test_merged_smaller_than_sum_of_parts(self):
+        merged = self.rt.build_schedule(self.tt, self.e("a", "b", "c"))
+        separate = sum(
+            self.rt.build_schedule(self.tt, self.e(s)).total_elements()
+            for s in "abc"
+        )
+        assert merged.total_elements() < separate  # duplicates removed
+
+
+class TestBuildSchedule:
+    def test_software_caching_removes_duplicates(self):
+        m, rt, tt = make_env()
+        # same off-proc element referenced 100 times: fetched once
+        idx = [np.full(100, 9, dtype=np.int64), np.zeros(0, dtype=np.int64)]
+        rt.hash_indirection(tt, idx, "dup")
+        sched = rt.build_schedule(tt, "dup")
+        assert sched.total_elements() == 1
+
+    def test_schedule_build_charges_time(self):
+        m, rt, tt = make_env()
+        rt.hash_indirection(tt, [np.array([9]), np.array([0])], "s")
+        t0 = m.execution_time()
+        rt.build_schedule(tt, "s")
+        assert m.execution_time() > t0
+
+    def test_ghost_size_covers_buffer(self):
+        m, rt, tt = make_env()
+        rt.hash_indirection(tt, [np.array([5, 6, 7]), np.array([0, 1])], "s")
+        sched = rt.build_schedule(tt, "s")
+        hts = rt.hash_tables(tt)
+        assert sched.ghost_size[0] == hts[0].ghost_capacity() == 3
+        assert sched.ghost_size[1] == 2
+
+    def test_string_expr_accepted(self):
+        m, rt, tt = make_env()
+        rt.hash_indirection(tt, [np.array([9]), None], "s")
+        sched = build_schedule(m, rt.hash_tables(tt), "s")
+        assert sched.total_elements() == 1
+
+
+class TestMergeSchedules:
+    def test_concatenates(self):
+        m, rt, tt = make_env()
+        rt.hash_indirection(tt, [np.array([8]), None], "a")
+        rt.hash_indirection(tt, [np.array([9]), None], "b")
+        s1 = rt.build_schedule(tt, "a")
+        s2 = rt.build_schedule(tt, "b")
+        merged = merge_schedules(m, [s1, s2])
+        assert merged.total_elements() == 2
+        assert merged.ghost_size[0] == 2
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_schedules(Machine(2), [])
+
+    def test_mismatched_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            merge_schedules(Machine(2), [Schedule.empty(2), Schedule.empty(3)])

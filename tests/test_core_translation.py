@@ -1,0 +1,104 @@
+"""Unit tests: translation tables (all three storage policies)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockDistribution, TranslationTable
+from repro.sim import Machine
+
+
+@pytest.fixture
+def maparr(rng):
+    return rng.integers(0, 4, 64)
+
+
+class TestConstruction:
+    def test_from_map(self, machine4, maparr):
+        tt = TranslationTable.from_map(machine4, maparr)
+        assert tt.dist.n_global == 64
+        assert np.array_equal(tt.owner_local(np.arange(64)), maparr)
+
+    def test_bad_storage_rejected(self, machine4, maparr):
+        with pytest.raises(ValueError):
+            TranslationTable.from_map(machine4, maparr, storage="magic")
+
+    def test_bad_page_size_rejected(self, machine4, maparr):
+        with pytest.raises(ValueError):
+            TranslationTable.from_map(machine4, maparr, page_size=0)
+
+    def test_build_charges_communication(self, maparr):
+        m = Machine(4)
+        TranslationTable.from_map(m, maparr)
+        assert m.execution_time() > 0
+
+    def test_from_distribution(self, machine4):
+        tt = TranslationTable.from_distribution(
+            machine4, BlockDistribution(10, 4)
+        )
+        assert tt.offset_local(np.array([4]))[0] == 1
+
+
+class TestDereference:
+    @pytest.mark.parametrize("storage", ["replicated", "distributed", "paged"])
+    def test_correct_owners_offsets(self, maparr, storage):
+        m = Machine(4)
+        tt = TranslationTable.from_map(m, maparr, storage=storage)
+        queries = [np.array([0, 5, 63]), None, np.array([10]), np.zeros(0, np.int64)]
+        owners, offsets = tt.dereference(queries)
+        assert np.array_equal(owners[0], maparr[[0, 5, 63]])
+        assert owners[1].size == 0
+        dist = tt.dist
+        assert np.array_equal(offsets[2], dist.local_index(np.array([10])))
+
+    def test_replicated_lookup_is_local(self, maparr):
+        m = Machine(4)
+        tt = TranslationTable.from_map(m, maparr, storage="replicated")
+        m.reset_traffic()
+        tt.dereference([np.arange(10)] * 4)
+        assert m.traffic.n_messages == 0
+
+    def test_distributed_lookup_communicates(self, maparr):
+        m = Machine(4)
+        tt = TranslationTable.from_map(m, maparr, storage="distributed")
+        m.reset_traffic()
+        tt.dereference([np.arange(64)] * 4)
+        assert m.traffic.n_messages > 0
+
+    def test_paged_caches_pages(self, maparr):
+        m = Machine(4)
+        tt = TranslationTable.from_map(m, maparr, storage="paged", page_size=16)
+        tt.dereference([np.arange(64)] + [None] * 3)
+        m.reset_traffic()
+        # repeat lookups hit the cache: no new traffic
+        tt.dereference([np.arange(64)] + [None] * 3)
+        assert m.traffic.n_messages == 0
+
+    def test_paged_cache_clear(self, maparr):
+        m = Machine(4)
+        tt = TranslationTable.from_map(m, maparr, storage="paged", page_size=16)
+        tt.dereference([np.arange(16)] + [None] * 3)
+        assert len(tt._page_cache[0]) >= 1
+        tt.clear_page_caches()
+        assert len(tt._page_cache[0]) == 0
+
+    def test_out_of_range_query_rejected(self, machine4, maparr):
+        tt = TranslationTable.from_map(machine4, maparr)
+        with pytest.raises(IndexError):
+            tt.dereference([np.array([64]), None, None, None])
+
+
+class TestMemory:
+    def test_replicated_holds_everything(self, machine4, maparr):
+        tt = TranslationTable.from_map(machine4, maparr, storage="replicated")
+        assert tt.memory_per_rank(0) == 64 * 12
+
+    def test_distributed_holds_share(self, machine4, maparr):
+        tt = TranslationTable.from_map(machine4, maparr, storage="distributed")
+        assert tt.memory_per_rank(0) == 16 * 12
+
+    def test_paged_grows_with_cache(self, maparr):
+        m = Machine(4)
+        tt = TranslationTable.from_map(m, maparr, storage="paged", page_size=16)
+        before = tt.memory_per_rank(0)
+        tt.dereference([np.arange(64)] + [None] * 3)
+        assert tt.memory_per_rank(0) > before

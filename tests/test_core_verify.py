@@ -1,0 +1,133 @@
+"""Tests for the consistency validators (and, transitively, another sweep
+over every builder's invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockDistribution,
+    ChaosRuntime,
+    IrregularDistribution,
+    Schedule,
+    build_lightweight_schedule,
+    remap,
+    split_by_block,
+)
+from repro.core.verify import (
+    check_distribution,
+    check_lightweight,
+    check_remap_plan,
+    check_schedule,
+    check_schedule_against_hash_tables,
+    check_translation_table,
+)
+from repro.sim import Machine
+
+
+class TestDistributionChecks:
+    def test_valid_distributions_pass(self, rng):
+        assert check_distribution(BlockDistribution(17, 4)) == []
+        assert check_distribution(
+            IrregularDistribution(rng.integers(0, 5, 40), 5)
+        ) == []
+        assert check_distribution(BlockDistribution(0, 3)) == []
+
+    def test_translation_table_passes(self, machine4, rng):
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 25))
+        assert check_translation_table(tt) == []
+
+
+class TestScheduleChecks:
+    def make(self, rng, n=40, refs=100):
+        m = Machine(4)
+        rt = ChaosRuntime(m)
+        tt = rt.irregular_table(rng.integers(0, 4, n))
+        idx = split_by_block(rng.integers(0, n, refs), m)
+        rt.hash_indirection(tt, idx, "s")
+        sched = rt.build_schedule(tt, "s")
+        return m, rt, tt, sched
+
+    def test_built_schedule_passes(self, rng):
+        m, rt, tt, sched = self.make(rng)
+        assert check_schedule(sched, tt.dist) == []
+        assert check_schedule_against_hash_tables(
+            sched, rt.hash_tables(tt)
+        ) == []
+
+    def test_empty_schedule_passes(self):
+        assert check_schedule(Schedule.empty(3)) == []
+
+    def test_corrupted_slot_detected(self, rng):
+        m, rt, tt, sched = self.make(rng)
+        # find a nonempty recv list and poke an out-of-range slot into it
+        for p in range(4):
+            for q in range(4):
+                if sched.recv_slots[p][q].size:
+                    sched.recv_slots[p][q] = sched.recv_slots[p][q].copy()
+                    sched.recv_slots[p][q][0] = sched.ghost_size[p] + 10
+                    problems = check_schedule(sched, tt.dist)
+                    assert any("out of range" in msg for msg in problems)
+                    return
+        pytest.skip("no off-processor traffic in this draw")
+
+    def test_send_index_range_detected(self, rng):
+        m, rt, tt, sched = self.make(rng)
+        for p in range(4):
+            for q in range(4):
+                if sched.send_indices[p][q].size:
+                    sched.send_indices[p][q] = sched.send_indices[p][q].copy()
+                    sched.send_indices[p][q][0] = tt.dist.local_size(p) + 99
+                    problems = check_schedule(sched, tt.dist)
+                    assert any("beyond local size" in msg for msg in problems)
+                    return
+        pytest.skip("no off-processor traffic in this draw")
+
+
+class TestLightweightChecks:
+    def test_built_passes(self, machine4, rng):
+        dest = [rng.integers(0, 4, 12) for _ in range(4)]
+        sched = build_lightweight_schedule(machine4, dest)
+        assert check_lightweight(sched) == []
+
+    def test_count_mismatch_detected(self, machine4, rng):
+        dest = [rng.integers(0, 4, 12) for _ in range(4)]
+        sched = build_lightweight_schedule(machine4, dest)
+        # drop one element from a selection without fixing recv_counts
+        for q in range(4):
+            if sched.send_sel[0][q].size:
+                sched.send_sel[0][q] = sched.send_sel[0][q][:-1]
+                break
+        problems = check_lightweight(sched)
+        assert problems  # count mismatch and/or undelivered element
+
+    def test_double_send_detected(self, machine4, rng):
+        dest = [rng.integers(0, 4, 12) for _ in range(4)]
+        sched = build_lightweight_schedule(machine4, dest)
+        # send element 0 of rank 0 to a second destination too
+        for q in range(4):
+            if not np.any(sched.send_sel[0][q] == 0):
+                sched.send_sel[0][q] = np.concatenate(
+                    [sched.send_sel[0][q], np.array([0], dtype=np.int64)]
+                )
+                sched.recv_counts[q][0] += 1
+                break
+        problems = check_lightweight(sched)
+        assert any("multiple destinations" in msg for msg in problems)
+
+
+class TestRemapChecks:
+    def test_built_plan_passes(self, machine4, rng):
+        old = BlockDistribution(30, 4)
+        new = IrregularDistribution(rng.integers(0, 4, 30), 4)
+        plan = remap(machine4, old, new)
+        assert check_remap_plan(plan) == []
+
+    def test_unfilled_slot_detected(self, machine4, rng):
+        old = BlockDistribution(30, 4)
+        new = IrregularDistribution(rng.integers(0, 4, 30), 4)
+        plan = remap(machine4, old, new)
+        # pretend a rank expects one more element than it is sent
+        plan.new_sizes[0] += 1
+        problems = check_remap_plan(plan)
+        assert any("distinct slots filled" in msg for msg in problems)

@@ -1,0 +1,231 @@
+"""Tests for second-round extensions: Morton partitioner, multi-array
+scatter_append, Fortran-D intrinsic functions, the CHARMM thermostat."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_lightweight_schedule,
+    scatter_append,
+    scatter_append_multi,
+)
+from repro.partitioners import MortonPartitioner, RCB, morton_keys
+from repro.sim import Machine
+
+
+class TestMortonKeys:
+    def test_locality(self, rng):
+        """Points close in space get close Morton keys (statistically)."""
+        pts = rng.random((500, 2))
+        keys = morton_keys(pts)
+        order = np.argsort(keys)
+        # consecutive points along the curve are spatially close on average
+        d_curve = np.linalg.norm(np.diff(pts[order], axis=0), axis=1).mean()
+        d_random = np.linalg.norm(
+            pts[rng.permutation(500)][:-1] - pts[rng.permutation(500)][1:],
+            axis=1,
+        ).mean()
+        assert d_curve < d_random / 2
+
+    def test_deterministic(self, rng):
+        pts = rng.random((100, 3))
+        assert np.array_equal(morton_keys(pts), morton_keys(pts))
+
+    def test_1d_accepted(self):
+        keys = morton_keys(np.array([0.1, 0.9, 0.5]))
+        assert keys.argsort().tolist() == [0, 2, 1]
+
+    def test_4d_rejected(self):
+        with pytest.raises(ValueError):
+            morton_keys(np.zeros((3, 4)))
+
+    def test_empty(self):
+        assert morton_keys(np.zeros((0, 2))).size == 0
+
+
+class TestMortonPartitioner:
+    def test_all_assigned_balanced(self, rng):
+        coords = rng.random((400, 3))
+        w = rng.random(400) + 0.1
+        res = MortonPartitioner().partition(coords, 8, w)
+        assert res.labels.shape == (400,)
+        assert res.imbalance(w) < 1.35
+
+    def test_spatial_compactness(self, rng):
+        coords = rng.random((600, 2))
+        res = MortonPartitioner().partition(coords, 4)
+        global_spread = coords.std(axis=0).mean()
+        intra = [coords[res.labels == k].std(axis=0).mean() for k in range(4)]
+        assert np.mean(intra) < global_spread
+
+    def test_cost_between_chain_and_rcb(self):
+        from repro.partitioners import ChainPartitioner
+
+        m = Machine(64)
+        chain = sum(ChainPartitioner().parallel_cost(50000, 64, m))
+        morton = sum(MortonPartitioner().parallel_cost(50000, 64, m))
+        rcb = sum(RCB().parallel_cost(50000, 64, m))
+        assert chain < morton < rcb
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            MortonPartitioner(bits=0)
+
+    def test_single_part(self, rng):
+        res = MortonPartitioner().partition(rng.random((10, 2)), 1)
+        assert np.all(res.labels == 0)
+
+    def test_charmm_runs_with_morton(self):
+        from repro.apps.charmm import ParallelMD, SequentialMD, build_small_system
+
+        a = build_small_system(180, seed=2)
+        b = a.copy()
+        seq = SequentialMD(a, update_every=3)
+        seq.run(5)
+        par = ParallelMD(b, Machine(4), update_every=3,
+                         partitioner=MortonPartitioner())
+        par.run(5)
+        assert np.abs(par.global_positions() - a.positions).max() < 1e-9
+
+
+class TestScatterAppendMulti:
+    def test_matches_separate_appends(self, machine4, rng):
+        dest = [rng.integers(0, 4, 10) for _ in range(4)]
+        ids = [np.arange(10) + 50 * p for p in range(4)]
+        vel = [rng.standard_normal((10, 2)) for _ in range(4)]
+        sched = build_lightweight_schedule(machine4, dest)
+        ref_ids = scatter_append(machine4, sched, ids)
+        ref_vel = scatter_append(machine4, sched, vel)
+        out = scatter_append_multi(machine4, sched, [ids, vel])
+        for p in range(4):
+            assert np.array_equal(out[0][p], ref_ids[p])
+            assert np.array_equal(out[1][p], ref_vel[p])
+
+    def test_single_message_set(self, rng):
+        dest = [rng.integers(0, 4, 20) for _ in range(4)]
+        arrays = [[rng.standard_normal(20) for _ in range(4)]
+                  for _ in range(3)]
+        m1 = Machine(4)
+        s1 = build_lightweight_schedule(m1, dest)
+        m1.reset_traffic()
+        scatter_append_multi(m1, s1, arrays)
+        m2 = Machine(4)
+        s2 = build_lightweight_schedule(m2, dest)
+        m2.reset_traffic()
+        for a in arrays:
+            scatter_append(m2, s2, a)
+        assert m1.traffic.n_messages * 3 == m2.traffic.n_messages
+        # same bytes on the wire either way (payloads identical)
+        assert m1.traffic.total_bytes == m2.traffic.total_bytes
+
+    def test_empty_attr_list(self, machine4):
+        dest = [np.zeros(0, dtype=np.int64)] * 4
+        sched = build_lightweight_schedule(machine4, dest)
+        assert scatter_append_multi(machine4, sched, []) == []
+
+    def test_length_mismatch_rejected(self, machine4, rng):
+        dest = [rng.integers(0, 4, 5) for _ in range(4)]
+        sched = build_lightweight_schedule(machine4, dest)
+        bad = [[rng.standard_normal(4) for _ in range(4)]]
+        with pytest.raises(ValueError):
+            scatter_append_multi(machine4, sched, bad)
+
+
+class TestIntrinsics:
+    def run_both(self, src, bindings, n_ranks=3):
+        from repro.lang import (
+            ProgramInstance,
+            compile_program,
+            interpret_sequential,
+        )
+
+        prog = compile_program(src)
+        seq = interpret_sequential(
+            prog, {k: np.copy(v) for k, v in bindings.items()}
+        )
+        inst = ProgramInstance(prog, Machine(n_ranks),
+                               {k: np.copy(v) for k, v in bindings.items()})
+        inst.execute()
+        return seq, inst
+
+    def test_sqrt_abs(self, rng):
+        n, e = 12, 40
+        src = f"""
+          REAL x({n}), y({n})
+          INTEGER ia({e}), ib({e})
+C$ DECOMPOSITION reg({n})
+C$ DISTRIBUTE reg(BLOCK)
+C$ ALIGN x, y WITH reg
+          FORALL i = 1, {e}
+            REDUCE(SUM, x(ia(i)), SQRT(ABS(y(ib(i)))))
+          END DO
+"""
+        b = dict(x=np.zeros(n), y=rng.standard_normal(n),
+                 ia=rng.integers(1, n + 1, e), ib=rng.integers(1, n + 1, e))
+        seq, inst = self.run_both(src, b)
+        assert np.allclose(inst.get_array("x"), seq["x"])
+
+    def test_exp_sin_cos(self, rng):
+        n, e = 10, 30
+        src = f"""
+          REAL x({n}), y({n})
+          INTEGER ia({e})
+C$ DECOMPOSITION reg({n})
+C$ DISTRIBUTE reg(BLOCK)
+C$ ALIGN x, y WITH reg
+          FORALL i = 1, {e}
+            REDUCE(SUM, x(ia(i)), EXP(-y(ia(i)) ** 2) * SIN(y(ia(i))) + COS(y(ia(i))))
+          END DO
+"""
+        b = dict(x=np.zeros(n), y=rng.standard_normal(n),
+                 ia=rng.integers(1, n + 1, e))
+        seq, inst = self.run_both(src, b)
+        assert np.allclose(inst.get_array("x"), seq["x"])
+
+    def test_intrinsic_not_confused_with_array(self):
+        """An array named like an intrinsic is not supported — parses as a
+        Call, so analysis flags the unknown usage cleanly rather than
+        silently mis-reading it."""
+        from repro.lang import parse_program
+        from repro.lang.ast_nodes import Call
+
+        prog = parse_program("x(1) = SQRT(2)")
+        assert isinstance(prog.statements[0].value, Call)
+
+
+class TestThermostat:
+    def test_parallel_matches_sequential(self):
+        from repro.apps.charmm import ParallelMD, SequentialMD, build_small_system
+
+        a = build_small_system(180, seed=4)
+        b = a.copy()
+        seq = SequentialMD(a, update_every=3, thermostat_temperature=0.3)
+        seq.run(8)
+        par = ParallelMD(b, Machine(4), update_every=3,
+                         thermostat_temperature=0.3)
+        par.run(8)
+        assert np.abs(par.global_positions() - a.positions).max() < 1e-8
+
+    def test_controls_temperature(self):
+        from repro.apps.charmm import SequentialMD, build_small_system
+
+        a = build_small_system(200, seed=6)
+        b = a.copy()
+        free = SequentialMD(a, update_every=4)
+        free.run(12)
+        damped = SequentialMD(b, update_every=4,
+                              thermostat_temperature=1e-6,
+                              thermostat_tau=0.01)
+        damped.run(12)
+        assert damped.system.kinetic_energy() < free.system.kinetic_energy()
+
+    def test_validation(self):
+        from repro.apps.charmm import SequentialMD, ParallelMD, build_small_system
+
+        s = build_small_system(60, seed=0)
+        with pytest.raises(ValueError):
+            SequentialMD(s, thermostat_temperature=-1)
+        with pytest.raises(ValueError):
+            SequentialMD(s, thermostat_temperature=1.0, thermostat_tau=0)
+        with pytest.raises(ValueError):
+            ParallelMD(s.copy(), Machine(2), thermostat_temperature=0)

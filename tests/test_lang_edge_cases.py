@@ -1,0 +1,194 @@
+"""Edge-case coverage for the compiled-program runtime."""
+
+import numpy as np
+import pytest
+
+from repro.lang import (
+    AnalysisError,
+    ExecutionError,
+    ProgramInstance,
+    compile_program,
+)
+from repro.sim import Machine
+
+
+class TestBindingsAndState:
+    def test_unbound_arrays_zero_allocated(self):
+        prog = compile_program(
+            "REAL x(6)\nC$ DECOMPOSITION r(6)\nC$ DISTRIBUTE r(BLOCK)\n"
+            "C$ ALIGN x WITH r"
+        )
+        inst = ProgramInstance(prog, Machine(2), {})
+        inst.execute()
+        assert np.array_equal(inst.get_array("x"), np.zeros(6))
+
+    def test_set_array_propagates_to_distributed(self, rng):
+        prog = compile_program(
+            "REAL x(8)\nC$ DECOMPOSITION r(8)\nC$ DISTRIBUTE r(BLOCK)\n"
+            "C$ ALIGN x WITH r"
+        )
+        inst = ProgramInstance(prog, Machine(2), {"x": np.zeros(8)})
+        inst.execute()
+        v = rng.standard_normal(8)
+        inst.set_array("x", v)
+        assert np.array_equal(inst.get_array("x"), v)
+
+    def test_set_array_wrong_size_rejected(self):
+        prog = compile_program(
+            "REAL x(8)\nC$ DECOMPOSITION r(8)\nC$ DISTRIBUTE r(BLOCK)\n"
+            "C$ ALIGN x WITH r"
+        )
+        inst = ProgramInstance(prog, Machine(2), {"x": np.zeros(8)})
+        inst.execute()
+        with pytest.raises(ExecutionError):
+            inst.set_array("x", np.zeros(7))
+
+    def test_cyclic_distribution_scheme(self, rng):
+        n, e = 12, 30
+        src = f"""
+          REAL x({n})
+          INTEGER ia({e})
+C$ DECOMPOSITION r({n})
+C$ DISTRIBUTE r(CYCLIC)
+C$ ALIGN x WITH r
+          FORALL i = 1, {e}
+            REDUCE(SUM, x(ia(i)), 1)
+          END DO
+"""
+        prog = compile_program(src)
+        ia = rng.integers(1, n + 1, e)
+        inst = ProgramInstance(prog, Machine(3),
+                               dict(x=np.zeros(n), ia=ia))
+        inst.execute()
+        expected = np.zeros(n)
+        np.add.at(expected, ia - 1, 1.0)
+        assert np.allclose(inst.get_array("x"), expected)
+
+    def test_ragged_get_before_distribute(self):
+        prog = compile_program(
+            "C$ DECOMPOSITION c(4)\nC$ ALIGN v(*,:) WITH c"
+        )
+        inst = ProgramInstance(prog, Machine(2),
+                               {"v": [np.zeros(2)] * 4})
+        # not distributed yet: host value returned
+        assert len(inst.get_array("v")) == 4
+
+
+class TestLoopValidation:
+    def test_outer_loop_must_start_at_one(self, rng):
+        src = """
+          REAL x(6)
+          INTEGER ia(10)
+C$ DECOMPOSITION r(6)
+C$ DISTRIBUTE r(BLOCK)
+C$ ALIGN x WITH r
+          FORALL i = 2, 10
+            REDUCE(SUM, x(ia(i)), 1)
+          END DO
+"""
+        prog = compile_program(src)
+        inst = ProgramInstance(prog, Machine(2), dict(
+            x=np.zeros(6), ia=rng.integers(1, 7, 10)))
+        with pytest.raises(ExecutionError):
+            inst.execute()
+
+    def test_direct_ref_needs_full_span(self, rng):
+        src = """
+          REAL x(6)
+C$ DECOMPOSITION r(6)
+C$ DISTRIBUTE r(BLOCK)
+C$ ALIGN x WITH r
+          FORALL i = 1, 3
+            REDUCE(SUM, x(i), 1)
+          END DO
+"""
+        prog = compile_program(src)
+        inst = ProgramInstance(prog, Machine(2), {"x": np.zeros(6)})
+        with pytest.raises(ExecutionError):
+            inst.execute()
+
+    def test_indirection_shorter_than_range(self, rng):
+        src = """
+          REAL x(6)
+          INTEGER ia(5)
+C$ DECOMPOSITION r(6)
+C$ DISTRIBUTE r(BLOCK)
+C$ ALIGN x WITH r
+          FORALL i = 1, 10
+            REDUCE(SUM, x(ia(i)), 1)
+          END DO
+"""
+        prog = compile_program(src)
+        inst = ProgramInstance(prog, Machine(2), dict(
+            x=np.zeros(6), ia=np.ones(5, dtype=np.int64)))
+        with pytest.raises(ExecutionError):
+            inst.execute()
+
+    def test_mixed_reduce_ops_on_one_target_rejected(self, rng):
+        src = """
+          REAL x(6), y(6)
+          INTEGER ia(8)
+C$ DECOMPOSITION r(6)
+C$ DISTRIBUTE r(BLOCK)
+C$ ALIGN x, y WITH r
+          FORALL i = 1, 8
+            REDUCE(SUM, x(ia(i)), y(ia(i)))
+            REDUCE(MAX, x(ia(i)), y(ia(i)))
+          END DO
+"""
+        prog = compile_program(src)
+        inst = ProgramInstance(prog, Machine(2), dict(
+            x=np.zeros(6), y=np.ones(6), ia=rng.integers(1, 7, 8)))
+        with pytest.raises(ExecutionError):
+            inst.execute()
+
+    def test_non_loop_subscript_rejected_at_compile(self):
+        with pytest.raises(AnalysisError):
+            compile_program("""
+              REAL x(6)
+C$ DECOMPOSITION r(6)
+C$ DISTRIBUTE r(BLOCK)
+C$ ALIGN x WITH r
+              FORALL i = 1, 6
+                REDUCE(SUM, x(k), 1)
+              END DO
+""")
+
+    def test_append_with_extra_statement_rejected(self):
+        with pytest.raises(AnalysisError):
+            compile_program("""
+C$ DECOMPOSITION c(4)
+C$ ALIGN icell(*,:), vel(*,:), size(:), other(:) WITH c
+              FORALL j = 1, 4
+                FORALL i = 1, size(j)
+                  REDUCE(APPEND, vel(i, icell(i,j)), vel(i,j))
+                  REDUCE(SUM, other(icell(i,j)), 1)
+                END FORALL
+              END FORALL
+""")
+
+
+class TestTtableStorageModes:
+    @pytest.mark.parametrize("storage", ["replicated", "distributed", "paged"])
+    def test_compiled_loop_any_storage(self, storage, rng):
+        n, e = 16, 40
+        src = f"""
+          REAL x({n}), y({n})
+          INTEGER ia({e}), ib({e})
+C$ DECOMPOSITION r({n})
+C$ DISTRIBUTE r(BLOCK)
+C$ ALIGN x, y WITH r
+          FORALL i = 1, {e}
+            REDUCE(SUM, x(ia(i)), y(ib(i)))
+          END DO
+"""
+        prog = compile_program(src)
+        b = dict(x=np.zeros(n), y=rng.standard_normal(n),
+                 ia=rng.integers(1, n + 1, e), ib=rng.integers(1, n + 1, e))
+        inst = ProgramInstance(prog, Machine(4),
+                               {k: v.copy() for k, v in b.items()},
+                               ttable_storage=storage)
+        inst.execute()
+        expected = np.zeros(n)
+        np.add.at(expected, b["ia"] - 1, b["y"][b["ib"] - 1])
+        assert np.allclose(inst.get_array("x"), expected)

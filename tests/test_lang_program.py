@@ -1,0 +1,263 @@
+"""Integration tests: compiled-program execution vs the sequential
+interpreter oracle."""
+
+import numpy as np
+import pytest
+
+from repro.lang import (
+    ExecutionError,
+    ProgramInstance,
+    compile_program,
+    interpret_sequential,
+)
+from repro.lang.plans import AppendPlan, LocalPlan, ReductionPlan
+from repro.sim import Machine
+
+
+def charmm_source(n, n_edges, n_offsets):
+    return f"""
+      REAL*8 x({n}), y({n}), dx({n}), dy({n})
+      INTEGER map({n}), jnb({n_edges}), inblo({n_offsets})
+C$ DECOMPOSITION reg({n})
+C$ DISTRIBUTE reg(BLOCK)
+C$ ALIGN x, y, dx, dy WITH reg
+C$ DISTRIBUTE reg(map)
+      FORALL i = 1, {n}
+        FORALL j = inblo(i), inblo(i+1) - 1
+          REDUCE (SUM, dx(jnb(j)), x(jnb(j)) - x(i))
+          REDUCE (SUM, dy(jnb(j)), y(jnb(j)) - y(i))
+          REDUCE (SUM, dx(i), x(i) - x(jnb(j)))
+          REDUCE (SUM, dy(i), y(i) - y(jnb(j)))
+        END DO
+      END DO
+"""
+
+
+def charmm_bindings(rng, n=50, avg_deg=4, p=4):
+    deg = rng.integers(0, 2 * avg_deg, n)
+    inblo = np.ones(n + 1, dtype=np.int64)
+    inblo[1:] = 1 + np.cumsum(deg)
+    jnb = rng.integers(1, n + 1, int(deg.sum()))
+    return dict(
+        x=rng.standard_normal(n), y=rng.standard_normal(n),
+        dx=np.zeros(n), dy=np.zeros(n),
+        map=rng.integers(0, p, n), jnb=jnb, inblo=inblo,
+    )
+
+
+def copy_bindings(b):
+    return {k: (v.copy() if hasattr(v, "copy") else v) for k, v in b.items()}
+
+
+class TestCharmmTemplate:
+    def test_matches_oracle(self, rng):
+        n = 50
+        src = charmm_source(n, 1000, n + 1)
+        b = charmm_bindings(rng, n)
+        src = charmm_source(n, b["jnb"].size, n + 1)
+        prog = compile_program(src)
+        seq = interpret_sequential(prog, copy_bindings(b))
+        inst = ProgramInstance(prog, Machine(4), copy_bindings(b))
+        inst.execute()
+        assert np.allclose(inst.get_array("dx"), seq["dx"], atol=1e-10)
+        assert np.allclose(inst.get_array("dy"), seq["dy"], atol=1e-10)
+
+    def test_redistribution_embedded(self, rng):
+        """The second DISTRIBUTE (map) must remap x/y/dx/dy; values must
+        survive redistribution."""
+        n = 40
+        b = charmm_bindings(rng, n)
+        src = charmm_source(n, b["jnb"].size, n + 1)
+        prog = compile_program(src)
+        inst = ProgramInstance(prog, Machine(4), copy_bindings(b))
+        inst.execute()
+        assert np.allclose(inst.get_array("x"), b["x"])  # data preserved
+
+    def test_rerun_uses_schedule_cache(self, rng):
+        n = 40
+        b = charmm_bindings(rng, n)
+        src = charmm_source(n, b["jnb"].size, n + 1)
+        prog = compile_program(src)
+        inst = ProgramInstance(prog, Machine(4), copy_bindings(b))
+        inst.execute()
+        loop_id = prog.loop_ids()[0]
+        hits0, builds0 = inst.cache.stats(loop_id)
+        inst.run_loop(loop_id)
+        hits1, builds1 = inst.cache.stats(loop_id)
+        assert builds1 == builds0  # no rebuild
+        assert hits1 == hits0 + 1
+
+    def test_modified_indirection_triggers_rebuild(self, rng):
+        n = 40
+        b = charmm_bindings(rng, n)
+        src = charmm_source(n, b["jnb"].size, n + 1)
+        prog = compile_program(src)
+        inst = ProgramInstance(prog, Machine(4), copy_bindings(b))
+        inst.execute()
+        loop_id = prog.loop_ids()[0]
+        _, builds0 = inst.cache.stats(loop_id)
+        jnb2 = rng.integers(1, n + 1, b["jnb"].size)
+        inst.set_array("jnb", jnb2)
+        inst.set_array("dx", np.zeros(n))
+        inst.set_array("dy", np.zeros(n))
+        inst.run_loop(loop_id)
+        _, builds1 = inst.cache.stats(loop_id)
+        assert builds1 == builds0 + 1
+        b2 = copy_bindings(b)
+        b2["jnb"], b2["dx"], b2["dy"] = jnb2, np.zeros(n), np.zeros(n)
+        seq = interpret_sequential(prog, b2)
+        assert np.allclose(inst.get_array("dx"), seq["dx"], atol=1e-10)
+
+
+class TestFlatTemplate:
+    def test_figure8_reduction(self, rng):
+        """Figure 8: FORALL over edges with REDUCE(SUM, x(ia(i)), y(ib(i)))."""
+        n, e = 30, 120
+        src = f"""
+          REAL x({n}), y({n})
+          INTEGER ia({e}), ib({e})
+C$ DECOMPOSITION reg({n})
+C$ DISTRIBUTE reg(BLOCK)
+C$ ALIGN x, y WITH reg
+          FORALL i = 1, {e}
+            REDUCE(SUM, x(ia(i)), y(ib(i)))
+          END DO
+"""
+        b = dict(x=rng.standard_normal(n), y=rng.standard_normal(n),
+                 ia=rng.integers(1, n + 1, e), ib=rng.integers(1, n + 1, e))
+        prog = compile_program(src)
+        seq = interpret_sequential(prog, copy_bindings(b))
+        inst = ProgramInstance(prog, Machine(4), copy_bindings(b))
+        inst.execute()
+        assert np.allclose(inst.get_array("x"), seq["x"], atol=1e-10)
+
+    def test_max_reduction(self, rng):
+        n, e = 20, 80
+        src = f"""
+          REAL x({n}), y({n})
+          INTEGER ia({e}), ib({e})
+C$ DECOMPOSITION reg({n})
+C$ DISTRIBUTE reg(BLOCK)
+C$ ALIGN x, y WITH reg
+          FORALL i = 1, {e}
+            REDUCE(MAX, x(ia(i)), y(ib(i)))
+          END DO
+"""
+        b = dict(x=np.full(n, -100.0), y=rng.standard_normal(n),
+                 ia=rng.integers(1, n + 1, e), ib=rng.integers(1, n + 1, e))
+        prog = compile_program(src)
+        seq = interpret_sequential(prog, copy_bindings(b))
+        inst = ProgramInstance(prog, Machine(4), copy_bindings(b))
+        inst.execute()
+        assert np.allclose(inst.get_array("x"), seq["x"])
+
+
+class TestDsmcTemplate:
+    SRC = """
+C$ DECOMPOSITION celltemp({nc})
+C$ DISTRIBUTE celltemp(BLOCK)
+C$ ALIGN icell(*,:), vel(*,:), size(:), new_size(:) WITH celltemp
+L1:   FORALL j = 1, {nc}
+        FORALL i = 1, size(j)
+          REDUCE(APPEND, vel(i, icell(i,j)), vel(i,j))
+        END FORALL
+      END FORALL
+L2:   FORALL j = 1, {nc}
+        new_size(j) = 0
+      END FORALL
+L3:   FORALL j = 1, {nc}
+        FORALL i = 1, size(j)
+          REDUCE(SUM, new_size(icell(i,j)), 1)
+        END FORALL
+      END FORALL
+"""
+
+    def make(self, rng, nc=12):
+        sizes = rng.integers(0, 7, nc)
+        return dict(
+            size=sizes.astype(np.int64),
+            vel=[rng.standard_normal(s) for s in sizes],
+            icell=[rng.integers(1, nc + 1, s) for s in sizes],
+            new_size=np.zeros(nc),
+        )
+
+    def test_plan_kinds(self, rng):
+        prog = compile_program(self.SRC.format(nc=8))
+        kinds = [type(p).__name__ for p in prog.plans.values()]
+        assert kinds == ["AppendPlan", "LocalPlan", "ReductionPlan"]
+
+    def test_matches_oracle(self, rng):
+        nc = 12
+        b = self.make(rng, nc)
+        prog = compile_program(self.SRC.format(nc=nc))
+        seq = interpret_sequential(prog, {
+            k: ([r.copy() for r in v] if isinstance(v, list) else v.copy())
+            for k, v in b.items()
+        })
+        inst = ProgramInstance(prog, Machine(4), {
+            k: ([r.copy() for r in v] if isinstance(v, list) else v.copy())
+            for k, v in b.items()
+        })
+        inst.execute()
+        assert np.array_equal(inst.get_array("new_size"), seq["new_size"])
+        vel_par = inst.get_array("vel")
+        for c in range(nc):
+            assert np.allclose(np.sort(np.asarray(seq["vel"][c])),
+                               np.sort(np.asarray(vel_par[c])))
+
+    def test_new_size_counts_arrivals(self, rng):
+        nc = 10
+        b = self.make(rng, nc)
+        prog = compile_program(self.SRC.format(nc=nc))
+        inst = ProgramInstance(prog, Machine(2), b)
+        inst.execute()
+        vel_par = inst.get_array("vel")
+        ns = inst.get_array("new_size")
+        for c in range(nc):
+            assert ns[c] == len(vel_par[c])
+
+    def test_append_uses_lightweight_path(self, rng):
+        nc = 10
+        b = self.make(rng, nc)
+        prog = compile_program(self.SRC.format(nc=nc))
+        m = Machine(4)
+        inst = ProgramInstance(prog, m, b)
+        inst.execute()
+        assert m.traffic.tag_bytes("scatter_append") > 0
+
+
+class TestErrors:
+    def test_use_before_distribute(self):
+        src = """
+C$ DECOMPOSITION r(4)
+C$ ALIGN x WITH r
+FORALL i = 1, 4
+  REDUCE(SUM, x(i), 1)
+END DO
+"""
+        prog = compile_program(src)
+        # executing the loop directly without DISTRIBUTE must fail
+        inst = ProgramInstance(prog, Machine(2), {})
+        with pytest.raises(ExecutionError):
+            inst.run_loop(prog.loop_ids()[0])
+
+    def test_map_out_of_range(self):
+        src = "C$ DECOMPOSITION r(4)\nC$ DISTRIBUTE r(map)\nC$ ALIGN x WITH r"
+        prog = compile_program(src)
+        inst = ProgramInstance(prog, Machine(2),
+                               {"map": np.array([0, 1, 2, 0])})
+        with pytest.raises(ExecutionError):
+            inst.execute()
+
+    def test_map_wrong_length(self):
+        src = "C$ DECOMPOSITION r(4)\nC$ DISTRIBUTE r(map)"
+        prog = compile_program(src)
+        inst = ProgramInstance(prog, Machine(2), {"map": np.zeros(3, int)})
+        with pytest.raises(ExecutionError):
+            inst.execute()
+
+    def test_get_unknown_array(self):
+        prog = compile_program("C$ DECOMPOSITION r(4)")
+        inst = ProgramInstance(prog, Machine(2), {})
+        with pytest.raises(ExecutionError):
+            inst.get_array("ghost")

@@ -1,0 +1,101 @@
+"""Unit tests: virtual clocks."""
+
+import pytest
+
+from repro.sim import Clock, ClockArray
+
+
+class TestClock:
+    def test_advance_accumulates(self):
+        c = Clock()
+        c.advance(1.0, "compute")
+        c.advance(2.0, "comm")
+        c.advance(0.5, "compute")
+        assert c.time == pytest.approx(3.5)
+        assert c.category("compute") == pytest.approx(1.5)
+        assert c.category("comm") == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-0.1)
+
+    def test_wait_until_adds_idle(self):
+        c = Clock()
+        c.advance(1.0)
+        idle = c.wait_until(3.0)
+        assert idle == pytest.approx(2.0)
+        assert c.time == pytest.approx(3.0)
+        assert c.category("idle") == pytest.approx(2.0)
+
+    def test_wait_until_past_is_noop(self):
+        c = Clock()
+        c.advance(5.0)
+        assert c.wait_until(1.0) == 0.0
+        assert c.time == pytest.approx(5.0)
+
+    def test_busy_time_excludes_idle(self):
+        c = Clock()
+        c.advance(2.0, "compute")
+        c.wait_until(10.0)
+        assert c.busy_time() == pytest.approx(2.0)
+
+    def test_snapshot_contains_total(self):
+        c = Clock()
+        c.advance(1.0, "x")
+        snap = c.snapshot()
+        assert snap["total"] == pytest.approx(1.0)
+        assert snap["x"] == pytest.approx(1.0)
+
+    def test_reset(self):
+        c = Clock()
+        c.advance(1.0)
+        c.reset()
+        assert c.time == 0.0
+        assert c.snapshot() == {"total": 0.0}
+
+
+class TestClockArray:
+    def test_barrier_advances_all_to_max(self):
+        ca = ClockArray(3)
+        ca[0].advance(1.0)
+        ca[1].advance(5.0)
+        t = ca.barrier()
+        assert t == pytest.approx(5.0)
+        assert all(c.time == pytest.approx(5.0) for c in ca)
+
+    def test_barrier_records_idle(self):
+        ca = ClockArray(2)
+        ca[0].advance(4.0, "compute")
+        ca.barrier()
+        assert ca[1].category("idle") == pytest.approx(4.0)
+        assert ca[0].category("idle") == 0.0
+
+    def test_stats(self):
+        ca = ClockArray(4)
+        for i, c in enumerate(ca):
+            c.advance(float(i), "compute")
+        assert ca.max_time() == pytest.approx(3.0)
+        assert ca.min_time() == pytest.approx(0.0)
+        assert ca.mean_time() == pytest.approx(1.5)
+        assert ca.mean_category("compute") == pytest.approx(1.5)
+        assert ca.max_category("compute") == pytest.approx(3.0)
+
+    def test_category_times_list(self):
+        ca = ClockArray(2)
+        ca[1].advance(2.0, "comm")
+        assert ca.category_times("comm") == [0.0, 2.0]
+
+    def test_needs_one_rank(self):
+        with pytest.raises(ValueError):
+            ClockArray(0)
+
+    def test_len_and_iter(self):
+        ca = ClockArray(3)
+        assert len(ca) == 3
+        assert len(list(ca)) == 3
+
+    def test_reset_all(self):
+        ca = ClockArray(2)
+        ca[0].advance(1.0)
+        ca.reset()
+        assert ca.max_time() == 0.0

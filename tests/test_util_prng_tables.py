@@ -1,0 +1,94 @@
+"""Unit tests: counter-based PRNG and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    format_table,
+    hash_permutation_key,
+    hash_uniform,
+    hash_unit_vector,
+    splitmix64,
+)
+
+
+class TestSplitMix:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+        a = splitmix64(np.arange(10))
+        b = splitmix64(np.arange(10))
+        assert np.array_equal(a, b)
+
+    def test_scalar_vs_array_consistent(self):
+        arr = splitmix64(np.array([7]))
+        assert splitmix64(7) == arr[0]
+
+    def test_different_inputs_differ(self):
+        vals = splitmix64(np.arange(1000))
+        assert np.unique(vals).size == 1000
+
+
+class TestHashUniform:
+    def test_range(self):
+        u = hash_uniform(1, np.arange(10000))
+        assert np.all(u >= 0) and np.all(u < 1)
+
+    def test_roughly_uniform(self):
+        u = hash_uniform(0, np.arange(50000))
+        hist, _ = np.histogram(u, bins=10, range=(0, 1))
+        assert hist.min() > 4000 and hist.max() < 6000
+
+    def test_key_order_matters(self):
+        assert hash_uniform(1, 2) != hash_uniform(2, 1)
+
+    def test_broadcasting(self):
+        u = hash_uniform(5, np.arange(4), 7)
+        assert u.shape == (4,)
+
+    def test_no_keys_rejected(self):
+        with pytest.raises(ValueError):
+            hash_uniform()
+
+    def test_mean_near_half(self):
+        u = hash_uniform(3, np.arange(100000))
+        assert abs(u.mean() - 0.5) < 0.01
+
+
+class TestHashUnitVector:
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_unit_length(self, dim):
+        v = hash_unit_vector(dim, 0, np.arange(1000))
+        norms = np.linalg.norm(v, axis=-1)
+        assert np.allclose(norms, 1.0)
+
+    def test_isotropic_mean_near_zero(self):
+        v = hash_unit_vector(3, 1, np.arange(50000))
+        assert np.all(np.abs(v.mean(axis=0)) < 0.02)
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(ValueError):
+            hash_unit_vector(4, 0, 1)
+
+    def test_permutation_key_shape(self):
+        k = hash_permutation_key(0, np.arange(5))
+        assert k.shape == (5,) and k.dtype == np.uint64
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], [30, 4.25]],
+                           title="T", float_fmt="{:.2f}")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in out and "4.25" in out
+        # all rows same width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_strings_pass_through(self):
+        out = format_table(["name"], [["chain"]])
+        assert "chain" in out
