@@ -68,6 +68,14 @@ def generate_table(cfg: dict | None = None):
         ["Procs", "Execution", "Computation", "Communication", "LB index"],
         rows,
         float_fmt="{:.4f}",
+        json_name="table1_charmm_scaling",
+        extra={
+            "config": cfg,
+            "phases": {
+                p: {k: v for k, v in rep.items() if k != "machine"}
+                for p, rep in reports.items()
+            },
+        },
     )
     return rows, reports
 

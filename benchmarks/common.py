@@ -9,13 +9,31 @@ Workloads are scaled down from the paper's (fewer time-steps, and for
 CHARMM a smaller atom count) so the full suite runs in minutes;
 ``EXPERIMENTS.md`` records the scaling next to each paper-vs-measured
 comparison.  Set ``REPRO_BENCH_FULL=1`` for paper-sized runs.
+
+Executor backend selection: pass ``--backend=NAME`` to any table script
+(or set ``REPRO_BENCH_BACKEND``) to run its data transport through a
+specific executor backend (``serial``, ``vectorized``, ...); importing
+this module applies the selection process-wide, so every bench script
+honours it uniformly.
+
+Every table printed through :func:`print_table` is also written as
+machine-readable JSON (rows, headers, backend name, wall-clock timestamp)
+under ``benchmarks/results/`` — override with ``REPRO_BENCH_RESULTS_DIR``,
+disable with ``REPRO_BENCH_JSON=0`` — so successive PRs can track the
+perf trajectory without scraping stderr.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
 import sys
+import time
 
+import numpy as np
+
+from repro.core import available_backends, default_backend, set_default_backend
 from repro.util import format_table
 
 #: processor counts used in the paper's CHARMM tables
@@ -31,6 +49,41 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
 
 
+# ---------------------------------------------------------------------
+# executor backend selection
+# ---------------------------------------------------------------------
+def bench_backend() -> str | None:
+    """Backend requested for this benchmark run, or ``None`` for default.
+
+    ``--backend=NAME`` on the command line wins over the
+    ``REPRO_BENCH_BACKEND`` environment variable.
+    """
+    for arg in sys.argv[1:]:
+        if arg.startswith("--backend="):
+            return arg.split("=", 1)[1]
+    return os.environ.get("REPRO_BENCH_BACKEND") or None
+
+
+def apply_bench_backend() -> str:
+    """Install the requested backend as the process default; returns name."""
+    name = bench_backend()
+    if name is not None:
+        if name not in available_backends():
+            raise SystemExit(
+                f"unknown backend {name!r}; available: {available_backends()}"
+            )
+        set_default_backend(name)
+    return default_backend().name
+
+
+# every bench script imports this module first, so a --backend=NAME flag
+# (or REPRO_BENCH_BACKEND) takes effect for all of them uniformly
+apply_bench_backend()
+
+
+# ---------------------------------------------------------------------
+# workload configurations
+# ---------------------------------------------------------------------
 def charmm_config() -> dict:
     """Mini-CHARMM workload parameters.
 
@@ -83,7 +136,75 @@ def compiler_dsmc_config() -> dict:
     return dict(shape=(16, 16), n_steps=12, n_initial=1500, inflow=50)
 
 
-def print_table(title: str, headers, rows, float_fmt="{:.3f}") -> str:
+# ---------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------
+def _jsonable(obj):
+    """Recursively convert numpy scalars/arrays for json.dump."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def results_dir() -> str:
+    """Directory JSON results are written to."""
+    return os.environ.get(
+        "REPRO_BENCH_RESULTS_DIR",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+    )
+
+
+def _slug(title: str) -> str:
+    s = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    return s[:80] or "table"
+
+
+def emit_json(name: str, payload: dict) -> str | None:
+    """Write one machine-readable result file; returns its path.
+
+    Disabled (returns ``None``) when ``REPRO_BENCH_JSON=0``.  Every
+    payload is stamped with the active executor backend, workload scale,
+    and wall-clock time so result files are self-describing.
+    """
+    if os.environ.get("REPRO_BENCH_JSON", "1") in ("0", "false"):
+        return None
+    payload = dict(payload)
+    payload.setdefault("name", name)
+    payload.setdefault("backend", default_backend().name)
+    payload.setdefault("full_scale", full_scale())
+    payload.setdefault("timestamp", time.time())
+    out_dir = results_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{_slug(name)}.json")
+    with open(path, "w") as fh:
+        json.dump(_jsonable(payload), fh, indent=2, sort_keys=True)
+    return path
+
+
+def print_table(title: str, headers, rows, float_fmt="{:.3f}",
+                json_name: str | None = None, extra: dict | None = None
+                ) -> str:
+    """Print one result table and persist it as JSON (see :func:`emit_json`).
+
+    ``extra`` merges additional machine-readable fields (per-phase times,
+    configs, wall-clock measurements) into the JSON payload.
+    """
     out = format_table(headers, rows, title=title, float_fmt=float_fmt)
     print("\n" + out, file=sys.stderr)
+    payload = {
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(r) for r in rows],
+    }
+    if extra:
+        payload.update(extra)
+    emit_json(json_name or _slug(title), payload)
     return out

@@ -1,6 +1,10 @@
+"""Shim for environments that cannot do PEP 660 editable installs.
+
+All packaging metadata lives in ``pyproject.toml``.  This file exists so
+that ``python setup.py develop`` (or the ``.pth`` approach) keeps working
+where the ``wheel`` package is unavailable for ``pip install -e .``.
+"""
+
 from setuptools import setup
 
-# Offline fallback: `pip install -e .` needs the `wheel` package for PEP 660
-# editable installs, which is unavailable in this environment.  `python
-# setup.py develop` (or the .pth approach) provides the same result.
 setup()

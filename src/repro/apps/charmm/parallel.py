@@ -62,6 +62,10 @@ class ParallelMD:
         comparison knob.
     ttable_storage:
         Translation-table policy (paper used ``"replicated"``).
+    backend:
+        Executor backend for all Phase-F/remap data transport (name,
+        :class:`~repro.core.backends.Backend`, or ``None`` for the
+        process default).
     """
 
     def __init__(
@@ -75,6 +79,7 @@ class ParallelMD:
         ttable_storage: str = "replicated",
         thermostat_temperature: float | None = None,
         thermostat_tau: float = 0.1,
+        backend=None,
     ):
         if schedule_mode not in ("merged", "multiple"):
             raise ValueError(f"unknown schedule_mode {schedule_mode!r}")
@@ -93,6 +98,7 @@ class ParallelMD:
         self.partitioner = partitioner if partitioner is not None else RCB()
         self.schedule_mode = schedule_mode
         self.ttable_storage = ttable_storage
+        self.backend = backend
         self.trace = MDTrace()
         self.step_count = 0
 
@@ -127,10 +133,14 @@ class ParallelMD:
         block = BlockDistribution(s.n_atoms, m.n_ranks)
         plan = remap(m, block, dist, category="remap")
         split = lambda a: [a[block.global_indices(p)] for p in m.ranks()]  # noqa: E731
-        self.pos = remap_array(m, plan, split(s.positions), category="remap")
-        self.vel = remap_array(m, plan, split(s.velocities), category="remap")
-        self.mass = remap_array(m, plan, split(s.masses), category="remap")
-        self.charge = remap_array(m, plan, split(s.charges), category="remap")
+        self.pos = remap_array(m, plan, split(s.positions),
+                               category="remap", backend=self.backend)
+        self.vel = remap_array(m, plan, split(s.velocities),
+                               category="remap", backend=self.backend)
+        self.mass = remap_array(m, plan, split(s.masses),
+                                category="remap", backend=self.backend)
+        self.charge = remap_array(m, plan, split(s.charges),
+                                  category="remap", backend=self.backend)
 
         # Phase C/D for the bonded loop.
         ib_g, jb_g = (
@@ -228,10 +238,10 @@ class ParallelMD:
             self.sched = self.sched_nb  # ghost capacity is table-wide
         # static ghost data: charges (atoms' charges never change)
         self.charge_ghost = gather(m, self.sched_nb, self.charge,
-                                   category="comm")
+                                   category="comm", backend=self.backend)
         if self.schedule_mode == "multiple":
             gather(m, self.sched_bonded, self.charge, self.charge_ghost,
-                   category="comm")
+                   category="comm", backend=self.backend)
 
     # ==================================================================
     # adaptive: non-bonded list regeneration (stamp reuse)
@@ -266,10 +276,14 @@ class ParallelMD:
             m, result.to_distribution(m.n_ranks), storage=self.ttable_storage
         )
         plan = remap(m, self.ttable.dist, new_ttable.dist, category="remap")
-        self.pos = remap_array(m, plan, self.pos, category="remap")
-        self.vel = remap_array(m, plan, self.vel, category="remap")
-        self.mass = remap_array(m, plan, self.mass, category="remap")
-        self.charge = remap_array(m, plan, self.charge, category="remap")
+        self.pos = remap_array(m, plan, self.pos, category="remap",
+                               backend=self.backend)
+        self.vel = remap_array(m, plan, self.vel, category="remap",
+                               backend=self.backend)
+        self.mass = remap_array(m, plan, self.mass, category="remap",
+                                backend=self.backend)
+        self.charge = remap_array(m, plan, self.charge,
+                                  category="remap", backend=self.backend)
         self.ttable = new_ttable
 
         ib_g, jb_g = (
@@ -306,9 +320,11 @@ class ParallelMD:
         s = self.system
         ff = s.forcefield
 
-        pos_ghost = gather(m, self.sched_nb, self.pos, category="comm")
+        pos_ghost = gather(m, self.sched_nb, self.pos, category="comm",
+                           backend=self.backend)
         if self.schedule_mode == "multiple":
-            gather(m, self.sched_bonded, self.pos, pos_ghost, category="comm")
+            gather(m, self.sched_bonded, self.pos, pos_ghost,
+                   category="comm", backend=self.backend)
         pos_stacked = stack_local_ghost(self.pos, pos_ghost)
         charge_stacked = stack_local_ghost(self.charge, self.charge_ghost)
 
@@ -350,10 +366,10 @@ class ParallelMD:
             force_ghost_nb[p] += fn_stack[n_local:force_ghost_nb[p].shape[0] + n_local]
 
         scatter_op(m, self.sched_nb, force_local, force_ghost_nb, np.add,
-                   category="comm")
+                   category="comm", backend=self.backend)
         if self.schedule_mode == "multiple":
             scatter_op(m, self.sched_bonded, force_local, force_ghost_b,
-                       np.add, category="comm")
+                       np.add, category="comm", backend=self.backend)
         m.barrier()
         return force_local, energy
 

@@ -50,6 +50,10 @@ class ParallelDSMC:
     partitioner:
         Initial cell partitioner; ``None`` = BLOCK over flat cell ids
         ("static partition" baseline of Table 5 when no remapping).
+    backend:
+        Executor backend for particle migration and remapping (name,
+        :class:`~repro.core.backends.Backend`, or ``None`` for the
+        process default).
     """
 
     def __init__(
@@ -60,6 +64,7 @@ class ParallelDSMC:
         migration: str = "lightweight",
         partitioner: Partitioner | None = None,
         ttable_storage: str = "replicated",
+        backend=None,
     ):
         if migration not in ("lightweight", "regular"):
             raise ValueError(f"unknown migration mode {migration!r}")
@@ -68,6 +73,7 @@ class ParallelDSMC:
         self.config = config if config is not None else DSMCConfig()
         self.migration = migration
         self.ttable_storage = ttable_storage
+        self.backend = backend
         self.trace = DSMCTrace()
         self.step_count = 0
         self.next_id = self.config.n_initial
@@ -195,6 +201,7 @@ class ParallelDSMC:
             [[ps.ids for ps in moved],
              [ps.positions for ps in moved],
              [ps.velocities for ps in moved]],
+            backend=self.backend,
         )
         return [
             ParticleSet(ids=i, positions=x, velocities=v)
@@ -245,9 +252,9 @@ class ParallelDSMC:
         per_rank = lambda arr: [  # noqa: E731
             arr[src_rank == p] for p in m.ranks()
         ]
-        ids = remap_array(m, plan, per_rank(all_ids))
-        pos = remap_array(m, plan, per_rank(all_pos))
-        vel = remap_array(m, plan, per_rank(all_vel))
+        ids = remap_array(m, plan, per_rank(all_ids), backend=self.backend)
+        pos = remap_array(m, plan, per_rank(all_pos), backend=self.backend)
+        vel = remap_array(m, plan, per_rank(all_vel), backend=self.backend)
         del new_map_by_slot, slot_of
         return [
             ParticleSet(ids=i, positions=x, velocities=v)
@@ -279,6 +286,7 @@ class ParallelDSMC:
              [ps.positions for ps in self.parts],
              [ps.velocities for ps in self.parts]],
             category="remap",
+            backend=self.backend,
         )
         self.parts = [
             ParticleSet(ids=i, positions=x, velocities=v)

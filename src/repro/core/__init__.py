@@ -37,6 +37,27 @@ from repro.core.executor import (
     split_local_ghost,
 )
 from repro.core.remap import RemapPlan, remap, remap_array, remap_global_values
+from repro.core.backends import (
+    Backend,
+    SerialBackend,
+    VectorizedBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.core.compiled import (
+    CompiledLightweightSchedule,
+    CompiledPlan,
+    CompiledRemapPlan,
+    CompiledSchedule,
+    compile_lightweight_schedule,
+    compile_remap_plan,
+    compile_schedule,
+)
 from repro.core.iteration import (
     IterationAssignment,
     block_iteration_slices,
@@ -85,6 +106,23 @@ __all__ = [
     "remap",
     "remap_array",
     "remap_global_values",
+    "Backend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+    "CompiledLightweightSchedule",
+    "CompiledPlan",
+    "CompiledRemapPlan",
+    "CompiledSchedule",
+    "compile_lightweight_schedule",
+    "compile_remap_plan",
+    "compile_schedule",
     "IterationAssignment",
     "block_iteration_slices",
     "partition_iterations",

@@ -104,12 +104,13 @@ class DistributedArray:
         return self.ttable.dist.local_sizes()
 
     def redistribute(self, new_ttable: TranslationTable,
-                     category: str = "remap") -> "DistributedArray":
+                     category: str = "remap",
+                     backend=None) -> "DistributedArray":
         """Phase B: move to a new distribution (charged remap)."""
         plan = remap(self.machine, self.ttable.dist, new_ttable.dist,
                      category=category)
         new_local = remap_array(self.machine, plan, self.local,
-                                category=category)
+                                category=category, backend=backend)
         return DistributedArray(self.machine, new_ttable, new_local)
 
     def copy(self) -> "DistributedArray":
@@ -124,10 +125,16 @@ class ChaosRuntime:
     Owns one hash-table group and one schedule cache per translation
     table, so adaptive applications get stamp reuse and schedule reuse
     without extra bookkeeping.
+
+    ``backend`` selects the executor backend for every data-transport
+    call made through this runtime (a name, a
+    :class:`~repro.core.backends.Backend` instance, or ``None`` to track
+    the process-wide default).
     """
 
-    def __init__(self, machine: Machine):
+    def __init__(self, machine: Machine, backend=None):
         self.machine = machine
+        self.backend = backend
         self._htables: dict[int, list[IndexHashTable]] = {}
         self.modification_record = ModificationRecord()
         self.schedule_cache = ScheduleCache(self.modification_record)
@@ -211,19 +218,22 @@ class ChaosRuntime:
     # ---- Phase F: executor ----------------------------------------------
     def gather(self, sched: Schedule, x: DistributedArray,
                ghosts: list[np.ndarray] | None = None) -> list[np.ndarray]:
-        return gather(self.machine, sched, x.local, ghosts)
+        return gather(self.machine, sched, x.local, ghosts,
+                      backend=self.backend)
 
     def scatter(self, sched: Schedule, x: DistributedArray,
                 ghosts: list[np.ndarray]) -> None:
-        scatter(self.machine, sched, x.local, ghosts)
+        scatter(self.machine, sched, x.local, ghosts, backend=self.backend)
 
     def scatter_add(self, sched: Schedule, x: DistributedArray,
                     ghosts: list[np.ndarray]) -> None:
-        scatter_op(self.machine, sched, x.local, ghosts, np.add)
+        scatter_op(self.machine, sched, x.local, ghosts, np.add,
+                   backend=self.backend)
 
     def scatter_reduce(self, sched: Schedule, x: DistributedArray,
                        ghosts: list[np.ndarray], op) -> None:
-        scatter_op(self.machine, sched, x.local, ghosts, op)
+        scatter_op(self.machine, sched, x.local, ghosts, op,
+                   backend=self.backend)
 
     def ghosts_for(self, sched: Schedule, x: DistributedArray
                    ) -> list[np.ndarray]:
@@ -235,7 +245,8 @@ class ChaosRuntime:
 
     def scatter_append(self, lw_sched, values: list[np.ndarray]
                        ) -> list[np.ndarray]:
-        return scatter_append(self.machine, lw_sched, values)
+        return scatter_append(self.machine, lw_sched, values,
+                              backend=self.backend)
 
 
 class IrregularReduction:

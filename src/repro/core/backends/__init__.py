@@ -1,0 +1,40 @@
+"""Pluggable executor backends.
+
+Importing this package registers the two built-in backends:
+
+* ``serial`` — reference pair-loop semantics,
+* ``vectorized`` — compiled flat plans (the default).
+
+Select per call (``gather(..., backend="serial")``), per component
+(``ChaosRuntime(machine, backend=...)``), process-wide
+(:func:`set_default_backend` / ``REPRO_BACKEND`` env var), or temporarily
+(:func:`use_backend`).
+"""
+
+from repro.core.backends.base import (
+    BACKEND_ENV_VAR,
+    Backend,
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.core.backends.serial import SerialBackend
+from repro.core.backends.vectorized import VectorizedBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "Backend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]

@@ -1,0 +1,158 @@
+"""Executor backend protocol and registry.
+
+A :class:`Backend` implements the *data transportation* step of every
+executor-phase collective — gather, scatter, scatter-with-op, append-order
+particle migration, and remap application.  The module-level functions in
+:mod:`repro.core.executor`, :mod:`repro.core.lightweight` and
+:mod:`repro.core.remap` validate arguments and then dispatch to a backend,
+so every backend sees pre-validated inputs and only has to move data and
+charge the machine.
+
+Two implementations ship with the runtime:
+
+* ``serial`` — the reference pair-loop semantics (one small numpy
+  operation per communicating ``(p, q)`` rank pair);
+* ``vectorized`` — compiled flat plans (:mod:`repro.core.compiled`)
+  executed with a handful of fused numpy operations per collective, the
+  default.
+
+Backends must be *observationally identical*: same results bitwise, same
+traffic statistics, same virtual-time totals (up to float summation
+order).  ``tests/test_backends.py`` enforces this on randomized
+schedules.  New execution strategies (threaded, sharded, alternative
+transports) plug in via :func:`register_backend` without touching
+applications.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from typing import Callable
+
+import numpy as np
+
+#: environment variable consulted for the initial default backend
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class Backend(ABC):
+    """Executor data-transportation strategy.
+
+    All methods receive pre-validated arguments (see the dispatching
+    wrappers in :mod:`repro.core.executor` et al.) and must charge the
+    machine exactly as the serial reference does.
+    """
+
+    #: registry key; subclasses override
+    name: str = "abstract"
+
+    @abstractmethod
+    def gather(self, machine, sched, data, ghosts, category: str):
+        """Fill ``ghosts`` with off-processor elements; returns ``ghosts``."""
+
+    @abstractmethod
+    def scatter(self, machine, sched, data, ghosts, op: Callable | None,
+                category: str) -> None:
+        """Return ghost values to owners; ``op=None`` overwrites,
+        otherwise ``op.at`` combines (source-rank-ascending order)."""
+
+    @abstractmethod
+    def scatter_append(self, machine, sched, values, category: str):
+        """Move elements to destination ranks, appending kept-local first
+        then arrivals by source rank; returns new per-rank arrays."""
+
+    @abstractmethod
+    def scatter_append_multi(self, machine, sched, arrays, category: str):
+        """Like :meth:`scatter_append` for several aligned attribute sets
+        sharing one set of messages; returns ``out[k][p]``."""
+
+    @abstractmethod
+    def remap_array(self, machine, plan, data, category: str):
+        """Apply a remap plan to one per-rank array set; returns new
+        arrays."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, type[Backend]] = {}
+_INSTANCES: dict[str, Backend] = {}
+_default_name: str | None = None
+
+
+def register_backend(cls: type[Backend]) -> type[Backend]:
+    """Register a backend class under ``cls.name`` (usable as decorator)."""
+    name = getattr(cls, "name", None)
+    if not name or name == Backend.name:
+        raise ValueError(f"backend class {cls!r} must define a unique name")
+    _REGISTRY[name] = cls
+    _INSTANCES.pop(name, None)
+    return cls
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate (once) and return the backend registered as ``name``."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _REGISTRY[name]()
+    return _INSTANCES[name]
+
+
+def set_default_backend(name: str) -> None:
+    """Select the process-wide default backend by name."""
+    global _default_name
+    get_backend(name)  # validate eagerly
+    _default_name = name
+
+
+def default_backend() -> Backend:
+    """The current default backend.
+
+    Resolution order: :func:`set_default_backend`, then the
+    ``REPRO_BACKEND`` environment variable, then ``"vectorized"``.
+    """
+    name = _default_name or os.environ.get(BACKEND_ENV_VAR) or "vectorized"
+    return get_backend(name)
+
+
+def resolve_backend(backend) -> Backend:
+    """Coerce ``None`` / name / instance to a :class:`Backend`."""
+    if backend is None:
+        return default_backend()
+    if isinstance(backend, Backend):
+        return backend
+    if isinstance(backend, str):
+        return get_backend(backend)
+    raise TypeError(
+        f"backend must be None, a name, or a Backend, got {backend!r}"
+    )
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily switch the default backend (tests, benchmarks)."""
+    global _default_name
+    previous = _default_name
+    set_default_backend(name)
+    try:
+        yield get_backend(name)
+    finally:
+        _default_name = previous
+
+
+def row_nbytes(a: np.ndarray) -> int:
+    """Bytes per element row of ``a`` — one moved element's wire size."""
+    n = a.dtype.itemsize
+    for dim in a.shape[1:]:
+        n *= int(dim)
+    return n

@@ -1,0 +1,178 @@
+"""Serial pair-loop executor backend — the reference semantics.
+
+This is the original CHAOS-style executor: every communicating ``(p, q)``
+rank pair is visited with a Python loop, packing one small numpy payload
+per pair and shipping the nested per-pair lists through
+:meth:`Machine.alltoallv`.  It is deliberately unclever — the behaviour
+(results, traffic statistics, clock charges) of every other backend is
+defined as "whatever this one does".
+
+Like every backend, it receives pre-validated inputs: the dispatching
+wrappers in :mod:`repro.core.executor` et al. perform the bounds and
+shape checks before any backend runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.backends.base import Backend, register_backend
+
+
+@register_backend
+class SerialBackend(Backend):
+    """Pair-loop data transportation (one payload per rank pair)."""
+
+    name = "serial"
+
+    # ------------------------------------------------------------------
+    # regular schedules
+    # ------------------------------------------------------------------
+    def gather(self, machine, sched, data, ghosts, category):
+        n = machine.n_ranks
+        send = [[None] * n for _ in machine.ranks()]
+        for p in machine.ranks():
+            d = np.asarray(data[p])
+            for q in machine.ranks():
+                sel = sched.send_indices[p][q]
+                if sel.size:
+                    send[p][q] = d[sel]
+                    machine.charge_copyops(p, sel.size, category)
+        received = machine.alltoallv(send, tag="gather", category=category)
+        for p in machine.ranks():
+            g = ghosts[p]
+            for q in machine.ranks():
+                got = received[p][q]
+                slots = sched.recv_slots[p][q]
+                if slots.size:
+                    g[slots] = got
+                    machine.charge_copyops(p, slots.size, category)
+        return ghosts
+
+    def scatter(self, machine, sched, data, ghosts, op: Callable | None,
+                category) -> None:
+        n = machine.n_ranks
+        send = [[None] * n for _ in machine.ranks()]
+        for p in machine.ranks():
+            g = np.asarray(ghosts[p])
+            for q in machine.ranks():
+                slots = sched.recv_slots[p][q]
+                if slots.size:
+                    send[p][q] = g[slots]
+                    machine.charge_copyops(p, slots.size, category)
+        received = machine.alltoallv(send, tag="scatter", category=category)
+        for p in machine.ranks():
+            d = data[p]
+            for q in machine.ranks():
+                got = received[p][q]
+                sel = sched.send_indices[p][q]
+                if sel.size:
+                    if op is None:
+                        d[sel] = got
+                    else:
+                        op.at(d, sel, got)
+                    machine.charge_copyops(p, sel.size, category)
+
+    # ------------------------------------------------------------------
+    # light-weight schedules
+    # ------------------------------------------------------------------
+    def scatter_append(self, machine, sched, values, category):
+        n = machine.n_ranks
+        send = [[None] * n for _ in machine.ranks()]
+        for p in machine.ranks():
+            v = np.asarray(values[p])
+            for q in machine.ranks():
+                sel = sched.send_sel[p][q]
+                if sel.size:
+                    send[p][q] = v[sel]
+            machine.charge_copyops(p, v.shape[0], category)
+        received = machine.alltoallv(send, tag="scatter_append",
+                                     category=category)
+        out: list[np.ndarray] = []
+        for p in machine.ranks():
+            parts = []
+            # kept-local first, then arrivals by source rank:
+            if received[p][p] is not None and np.size(received[p][p]):
+                parts.append(np.asarray(received[p][p]))
+            for q in machine.ranks():
+                if q == p:
+                    continue
+                got = received[p][q]
+                if got is not None and np.size(got):
+                    parts.append(np.asarray(got))
+                    machine.charge_copyops(p, np.shape(got)[0], category)
+            if parts:
+                out.append(np.concatenate(parts, axis=0))
+            else:
+                v = np.asarray(values[p])
+                out.append(np.zeros((0,) + v.shape[1:], dtype=v.dtype))
+        return out
+
+    def scatter_append_multi(self, machine, sched, arrays, category):
+        n = machine.n_ranks
+        n_attr = len(arrays)
+        send = [[None] * n for _ in machine.ranks()]
+        for p in machine.ranks():
+            expected = int(sched.send_sizes(p).sum())
+            for q in machine.ranks():
+                sel = sched.send_sel[p][q]
+                if sel.size:
+                    send[p][q] = tuple(
+                        np.asarray(arrays[k][p])[sel] for k in range(n_attr)
+                    )
+            machine.charge_copyops(p, n_attr * expected, category)
+        received = machine.alltoallv(send, tag="scatter_append",
+                                     category=category)
+        out: list[list[np.ndarray]] = [[] for _ in range(n_attr)]
+        for p in machine.ranks():
+            parts: list[list[np.ndarray]] = [[] for _ in range(n_attr)]
+            source_order = [p] + [q for q in machine.ranks() if q != p]
+            got_any = False
+            for q in source_order:
+                got = received[p][q]
+                if got is None:
+                    continue
+                got_any = True
+                for k in range(n_attr):
+                    parts[k].append(np.asarray(got[k]))
+                if q != p:
+                    machine.charge_copyops(p, n_attr * np.shape(got[0])[0],
+                                           category)
+            for k in range(n_attr):
+                if got_any and parts[k]:
+                    out[k].append(np.concatenate(parts[k], axis=0))
+                else:
+                    v = np.asarray(arrays[k][p])
+                    out[k].append(np.zeros((0,) + v.shape[1:], dtype=v.dtype))
+        return out
+
+    # ------------------------------------------------------------------
+    # remap plans
+    # ------------------------------------------------------------------
+    def remap_array(self, machine, plan, data, category):
+        n = machine.n_ranks
+        send = [[None] * n for _ in machine.ranks()]
+        for p in machine.ranks():
+            d = np.asarray(data[p])
+            for q in machine.ranks():
+                sel = plan.send_sel[p][q]
+                if sel.size:
+                    send[p][q] = d[sel]
+                    machine.charge_copyops(p, sel.size, category)
+        received = machine.alltoallv(send, tag="remap_data",
+                                     category=category)
+        out: list[np.ndarray] = []
+        for p in machine.ranks():
+            d = np.asarray(data[p])
+            shape = (plan.new_sizes[p],) + d.shape[1:]
+            new_local = np.zeros(shape, dtype=d.dtype)
+            for q in machine.ranks():
+                got = received[p][q]
+                sel = plan.place_sel[p][q]
+                if sel.size:
+                    new_local[sel] = got
+                    machine.charge_copyops(p, sel.size, category)
+            out.append(new_local)
+        return out

@@ -1,0 +1,285 @@
+"""Compiled (flattened) communication plans.
+
+The nested rank-major schedules (:class:`~repro.core.schedule.Schedule`,
+:class:`~repro.core.lightweight.LightweightSchedule`,
+:class:`~repro.core.remap.RemapPlan`) store one small array per ``(p, q)``
+rank pair.  Executing them directly means O(P²) Python-level loop
+iterations per collective — an interpreter-bound hot path.
+
+A *compiled* plan flattens each rank's per-destination arrays into
+CSR-style storage (one concatenated index vector plus a per-destination
+offset vector) and precomputes a single global permutation that reorders
+the machine-wide *send stream* (sender-major, destination-minor) into the
+machine-wide *receive stream* (receiver-major, source-minor).  With those
+arrays in hand an executor backend can move all data for a collective with
+a handful of fused numpy operations — one ``take`` per rank plus one
+permutation — regardless of how many rank pairs communicate.
+
+Compilation is performed once per schedule and cached on the schedule
+object itself (schedules are immutable after construction), so repeated
+executor calls — the common case the paper's inspector/executor split is
+built around — pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_CACHE_ATTR = "_compiled_plan"
+
+
+@dataclass
+class CompiledPlan:
+    """Flat CSR-style form of a rank-major communication plan.
+
+    ``send_idx[p]`` concatenates rank ``p``'s pack selections over all
+    destinations (destination-ascending); ``send_off[p]`` is the
+    ``(n_ranks + 1,)`` offset vector delimiting each destination's
+    segment.  ``place_idx[p]`` (when the plan places, rather than
+    appends) concatenates the placement slots in *receive-stream* order —
+    the order arrivals appear after applying :attr:`perm`.
+
+    ``perm`` maps the global send stream to the global receive stream:
+    ``recv_stream = send_stream[perm]``.  ``send_base``/``recv_base``
+    delimit each rank's slice of the respective global stream.
+    """
+
+    n_ranks: int
+    send_idx: list[np.ndarray]
+    send_off: list[np.ndarray]
+    place_idx: list[np.ndarray] | None
+    counts: np.ndarray          # (n, n): counts[p, q] = elements p -> q
+    send_base: np.ndarray       # (n + 1,) global send-stream offsets
+    recv_base: np.ndarray       # (n + 1,) global receive-stream offsets
+    perm: np.ndarray            # send stream -> receive stream
+    send_max: np.ndarray        # (n,) max pack index per rank (-1 if none)
+    _inv_perm: np.ndarray | None = field(default=None, repr=False)
+    _layouts: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def total(self) -> int:
+        """Elements moved machine-wide (including rank-local segments)."""
+        return int(self.perm.size)
+
+    def inv_perm(self) -> np.ndarray:
+        """Receive-stream -> send-stream permutation (lazily computed).
+
+        Used by reverse-direction collectives (scatter): values packed in
+        receive-stream order are delivered to send-stream positions.
+        """
+        if self._inv_perm is None:
+            inv = np.empty(self.perm.size, dtype=np.int64)
+            inv[self.perm] = np.arange(self.perm.size, dtype=np.int64)
+            self._inv_perm = inv
+        return self._inv_perm
+
+    def recv_slice(self, rank: int, k: int = 1) -> slice:
+        """Slice of the global receive stream holding ``rank``'s arrivals.
+
+        ``k`` scales the bounds for flattened (scalar-element) streams.
+        """
+        return slice(int(self.recv_base[rank]) * k,
+                     int(self.recv_base[rank + 1]) * k)
+
+    def send_slice(self, rank: int, k: int = 1) -> slice:
+        """Slice of the global send stream packed by ``rank``."""
+        return slice(int(self.send_base[rank]) * k,
+                     int(self.send_base[rank + 1]) * k)
+
+    # -- composed flat layouts (cached per data layout) -----------------
+    #
+    # The simulated machine holds every rank's data in one process, so a
+    # collective can be executed as ONE flat gather over the per-rank
+    # arrays concatenated along axis 0.  The compositions below fold the
+    # pack selection, the global permutation, and the row→scalar
+    # expansion into single precomputed index vectors, keyed by the
+    # concatenation layout (per-rank leading sizes) and the row width
+    # ``k`` — both stable across executor calls in steady state.
+
+    def forward_flat(self, sizes: tuple[int, ...], k: int) -> np.ndarray:
+        """Scalar gather indices into ravel(concat(source arrays)),
+        ordered as the global receive stream."""
+        key = ("fwd", sizes, k)
+        out = self._layouts.get(key)
+        if out is None:
+            base = np.zeros(self.n_ranks + 1, dtype=np.int64)
+            np.cumsum(np.asarray(sizes, dtype=np.int64), out=base[1:])
+            rows = np.concatenate(
+                [self.send_idx[p] + base[p] for p in range(self.n_ranks)]
+            ) if self.total else np.zeros(0, dtype=np.int64)
+            out = _expand(rows[self.perm], k)
+            self._layouts[key] = out
+        return out
+
+    def reverse_flat(self, sizes: tuple[int, ...], k: int) -> np.ndarray:
+        """Scalar gather indices into ravel(concat(ghost arrays)),
+        ordered as the global *send* stream (the scatter direction)."""
+        key = ("rev", sizes, k)
+        out = self._layouts.get(key)
+        if out is None:
+            base = np.zeros(self.n_ranks + 1, dtype=np.int64)
+            np.cumsum(np.asarray(sizes, dtype=np.int64), out=base[1:])
+            rows = np.concatenate(
+                [self.place_idx[p] + base[p] for p in range(self.n_ranks)]
+            ) if self.total else np.zeros(0, dtype=np.int64)
+            out = _expand(rows[self.inv_perm()], k)
+            self._layouts[key] = out
+        return out
+
+    def place_flat(self, k: int) -> list[np.ndarray]:
+        """Per-rank scalar placement indices (``place_idx`` expanded)."""
+        key = ("place", k)
+        out = self._layouts.get(key)
+        if out is None:
+            out = [_expand(a, k) for a in self.place_idx]
+            self._layouts[key] = out
+        return out
+
+    def send_flat(self, k: int) -> list[np.ndarray]:
+        """Per-rank scalar apply indices (``send_idx`` expanded)."""
+        key = ("send", k)
+        out = self._layouts.get(key)
+        if out is None:
+            out = [_expand(a, k) for a in self.send_idx]
+            self._layouts[key] = out
+        return out
+
+
+class CompiledSchedule(CompiledPlan):
+    """Compiled form of :class:`~repro.core.schedule.Schedule`."""
+
+
+class CompiledLightweightSchedule(CompiledPlan):
+    """Compiled form of a light-weight (append-order) schedule.
+
+    ``place_idx`` is ``None``: arrivals append, they are never permuted
+    into prescribed slots.  The receive stream for rank ``p`` is ordered
+    kept-local first, then arrivals by source rank — matching
+    :func:`repro.core.lightweight.scatter_append` semantics exactly.
+    """
+
+
+class CompiledRemapPlan(CompiledPlan):
+    """Compiled form of :class:`~repro.core.remap.RemapPlan`."""
+
+
+def _expand(rows: np.ndarray, k: int) -> np.ndarray:
+    """Row indices → scalar indices for a raveled ``(n, k)`` array."""
+    if k == 1:
+        return rows
+    return (rows[:, None] * k + np.arange(k, dtype=np.int64)).reshape(-1)
+
+
+def _source_order(n: int, rank: int, self_first: bool) -> list[int]:
+    if not self_first:
+        return list(range(n))
+    return [rank] + [q for q in range(n) if q != rank]
+
+
+def _compile(
+    cls,
+    n: int,
+    send_rows: list[list[np.ndarray]],
+    place_rows: list[list[np.ndarray]] | None,
+    self_first: bool = False,
+) -> CompiledPlan:
+    counts = np.zeros((n, n), dtype=np.int64)
+    for p in range(n):
+        for q in range(n):
+            counts[p, q] = send_rows[p][q].size
+
+    send_idx: list[np.ndarray] = []
+    send_off: list[np.ndarray] = []
+    send_max = np.full(n, -1, dtype=np.int64)
+    for p in range(n):
+        off = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts[p], out=off[1:])
+        flat = (
+            np.concatenate([np.asarray(a, dtype=np.int64)
+                            for a in send_rows[p]])
+            if off[-1] else np.zeros(0, dtype=np.int64)
+        )
+        send_idx.append(flat)
+        send_off.append(off)
+        if flat.size:
+            send_max[p] = flat.max()
+
+    send_base = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts.sum(axis=1), out=send_base[1:])
+    recv_base = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts.sum(axis=0), out=recv_base[1:])
+
+    pieces: list[np.ndarray] = []
+    place_idx: list[np.ndarray] | None = [] if place_rows is not None else None
+    for p in range(n):  # receiver
+        slot_parts: list[np.ndarray] = []
+        for q in _source_order(n, p, self_first):  # sender
+            c = int(counts[q, p])
+            if c:
+                start = int(send_base[q] + send_off[q][p])
+                pieces.append(np.arange(start, start + c, dtype=np.int64))
+                if place_rows is not None:
+                    slot_parts.append(
+                        np.asarray(place_rows[p][q], dtype=np.int64)
+                    )
+        if place_idx is not None:
+            place_idx.append(
+                np.concatenate(slot_parts) if slot_parts
+                else np.zeros(0, dtype=np.int64)
+            )
+    perm = (
+        np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64)
+    )
+    return cls(
+        n_ranks=n,
+        send_idx=send_idx,
+        send_off=send_off,
+        place_idx=place_idx,
+        counts=counts,
+        send_base=send_base,
+        recv_base=recv_base,
+        perm=perm,
+        send_max=send_max,
+    )
+
+
+def _cached(sched, builder):
+    plan = getattr(sched, _CACHE_ATTR, None)
+    if plan is None:
+        plan = builder()
+        setattr(sched, _CACHE_ATTR, plan)
+    return plan
+
+
+def compile_schedule(sched) -> CompiledSchedule:
+    """Flatten a :class:`Schedule`; cached on the schedule object."""
+    return _cached(
+        sched,
+        lambda: _compile(
+            CompiledSchedule, sched.n_ranks, sched.send_indices,
+            sched.recv_slots,
+        ),
+    )
+
+
+def compile_lightweight_schedule(sched) -> CompiledLightweightSchedule:
+    """Flatten a :class:`LightweightSchedule`; cached on the schedule."""
+    return _cached(
+        sched,
+        lambda: _compile(
+            CompiledLightweightSchedule, sched.n_ranks, sched.send_sel,
+            None, self_first=True,
+        ),
+    )
+
+
+def compile_remap_plan(plan) -> CompiledRemapPlan:
+    """Flatten a :class:`RemapPlan`; cached on the plan object."""
+    return _cached(
+        plan,
+        lambda: _compile(
+            CompiledRemapPlan, plan.n_ranks, plan.send_sel, plan.place_sel,
+        ),
+    )

@@ -11,6 +11,13 @@ can serve many schedules.
 ``scatter``  — ghost values return to their owners, overwriting.
 ``scatter_op`` — ghost values return and are *combined* (np.add etc.),
                the irregular-reduction path for ``x(ia(i)) += ...``.
+
+The functions here validate arguments and dispatch to an executor
+*backend* (:mod:`repro.core.backends`): ``serial`` reproduces the
+historical pair-loop semantics, ``vectorized`` (the default) executes a
+compiled flat plan with fused numpy operations.  Pass ``backend=`` (a
+name, a :class:`~repro.core.backends.Backend`, or ``None`` for the
+process default) to choose per call.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.backends.base import resolve_backend
+from repro.core.compiled import compile_schedule
 from repro.core.schedule import Schedule
 from repro.sim.machine import Machine
 
@@ -41,6 +50,7 @@ def gather(
     data: list[np.ndarray],
     ghosts: list[np.ndarray] | None = None,
     category: str = "comm",
+    backend=None,
 ) -> list[np.ndarray]:
     """Fetch off-processor elements into ghost buffers.
 
@@ -54,35 +64,21 @@ def gather(
     if ghosts is None:
         ghosts = allocate_ghosts(sched, data)
     machine.check_per_rank(ghosts, "ghosts")
-    n = machine.n_ranks
-    send = [[None] * n for _ in machine.ranks()]
+    plan = compile_schedule(sched)
     for p in machine.ranks():
-        d = np.asarray(data[p])
-        for q in machine.ranks():
-            sel = sched.send_indices[p][q]
-            if sel.size:
-                if sel.max() >= d.shape[0]:
-                    raise IndexError(
-                        f"rank {p}: schedule wants element {int(sel.max())} "
-                        f"but local array has {d.shape[0]}"
-                    )
-                send[p][q] = d[sel]
-                machine.charge_copyops(p, sel.size, category)
-    received = machine.alltoallv(send, tag="gather", category=category)
-    for p in machine.ranks():
-        g = ghosts[p]
+        if plan.send_max[p] >= np.asarray(data[p]).shape[0]:
+            raise IndexError(
+                f"rank {p}: schedule wants element {int(plan.send_max[p])} "
+                f"but local array has {np.asarray(data[p]).shape[0]}"
+            )
+        g = np.asarray(ghosts[p])
         if g.shape[0] < sched.ghost_size[p]:
             raise ValueError(
                 f"rank {p}: ghost buffer {g.shape[0]} < required "
                 f"{sched.ghost_size[p]}"
             )
-        for q in machine.ranks():
-            got = received[p][q]
-            slots = sched.recv_slots[p][q]
-            if slots.size:
-                g[slots] = got
-                machine.charge_copyops(p, slots.size, category)
-    return ghosts
+    return resolve_backend(backend).gather(machine, sched, data, ghosts,
+                                           category)
 
 
 def scatter(
@@ -91,6 +87,7 @@ def scatter(
     data: list[np.ndarray],
     ghosts: list[np.ndarray],
     category: str = "comm",
+    backend=None,
 ) -> None:
     """Return ghost values to their owners, overwriting local elements.
 
@@ -98,7 +95,10 @@ def scatter(
     ``ghosts[p][recv_slots[p][q]]`` back to ``q``, which writes them at
     ``send_indices[q][p]``.
     """
-    _scatter_impl(machine, sched, data, ghosts, None, category)
+    machine.check_per_rank(data, "data")
+    machine.check_per_rank(ghosts, "ghosts")
+    resolve_backend(backend).scatter(machine, sched, data, ghosts, None,
+                                     category)
 
 
 def scatter_op(
@@ -108,6 +108,7 @@ def scatter_op(
     ghosts: list[np.ndarray],
     op: Callable = np.add,
     category: str = "comm",
+    backend=None,
 ) -> None:
     """Return ghost contributions and combine with ``op`` at the owner.
 
@@ -119,40 +120,10 @@ def scatter_op(
     """
     if not hasattr(op, "at"):
         raise TypeError(f"op {op!r} must be a ufunc with an .at method")
-    _scatter_impl(machine, sched, data, ghosts, op, category)
-
-
-def _scatter_impl(
-    machine: Machine,
-    sched: Schedule,
-    data: list[np.ndarray],
-    ghosts: list[np.ndarray],
-    op: Callable | None,
-    category: str,
-) -> None:
     machine.check_per_rank(data, "data")
     machine.check_per_rank(ghosts, "ghosts")
-    n = machine.n_ranks
-    send = [[None] * n for _ in machine.ranks()]
-    for p in machine.ranks():
-        g = np.asarray(ghosts[p])
-        for q in machine.ranks():
-            slots = sched.recv_slots[p][q]
-            if slots.size:
-                send[p][q] = g[slots]
-                machine.charge_copyops(p, slots.size, category)
-    received = machine.alltoallv(send, tag="scatter", category=category)
-    for p in machine.ranks():
-        d = data[p]
-        for q in machine.ranks():
-            got = received[p][q]
-            sel = sched.send_indices[p][q]
-            if sel.size:
-                if op is None:
-                    d[sel] = got
-                else:
-                    op.at(d, sel, got)
-                machine.charge_copyops(p, sel.size, category)
+    resolve_backend(backend).scatter(machine, sched, data, ghosts, op,
+                                     category)
 
 
 def stack_local_ghost(

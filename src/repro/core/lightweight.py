@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backends.base import resolve_backend
+from repro.core.compiled import compile_lightweight_schedule
 from repro.sim.machine import Machine
 
 
@@ -36,6 +38,11 @@ class LightweightSchedule:
     def __post_init__(self):
         if len(self.send_sel) != self.n_ranks:
             raise ValueError("send_sel must have one row per rank")
+        # index arrays are int64 by contract, whatever the caller built
+        self.send_sel = [
+            [np.asarray(a, dtype=np.int64) for a in row]
+            for row in self.send_sel
+        ]
         self.recv_counts = np.asarray(self.recv_counts, dtype=np.int64)
         if self.recv_counts.shape != (self.n_ranks, self.n_ranks):
             raise ValueError("recv_counts must be (n_ranks, n_ranks)")
@@ -128,6 +135,7 @@ def scatter_append(
     sched: LightweightSchedule,
     values: list[np.ndarray],
     category: str = "comm",
+    backend=None,
 ) -> list[np.ndarray]:
     """Move elements to their destinations, appending in arrival order.
 
@@ -142,41 +150,17 @@ def scatter_append(
     expensive part, reusing it is free.
     """
     machine.check_per_rank(values, "values")
-    n = machine.n_ranks
-    send = [[None] * n for _ in machine.ranks()]
+    plan = compile_lightweight_schedule(sched)
     for p in machine.ranks():
         v = np.asarray(values[p])
-        expected = int(sched.send_sizes(p).sum())
+        expected = plan.send_idx[p].size
         if v.shape[0] != expected:
             raise ValueError(
                 f"rank {p}: values has {v.shape[0]} elements, schedule "
                 f"covers {expected}"
             )
-        for q in machine.ranks():
-            sel = sched.send_sel[p][q]
-            if sel.size:
-                send[p][q] = v[sel]
-        machine.charge_copyops(p, v.shape[0], category)
-    received = machine.alltoallv(send, tag="scatter_append", category=category)
-    out: list[np.ndarray] = []
-    for p in machine.ranks():
-        parts = []
-        # kept-local first, then arrivals by source rank:
-        if received[p][p] is not None and np.size(received[p][p]):
-            parts.append(np.asarray(received[p][p]))
-        for q in machine.ranks():
-            if q == p:
-                continue
-            got = received[p][q]
-            if got is not None and np.size(got):
-                parts.append(np.asarray(got))
-                machine.charge_copyops(p, np.shape(got)[0], category)
-        if parts:
-            out.append(np.concatenate(parts, axis=0))
-        else:
-            v = np.asarray(values[p])
-            out.append(np.zeros((0,) + v.shape[1:], dtype=v.dtype))
-    return out
+    return resolve_backend(backend).scatter_append(machine, sched, values,
+                                                   category)
 
 
 def scatter_append_multi(
@@ -184,6 +168,7 @@ def scatter_append_multi(
     sched: LightweightSchedule,
     arrays: list[list[np.ndarray]],
     category: str = "comm",
+    backend=None,
 ) -> list[list[np.ndarray]]:
     """Move several aligned array sets with ONE set of messages.
 
@@ -198,45 +183,15 @@ def scatter_append_multi(
         return []
     for k, vs in enumerate(arrays):
         machine.check_per_rank(vs, f"arrays[{k}]")
-    n = machine.n_ranks
-    n_attr = len(arrays)
-    send = [[None] * n for _ in machine.ranks()]
+    plan = compile_lightweight_schedule(sched)
     for p in machine.ranks():
-        expected = int(sched.send_sizes(p).sum())
-        for k in range(n_attr):
+        expected = plan.send_idx[p].size
+        for k in range(len(arrays)):
             v = np.asarray(arrays[k][p])
             if v.shape[0] != expected:
                 raise ValueError(
                     f"rank {p}, attribute {k}: {v.shape[0]} elements, "
                     f"schedule covers {expected}"
                 )
-        for q in machine.ranks():
-            sel = sched.send_sel[p][q]
-            if sel.size:
-                send[p][q] = tuple(
-                    np.asarray(arrays[k][p])[sel] for k in range(n_attr)
-                )
-        machine.charge_copyops(p, n_attr * expected, category)
-    received = machine.alltoallv(send, tag="scatter_append", category=category)
-    out: list[list[np.ndarray]] = [[] for _ in range(n_attr)]
-    for p in machine.ranks():
-        parts: list[list[np.ndarray]] = [[] for _ in range(n_attr)]
-        source_order = [p] + [q for q in machine.ranks() if q != p]
-        got_any = False
-        for q in source_order:
-            got = received[p][q]
-            if got is None:
-                continue
-            got_any = True
-            for k in range(n_attr):
-                parts[k].append(np.asarray(got[k]))
-            if q != p:
-                machine.charge_copyops(p, n_attr * np.shape(got[0])[0],
-                                       category)
-        for k in range(n_attr):
-            if got_any and parts[k]:
-                out[k].append(np.concatenate(parts[k], axis=0))
-            else:
-                v = np.asarray(arrays[k][p])
-                out[k].append(np.zeros((0,) + v.shape[1:], dtype=v.dtype))
-    return out
+    return resolve_backend(backend).scatter_append_multi(machine, sched,
+                                                         arrays, category)

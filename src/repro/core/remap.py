@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backends.base import resolve_backend
+from repro.core.compiled import compile_remap_plan
 from repro.core.distribution import Distribution
 from repro.sim.machine import Machine
 
@@ -33,6 +35,15 @@ class RemapPlan:
     new_sizes: list[int]
 
     def __post_init__(self):
+        # index arrays are int64 by contract, whatever the caller built
+        self.send_sel = [
+            [np.asarray(a, dtype=np.int64) for a in row]
+            for row in self.send_sel
+        ]
+        self.place_sel = [
+            [np.asarray(a, dtype=np.int64) for a in row]
+            for row in self.place_sel
+        ]
         for p in range(self.n_ranks):
             for q in range(self.n_ranks):
                 if self.send_sel[p][q].size != self.place_sel[q][p].size:
@@ -117,6 +128,7 @@ def remap_array(
     plan: RemapPlan,
     data: list[np.ndarray],
     category: str = "remap",
+    backend=None,
 ) -> list[np.ndarray]:
     """Apply a remap plan to one per-rank array set; returns new arrays.
 
@@ -125,34 +137,15 @@ def remap_array(
     the paper remaps all atom-associated arrays with one plan.
     """
     machine.check_per_rank(data, "data")
-    n = machine.n_ranks
-    send = [[None] * n for _ in machine.ranks()]
+    cp = compile_remap_plan(plan)
     for p in machine.ranks():
-        d = np.asarray(data[p])
-        for q in machine.ranks():
-            sel = plan.send_sel[p][q]
-            if sel.size:
-                if sel.max() >= d.shape[0]:
-                    raise IndexError(
-                        f"rank {p}: remap plan wants element {int(sel.max())}"
-                        f" but local array has {d.shape[0]} rows"
-                    )
-                send[p][q] = d[sel]
-                machine.charge_copyops(p, sel.size, category)
-    received = machine.alltoallv(send, tag="remap_data", category=category)
-    out: list[np.ndarray] = []
-    for p in machine.ranks():
-        d = np.asarray(data[p])
-        shape = (plan.new_sizes[p],) + d.shape[1:]
-        new_local = np.zeros(shape, dtype=d.dtype)
-        for q in machine.ranks():
-            got = received[p][q]
-            sel = plan.place_sel[p][q]
-            if sel.size:
-                new_local[sel] = got
-                machine.charge_copyops(p, sel.size, category)
-        out.append(new_local)
-    return out
+        if cp.send_max[p] >= np.asarray(data[p]).shape[0]:
+            raise IndexError(
+                f"rank {p}: remap plan wants element {int(cp.send_max[p])}"
+                f" but local array has {np.asarray(data[p]).shape[0]} rows"
+            )
+    return resolve_backend(backend).remap_array(machine, plan, data,
+                                                category)
 
 
 def remap_global_values(
@@ -161,7 +154,9 @@ def remap_global_values(
     new_dist: Distribution,
     data: list[np.ndarray],
     category: str = "remap",
+    backend=None,
 ) -> list[np.ndarray]:
     """Convenience: build a plan and move one array set in one call."""
     plan = remap(machine, old_dist, new_dist, category=category)
-    return remap_array(machine, plan, data, category=category)
+    return remap_array(machine, plan, data, category=category,
+                       backend=backend)

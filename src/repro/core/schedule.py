@@ -46,6 +46,15 @@ class Schedule:
             raise ValueError("send_indices must have one row per rank")
         if len(self.recv_slots) != self.n_ranks:
             raise ValueError("recv_slots must have one row per rank")
+        # index arrays are int64 by contract, whatever the caller built
+        self.send_indices = [
+            [np.asarray(a, dtype=np.int64) for a in row]
+            for row in self.send_indices
+        ]
+        self.recv_slots = [
+            [np.asarray(a, dtype=np.int64) for a in row]
+            for row in self.recv_slots
+        ]
         for p in range(self.n_ranks):
             for q in range(self.n_ranks):
                 ns = self.send_indices[p][q].size

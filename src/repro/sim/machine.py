@@ -88,6 +88,7 @@ class Machine:
             )
         self.clocks = ClockArray(self.n_ranks)
         self.traffic = TrafficStats(record=record_messages)
+        self._hop_matrix_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # basics
@@ -150,9 +151,75 @@ class Machine:
         self.clocks[src].advance(dt, category)
         self.clocks[dst].advance(dt, category)
 
+    def hop_matrix(self) -> np.ndarray:
+        """Dense hop-count matrix of the topology, computed once."""
+        if self._hop_matrix_cache is None:
+            self._hop_matrix_cache = self.topology.hop_matrix()
+        return self._hop_matrix_cache
+
     # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
+    def exchange_compiled(
+        self,
+        counts,
+        elem_nbytes,
+        tag: str = "exchange",
+        category: str = "comm",
+        sync: bool = True,
+    ) -> None:
+        """Charge clocks and traffic for one compiled flat exchange.
+
+        The array-native counterpart of :meth:`alltoallv`: instead of
+        materializing nested per-pair payload lists, the caller supplies
+        ``counts[p][q]`` (elements rank ``p`` sends to rank ``q``) and the
+        per-sender row size ``elem_nbytes`` (scalar, or one value per
+        rank).  Every non-empty off-rank pair is charged exactly as
+        :meth:`alltoallv` would charge the equivalent array payload —
+        same message count, bytes, tags, and per-rank time — followed by
+        the same barrier.  The data itself moves inside the executor
+        backend with fused numpy operations; this method only performs
+        the accounting.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.n_ranks, self.n_ranks):
+            raise ValueError(
+                f"counts must be ({self.n_ranks}, {self.n_ranks}), "
+                f"got {counts.shape}"
+            )
+        if counts.size and counts.min() < 0:
+            raise ValueError("negative element count in compiled exchange")
+        eb = np.broadcast_to(
+            np.asarray(elem_nbytes, dtype=np.int64), (self.n_ranks,)
+        )
+        if eb.size and eb.min() < 0:
+            raise ValueError("negative element size in compiled exchange")
+        mask = counts > 0
+        np.fill_diagonal(mask, False)  # self-deliveries are free local copies
+        src, dst = np.nonzero(mask)  # row-major: same order as alltoallv
+        if src.size:
+            nbytes = counts[src, dst] * eb[src]
+            hops = np.maximum(1, self.hop_matrix()[src, dst])
+            cm = self.cost_model
+            dts = (cm.alpha + cm.beta * nbytes.astype(np.float64)
+                   + cm.gamma * (hops - 1).astype(np.float64))
+            per_rank = np.zeros(self.n_ranks)
+            np.add.at(per_rank, src, dts)
+            np.add.at(per_rank, dst, dts)
+            for p in np.nonzero(per_rank)[0]:
+                self.clocks[int(p)].advance(float(per_rank[p]), category)
+            records = None
+            if self.traffic.record:
+                records = [
+                    Message(src=int(s), dst=int(d), nbytes=int(b), tag=tag)
+                    for s, d, b in zip(src, dst, nbytes)
+                ]
+            self.traffic.add_bulk(
+                int(src.size), int(nbytes.sum()), tag, records
+            )
+        if sync:
+            self.barrier()
+
     def alltoallv(
         self,
         sendbufs: Sequence[Sequence[Any]],

@@ -49,6 +49,30 @@ class TrafficStats:
         if self.record:
             self.messages.append(msg)
 
+    def add_bulk(self, count: int, total_bytes: int, tag: str = "",
+                 messages=None) -> None:
+        """Accumulate ``count`` messages totalling ``total_bytes`` at once.
+
+        The bulk path of :meth:`repro.sim.machine.Machine.exchange_compiled`:
+        counters update in O(1) instead of once per message.  ``messages``
+        (an iterable of :class:`Message`) is only consumed when individual
+        records are kept (``record=True``) and must list the same messages
+        in the same order the pairwise path would record them.
+        """
+        if count < 0 or total_bytes < 0:
+            raise ValueError(
+                f"negative bulk traffic: {count} messages, {total_bytes} bytes"
+            )
+        if count == 0:
+            return
+        self.n_messages += count
+        self.total_bytes += total_bytes
+        key = tag or "untagged"
+        cnt, byt = self.by_tag.get(key, (0, 0))
+        self.by_tag[key] = (cnt + count, byt + total_bytes)
+        if self.record and messages is not None:
+            self.messages.extend(messages)
+
     def tag_messages(self, tag: str) -> int:
         return self.by_tag.get(tag, (0, 0))[0]
 

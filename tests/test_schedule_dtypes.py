@@ -1,0 +1,110 @@
+"""Regression: schedule index arrays are normalized to int64.
+
+Callers historically controlled the dtype of ``send_indices`` /
+``recv_slots`` / ``send_sel`` — an int32 indirection array produced an
+int32 schedule, and downstream code (compiled plans, fancy indexing)
+silently depended on whatever arrived.  Construction now coerces every
+index array to int64.
+"""
+
+import numpy as np
+
+from repro.core import (
+    LightweightSchedule,
+    RemapPlan,
+    Schedule,
+    compile_lightweight_schedule,
+    compile_remap_plan,
+    compile_schedule,
+)
+
+
+def _rows(n, arrs):
+    return [[np.asarray(a, dtype=np.int32) for a in row] for row in arrs]
+
+
+def test_schedule_coerces_int32_indices():
+    z = np.zeros(0, dtype=np.int32)
+    sched = Schedule(
+        n_ranks=2,
+        send_indices=_rows(2, [[z, np.array([0, 1])], [np.array([2]), z]]),
+        recv_slots=_rows(2, [[z, np.array([0])], [np.array([1, 0]), z]]),
+        ghost_size=[2, 1],
+    )
+    for p in range(2):
+        for q in range(2):
+            assert sched.send_indices[p][q].dtype == np.int64
+            assert sched.recv_slots[p][q].dtype == np.int64
+
+
+def test_lightweight_coerces_int32_indices():
+    z = np.zeros(0, dtype=np.int32)
+    sched = LightweightSchedule(
+        n_ranks=2,
+        send_sel=_rows(2, [[np.array([0]), np.array([1])],
+                           [z, np.array([0, 1])]]),
+        recv_counts=np.array([[1, 0], [1, 2]], dtype=np.int32),
+    )
+    for p in range(2):
+        for q in range(2):
+            assert sched.send_sel[p][q].dtype == np.int64
+    assert sched.recv_counts.dtype == np.int64
+
+
+def test_remap_plan_coerces_int32_indices():
+    z = np.zeros(0, dtype=np.int32)
+    plan = RemapPlan(
+        n_ranks=2,
+        send_sel=_rows(2, [[np.array([0]), np.array([1])], [z, np.array([0])]]),
+        place_sel=_rows(2, [[np.array([0]), z], [np.array([0]), np.array([1])]]),
+        new_sizes=[1, 2],
+    )
+    for p in range(2):
+        for q in range(2):
+            assert plan.send_sel[p][q].dtype == np.int64
+            assert plan.place_sel[p][q].dtype == np.int64
+
+
+def test_compiled_plans_are_int64():
+    z = np.zeros(0, dtype=np.int32)
+    sched = Schedule(
+        n_ranks=2,
+        send_indices=_rows(2, [[z, np.array([0, 1])], [np.array([2]), z]]),
+        recv_slots=_rows(2, [[z, np.array([0])], [np.array([1, 0]), z]]),
+        ghost_size=[2, 1],
+    )
+    plan = compile_schedule(sched)
+    for p in range(2):
+        assert plan.send_idx[p].dtype == np.int64
+        assert plan.place_idx[p].dtype == np.int64
+    assert plan.perm.dtype == np.int64
+    assert plan.counts.dtype == np.int64
+
+    lw = LightweightSchedule(
+        n_ranks=1,
+        send_sel=[[np.array([0, 1], dtype=np.int32)]],
+        recv_counts=np.array([[2]]),
+    )
+    lwp = compile_lightweight_schedule(lw)
+    assert lwp.send_idx[0].dtype == np.int64
+
+    rp = RemapPlan(
+        n_ranks=1,
+        send_sel=[[np.array([0], dtype=np.int32)]],
+        place_sel=[[np.array([0], dtype=np.int32)]],
+        new_sizes=[1],
+    )
+    cp = compile_remap_plan(rp)
+    assert cp.send_idx[0].dtype == np.int64
+    assert cp.place_idx[0].dtype == np.int64
+
+
+def test_compiled_plan_cached_on_schedule():
+    z = np.zeros(0, dtype=np.int64)
+    sched = Schedule(
+        n_ranks=1,
+        send_indices=[[z]],
+        recv_slots=[[z]],
+        ghost_size=[0],
+    )
+    assert compile_schedule(sched) is compile_schedule(sched)
