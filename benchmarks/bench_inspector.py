@@ -1,0 +1,136 @@
+"""Inspector ablation: serial dict-walk vs vectorized inspector engine.
+
+Times the *inspector phase* — the analysis work the paper's stamped hash
+tables make cheap to repeat — under each backend at 16 simulated ranks:
+
+* ``chaos_hash`` of a fresh indirection array (probe + translate +
+  insert + stamp + localize);
+* adaptive ``rehash`` of a mostly-unchanged array (the paper's §3.2.2
+  reuse win: most indices are already in the table);
+* ``build_schedule`` from the stamped entries (``CHAOS_schedule``);
+* ``localize_only`` of an unchanged array (pure lookup).
+
+Both backends charge identical virtual time and traffic — the difference
+measured here is pure wall-clock interpreter cost: the serial backend
+walks a Python dict one key at a time and visits every rank pair, the
+vectorized engine batches probes through an open-addressed int64 store
+and charges exchanges from count matrices.
+
+The JSON result records the combined ``chaos_hash + build_schedule``
+speedup (the PR-2 acceptance metric: >= 3x at 16 ranks).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+import numpy as np  # noqa: E402
+
+from common import full_scale, print_table  # noqa: E402
+
+from repro.core import (  # noqa: E402
+    TranslationTable,
+    build_schedule,
+    chaos_hash,
+    clear_stamp,
+    localize_only,
+    make_hash_tables,
+)
+from repro.sim import Machine  # noqa: E402
+
+N_RANKS = 16
+BACKENDS = ("serial", "vectorized")
+
+
+def workload():
+    if full_scale():
+        return dict(n_global=200_000, n_refs=800_000, churn=0.05, rounds=3)
+    return dict(n_global=40_000, n_refs=160_000, churn=0.05, rounds=3)
+
+
+def run_once(backend: str, cfg: dict, seed: int = 11) -> dict[str, float]:
+    """One full inspector cycle; returns wall-clock seconds per phase."""
+    rng = np.random.default_rng(seed)
+    n, n_refs = cfg["n_global"], cfg["n_refs"]
+    m = Machine(N_RANKS)
+    tt = TranslationTable.from_map(m, rng.integers(0, N_RANKS, n))
+    hts = make_hash_tables(m, tt, backend=backend)
+    refs = rng.integers(0, n, n_refs)
+    per = n_refs // N_RANKS
+    idx = [refs[p * per:(p + 1) * per] for p in range(N_RANKS)]
+
+    t0 = time.perf_counter()
+    chaos_hash(m, hts, tt, idx, "nb", backend=backend)
+    t_hash = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sched = build_schedule(m, hts, "nb", backend=backend)
+    t_sched = time.perf_counter() - t0
+    del sched
+
+    # adaptive step: a small fraction of references change
+    n_churn = int(cfg["churn"] * per)
+    idx2 = []
+    for a in idx:
+        b = a.copy()
+        if n_churn:
+            b[rng.integers(0, per, n_churn)] = rng.integers(0, n, n_churn)
+        idx2.append(b)
+    clear_stamp(m, hts, "nb")
+    t0 = time.perf_counter()
+    chaos_hash(m, hts, tt, idx2, "nb", backend=backend)
+    t_rehash = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    localize_only(m, hts, idx2, backend=backend)
+    t_localize = time.perf_counter() - t0
+
+    return {"chaos_hash": t_hash, "build_schedule": t_sched,
+            "rehash": t_rehash, "localize_only": t_localize}
+
+
+def main() -> None:
+    cfg = workload()
+    best: dict[str, dict[str, float]] = {b: {} for b in BACKENDS}
+    for backend in BACKENDS:
+        for r in range(cfg["rounds"]):
+            t = run_once(backend, cfg, seed=11 + r)
+            for phase, dt in t.items():
+                cur = best[backend].get(phase)
+                best[backend][phase] = dt if cur is None else min(cur, dt)
+
+    phases = ("chaos_hash", "build_schedule", "rehash", "localize_only")
+    rows = []
+    for phase in phases:
+        s, v = best["serial"][phase], best["vectorized"][phase]
+        rows.append([phase, 1e3 * s, 1e3 * v, s / v if v else float("inf")])
+    hash_sched_serial = (best["serial"]["chaos_hash"]
+                         + best["serial"]["build_schedule"])
+    hash_sched_vec = (best["vectorized"]["chaos_hash"]
+                      + best["vectorized"]["build_schedule"])
+    speedup = hash_sched_serial / hash_sched_vec if hash_sched_vec else 0.0
+    rows.append(["hash+schedule", 1e3 * hash_sched_serial,
+                 1e3 * hash_sched_vec, speedup])
+    print_table(
+        f"Inspector phase ablation ({N_RANKS} ranks, "
+        f"{cfg['n_refs']} references over {cfg['n_global']} elements)",
+        ["phase", "serial (ms)", "vectorized (ms)", "speedup"],
+        rows,
+        json_name="bench_inspector",
+        extra={
+            "n_ranks": N_RANKS,
+            "config": cfg,
+            "wall_clock_s": {b: best[b] for b in BACKENDS},
+            "speedup_hash_plus_schedule": speedup,
+        },
+    )
+    if speedup < 3.0:
+        print(f"WARNING: hash+schedule speedup {speedup:.2f}x below the "
+              "3x acceptance target", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -63,9 +63,11 @@ class ParallelMD:
     ttable_storage:
         Translation-table policy (paper used ``"replicated"``).
     backend:
-        Executor backend for all Phase-F/remap data transport (name,
+        Backend for index analysis, schedule generation, the translation
+        lookups they trigger, and all Phase-F/remap data transport (name,
         :class:`~repro.core.backends.Backend`, or ``None`` for the
-        process default).
+        process default).  Iteration partitioning (Phase C/D) still uses
+        the process-wide default backend.
     """
 
     def __init__(
@@ -157,11 +159,14 @@ class ParallelMD:
         self.jb = assign.remap_iteration_data(m, split_by_block(jb_g, m))
 
         # Phase E: hash tables and schedules.
-        self.htables = make_hash_tables(m, self.ttable)
+        self.htables = make_hash_tables(m, self.ttable,
+                                        backend=self.backend)
         self.ib_loc = chaos_hash(m, self.htables, self.ttable, self.ib,
-                                 "bonds", category="inspector")
+                                 "bonds", category="inspector",
+                                 backend=self.backend)
         self.jb_loc = chaos_hash(m, self.htables, self.ttable, self.jb,
-                                 "bonds", category="inspector")
+                                 "bonds", category="inspector",
+                                 backend=self.backend)
         self._hash_nonbonded(category="inspector")
         self._build_schedules(category="inspector")
         # per-step list regeneration cadence bookkeeping
@@ -215,25 +220,30 @@ class ParallelMD:
         self.nb_i = i_per
         self.nb_j = j_per
         self.nb_i_loc = chaos_hash(m, self.htables, self.ttable, i_per,
-                                   "nb", category=category)
+                                   "nb", category=category,
+                                   backend=self.backend)
         self.nb_j_loc = chaos_hash(m, self.htables, self.ttable, j_per,
-                                   "nb", category=category)
+                                   "nb", category=category,
+                                   backend=self.backend)
 
     def _build_schedules(self, category: str) -> None:
         m = self.machine
         expr = self.htables[0].expr
         if self.schedule_mode == "merged":
             self.sched: Schedule = build_schedule(
-                m, self.htables, expr("bonds", "nb"), category=category
+                m, self.htables, expr("bonds", "nb"), category=category,
+                backend=self.backend,
             )
             self.sched_bonded = self.sched
             self.sched_nb = self.sched
         else:
             self.sched_bonded = build_schedule(
-                m, self.htables, expr("bonds"), category=category
+                m, self.htables, expr("bonds"), category=category,
+                backend=self.backend,
             )
             self.sched_nb = build_schedule(
-                m, self.htables, expr("nb"), category=category
+                m, self.htables, expr("nb"), category=category,
+                backend=self.backend,
             )
             self.sched = self.sched_nb  # ghost capacity is table-wide
         # static ghost data: charges (atoms' charges never change)
@@ -299,11 +309,14 @@ class ParallelMD:
         self.ib = assign.remap_iteration_data(m, split_by_block(ib_g, m))
         self.jb = assign.remap_iteration_data(m, split_by_block(jb_g, m))
 
-        self.htables = make_hash_tables(m, self.ttable)
+        self.htables = make_hash_tables(m, self.ttable,
+                                        backend=self.backend)
         self.ib_loc = chaos_hash(m, self.htables, self.ttable, self.ib,
-                                 "bonds", category="inspector")
+                                 "bonds", category="inspector",
+                                 backend=self.backend)
         self.jb_loc = chaos_hash(m, self.htables, self.ttable, self.jb,
-                                 "bonds", category="inspector")
+                                 "bonds", category="inspector",
+                                 backend=self.backend)
         self._hash_nonbonded(category="inspector")
         self._build_schedules(category="inspector")
 

@@ -51,9 +51,12 @@ class ParallelDSMC:
         Initial cell partitioner; ``None`` = BLOCK over flat cell ids
         ("static partition" baseline of Table 5 when no remapping).
     backend:
-        Executor backend for particle migration and remapping (name,
+        Backend for particle migration and remapping (name,
         :class:`~repro.core.backends.Backend`, or ``None`` for the
-        process default).
+        process default).  DSMC uses light-weight schedules only, so the
+        executor half of the backend seam is what it exercises; the
+        inspector half matters for the hash-table apps (CHARMM, the
+        compiler runtime).
     """
 
     def __init__(

@@ -14,7 +14,13 @@ from repro.core.distribution import (
     IrregularDistribution,
 )
 from repro.core.translation import TranslationTable
-from repro.core.hashtable import IndexHashTable, StampExpr, StampRegistry
+from repro.core.hashtable import (
+    DictKeyStore,
+    IndexHashTable,
+    OpenAddressedKeyStore,
+    StampExpr,
+    StampRegistry,
+)
 from repro.core.schedule import Schedule, build_schedule, merge_schedules
 from repro.core.lightweight import (
     LightweightSchedule,
@@ -82,7 +88,9 @@ __all__ = [
     "Distribution",
     "IrregularDistribution",
     "TranslationTable",
+    "DictKeyStore",
     "IndexHashTable",
+    "OpenAddressedKeyStore",
     "StampExpr",
     "StampRegistry",
     "Schedule",

@@ -126,10 +126,13 @@ class ChaosRuntime:
     table, so adaptive applications get stamp reuse and schedule reuse
     without extra bookkeeping.
 
-    ``backend`` selects the executor backend for every data-transport
-    call made through this runtime (a name, a
+    ``backend`` selects the backend for every phase run through this
+    runtime — index analysis, schedule generation, translation lookups,
+    and executor data transport (a name, a
     :class:`~repro.core.backends.Backend` instance, or ``None`` to track
-    the process-wide default).
+    the process-wide default).  Hash tables are created with the
+    backend's key store, so serial vs vectorized is selectable
+    end-to-end.
     """
 
     def __init__(self, machine: Machine, backend=None):
@@ -181,7 +184,8 @@ class ChaosRuntime:
     def hash_tables(self, ttable: TranslationTable) -> list[IndexHashTable]:
         key = id(ttable)
         if key not in self._htables:
-            self._htables[key] = make_hash_tables(self.machine, ttable)
+            self._htables[key] = make_hash_tables(self.machine, ttable,
+                                                  backend=self.backend)
         return self._htables[key]
 
     def drop_hash_tables(self, ttable: TranslationTable) -> None:
@@ -195,11 +199,12 @@ class ChaosRuntime:
     ) -> list[np.ndarray]:
         """``CHAOS_hash``: hash + translate + localize one indirection array."""
         return chaos_hash(self.machine, self.hash_tables(ttable), ttable,
-                          indices, stamp)
+                          indices, stamp, backend=self.backend)
 
     def localize(self, ttable: TranslationTable,
                  indices: list[np.ndarray | None]) -> list[np.ndarray]:
-        return localize_only(self.machine, self.hash_tables(ttable), indices)
+        return localize_only(self.machine, self.hash_tables(ttable), indices,
+                             backend=self.backend)
 
     def clear_stamp(self, ttable: TranslationTable, stamp: str,
                     release: bool = False) -> int:
@@ -209,7 +214,8 @@ class ChaosRuntime:
     def build_schedule(self, ttable: TranslationTable,
                        expr: StampExpr | str) -> Schedule:
         """``CHAOS_schedule``: build from stamped hash-table entries."""
-        return build_schedule(self.machine, self.hash_tables(ttable), expr)
+        return build_schedule(self.machine, self.hash_tables(ttable), expr,
+                              backend=self.backend)
 
     def stamp_expr(self, ttable: TranslationTable, *names: str) -> StampExpr:
         """Union stamp expression (merged schedules) by name."""

@@ -1,25 +1,36 @@
-"""Executor backend protocol and registry.
+"""Phase-complete backend protocol and registry.
 
-A :class:`Backend` implements the *data transportation* step of every
-executor-phase collective — gather, scatter, scatter-with-op, append-order
-particle migration, and remap application.  The module-level functions in
+A :class:`Backend` implements every interpreter-bound step of the CHAOS
+pipeline, spanning both halves of the inspector/executor split:
+
+* **inspector phase** — index analysis (``chaos_hash`` probing/insertion
+  via the backend's key store), localization, schedule generation from
+  stamped hash tables, and translation-table lookup accounting;
+* **executor phase** — gather, scatter, scatter-with-op, append-order
+  particle migration, and remap application.
+
+The module-level functions in :mod:`repro.core.inspector`,
+:mod:`repro.core.schedule`, :mod:`repro.core.translation`,
 :mod:`repro.core.executor`, :mod:`repro.core.lightweight` and
-:mod:`repro.core.remap` validate arguments and then dispatch to a backend,
-so every backend sees pre-validated inputs and only has to move data and
-charge the machine.
+:mod:`repro.core.remap` validate arguments and then dispatch to a
+backend, so every backend sees pre-validated inputs and only has to do
+the work and charge the machine.
 
 Two implementations ship with the runtime:
 
-* ``serial`` — the reference pair-loop semantics (one small numpy
-  operation per communicating ``(p, q)`` rank pair);
-* ``vectorized`` — compiled flat plans (:mod:`repro.core.compiled`)
-  executed with a handful of fused numpy operations per collective, the
-  default.
+* ``serial`` — the reference semantics: a Python dict operation per hash
+  key, a Python loop per communicating ``(p, q)`` rank pair;
+* ``vectorized`` — the default: a batched open-addressed key store,
+  argsort/bincount schedule grouping, count-matrix communication
+  accounting (:meth:`Machine.exchange_compiled`), and compiled flat
+  executor plans (:mod:`repro.core.compiled`).
 
-Backends must be *observationally identical*: same results bitwise, same
-traffic statistics, same virtual-time totals (up to float summation
-order).  ``tests/test_backends.py`` enforces this on randomized
-schedules.  New execution strategies (threaded, sharded, alternative
+Backends must be *observationally identical*: same results bitwise
+(localized indices, ghost-slot assignment, schedules, executor data),
+same traffic statistics message-for-message, same virtual-time totals
+(up to float summation order).  ``tests/test_backends.py`` and
+``tests/test_inspector_backends.py`` enforce this on randomized
+workloads.  New execution strategies (threaded, sharded, alternative
 transports) plug in via :func:`register_backend` without touching
 applications.
 """
@@ -38,16 +49,65 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 
 
 class Backend(ABC):
-    """Executor data-transportation strategy.
+    """Inspector + executor execution strategy.
 
     All methods receive pre-validated arguments (see the dispatching
-    wrappers in :mod:`repro.core.executor` et al.) and must charge the
-    machine exactly as the serial reference does.
+    wrappers in :mod:`repro.core.inspector`, :mod:`repro.core.executor`
+    et al.) and must charge the machine exactly as the serial reference
+    does.
     """
 
     #: registry key; subclasses override
     name: str = "abstract"
 
+    # ------------------------------------------------------------------
+    # inspector phase
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def make_key_store(self):
+        """Fresh key store for a new :class:`IndexHashTable` (the
+        global-index → slot map this backend analyses indices with)."""
+
+    @abstractmethod
+    def chaos_hash(self, machine, htables, ttable, idx, stamp,
+                   category: str):
+        """Index analysis: enter one indirection array into the hash
+        tables (translating only unseen indices), stamp every touched
+        entry, return per-rank localized index arrays.  ``idx`` is
+        pre-normalized to one int64 array per rank."""
+
+    def localize(self, machine, htables, idx, category: str):
+        """Pure-lookup localization of already-hashed indirection
+        arrays (the unchanged-array fast path).
+
+        Concrete: the only backend-specific structure is the key store
+        already attached to each table, so one implementation serves
+        every backend.
+        """
+        from repro.core.inspector import _PROBE_COST
+
+        out = []
+        for p in machine.ranks():
+            arr = idx[p]
+            machine.charge_memops(p, _PROBE_COST * arr.size, category)
+            out.append(htables[p].localize(arr) if arr.size else arr)
+        return out
+
+    @abstractmethod
+    def build_schedule(self, machine, htables, expr, category: str):
+        """``CHAOS_schedule``: group stamped off-processor entries by
+        owner and run the request exchange; returns a Schedule."""
+
+    @abstractmethod
+    def translation_lookup(self, machine, ttable, qs, category: str
+                           ) -> None:
+        """Charge the communication of a collective translation-table
+        dereference under the table's storage policy (replicated /
+        distributed / paged), including page-cache updates."""
+
+    # ------------------------------------------------------------------
+    # executor phase
+    # ------------------------------------------------------------------
     @abstractmethod
     def gather(self, machine, sched, data, ghosts, category: str):
         """Fill ``ghosts`` with off-processor elements; returns ``ghosts``."""

@@ -1,15 +1,16 @@
-"""Serial pair-loop executor backend — the reference semantics.
+"""Serial backend — the reference semantics for every pipeline phase.
 
-This is the original CHAOS-style executor: every communicating ``(p, q)``
-rank pair is visited with a Python loop, packing one small numpy payload
-per pair and shipping the nested per-pair lists through
+This is the original CHAOS-style implementation: index analysis walks a
+Python dict one key at a time, schedule generation and translation
+lookups visit every communicating ``(p, q)`` rank pair with Python
+loops, and the executor packs one small numpy payload per pair through
 :meth:`Machine.alltoallv`.  It is deliberately unclever — the behaviour
 (results, traffic statistics, clock charges) of every other backend is
 defined as "whatever this one does".
 
 Like every backend, it receives pre-validated inputs: the dispatching
-wrappers in :mod:`repro.core.executor` et al. perform the bounds and
-shape checks before any backend runs.
+wrappers in :mod:`repro.core.inspector`, :mod:`repro.core.executor` et
+al. perform the bounds and shape checks before any backend runs.
 """
 
 from __future__ import annotations
@@ -19,13 +20,177 @@ from typing import Callable
 import numpy as np
 
 from repro.core.backends.base import Backend, register_backend
+from repro.core.hashtable import DictKeyStore
 
 
 @register_backend
 class SerialBackend(Backend):
-    """Pair-loop data transportation (one payload per rank pair)."""
+    """Reference per-key / per-rank-pair implementation of every phase."""
 
     name = "serial"
+
+    # ------------------------------------------------------------------
+    # inspector phase: index analysis
+    # ------------------------------------------------------------------
+    def make_key_store(self):
+        return DictKeyStore()
+
+    def chaos_hash(self, machine, htables, ttable, idx, stamp, category):
+        from repro.core.inspector import _INSERT_COST, _PROBE_COST
+
+        # Step 1: probe; find the uniques each rank has never seen.
+        new_per_rank: list[np.ndarray] = []
+        for p in machine.ranks():
+            machine.charge_memops(p, _PROBE_COST * idx[p].size, category)
+            new_per_rank.append(htables[p].missing_uniques(idx[p]))
+
+        # Step 2: translate only the new uniques (collective; the
+        # expensive part the hash table amortizes away in adaptive runs).
+        owners, offsets = ttable.dereference(new_per_rank,
+                                             category=category,
+                                             backend=self)
+
+        # Step 3: insert and stamp.
+        localized: list[np.ndarray] = []
+        for p in machine.ranks():
+            ht = htables[p]
+            new = new_per_rank[p]
+            machine.charge_memops(p, _INSERT_COST * new.size, category)
+            ht.insert_translated(new, owners[p], offsets[p])
+            if idx[p].size:
+                uniq = np.unique(idx[p])
+                slots = ht.lookup_slots(uniq)
+                ht.stamp_slots(slots, stamp)
+                machine.charge_memops(p, uniq.size, category)
+                localized.append(ht.localize(idx[p]))
+            else:
+                ht.registry.acquire(stamp)  # stamp exists on empty ranks
+                localized.append(np.zeros(0, dtype=np.int64))
+        return localized
+
+    # ------------------------------------------------------------------
+    # inspector phase: schedule generation
+    # ------------------------------------------------------------------
+    def build_schedule(self, machine, htables, expr, category):
+        from repro.core.schedule import Schedule
+
+        n = machine.n_ranks
+        z = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
+
+        requests: list[list[np.ndarray]] = [[z() for _ in range(n)]
+                                            for _ in range(n)]
+        recv_slots: list[list[np.ndarray]] = [[z() for _ in range(n)]
+                                              for _ in range(n)]
+        ghost_size = [0] * n
+
+        for p in machine.ranks():
+            ht = htables[p]
+            if isinstance(expr, str):
+                sel_expr = ht.expr(expr)
+            else:
+                sel_expr = expr
+            slots = ht.select(sel_expr, off_processor_only=True)
+            machine.charge_memops(p, ht.n_entries + 2 * slots.size, category)
+            ghost_size[p] = ht.ghost_capacity()
+            if slots.size == 0:
+                continue
+            owners = ht.proc[slots]
+            order = np.argsort(owners, kind="stable")
+            slots = slots[order]
+            owners = owners[order]
+            bounds = np.searchsorted(owners, np.arange(n + 1, dtype=np.int64))
+            for q in machine.ranks():
+                lo, hi = bounds[q], bounds[q + 1]
+                if lo == hi:
+                    continue
+                grp = slots[lo:hi]
+                requests[p][q] = ht.off[grp].astype(np.int64)
+                recv_slots[p][q] = ht.buf[grp].astype(np.int64)
+
+        # Size exchange (schedule setup), then the request exchange:
+        lengths = [[requests[p][q].size for q in machine.ranks()]
+                   for p in machine.ranks()]
+        machine.alltoall_lengths(lengths, tag="sched_sizes",
+                                 category=category)
+        send_payload = [
+            [requests[p][q] if requests[p][q].size else None
+             for q in machine.ranks()]
+            for p in machine.ranks()
+        ]
+        received = machine.alltoallv(send_payload, tag="sched_requests",
+                                     category=category)
+        send_indices: list[list[np.ndarray]] = [[z() for _ in range(n)]
+                                                for _ in range(n)]
+        for q in machine.ranks():
+            for p in machine.ranks():
+                got = received[q][p]
+                if got is not None and np.size(got):
+                    send_indices[q][p] = np.asarray(got, dtype=np.int64)
+                    machine.charge_memops(q, np.size(got), category)
+        return Schedule(
+            n_ranks=n,
+            send_indices=send_indices,
+            recv_slots=recv_slots,
+            ghost_size=ghost_size,
+        )
+
+    # ------------------------------------------------------------------
+    # inspector phase: translation-table lookups
+    # ------------------------------------------------------------------
+    def translation_lookup(self, machine, ttable, qs, category):
+        from repro.core.translation import _ENTRY_BYTES
+
+        m = machine
+        if ttable.storage == "replicated":
+            for p in m.ranks():
+                m.charge_memops(p, qs[p].size, category)
+            return
+        use_cache = ttable.storage == "paged"
+        request_counts = [[0] * m.n_ranks for _ in m.ranks()]
+        for p in m.ranks():
+            q = qs[p]
+            if q.size == 0:
+                continue
+            if use_cache:
+                pages = q // ttable.page_size
+                cache = ttable._page_cache[p]
+                uniq_pages = np.unique(pages)
+                missing = [pg for pg in uniq_pages.tolist()
+                           if pg not in cache]
+                cache.update(missing)
+                # only missing pages generate requests, whole pages return
+                for pg in missing:
+                    home = int(ttable._table_dist.owner(
+                        np.array([min(pg * ttable.page_size,
+                                      ttable.dist.n_global - 1)],
+                                 dtype=np.int64)
+                    )[0])
+                    request_counts[p][home] += ttable.page_size
+                m.charge_memops(p, q.size, category)  # local cache probes
+            else:
+                homes = ttable._table_dist.owner(q)
+                uniq_homes, counts = np.unique(homes, return_counts=True)
+                for h, c in zip(uniq_homes.tolist(), counts.tolist()):
+                    request_counts[p][h] += int(c)
+        # request: 8 bytes/index; reply: _ENTRY_BYTES per entry
+        req = [
+            [np.zeros(request_counts[p][h], dtype=np.int64)
+             if request_counts[p][h] and p != h else None
+             for h in m.ranks()]
+            for p in m.ranks()
+        ]
+        m.alltoallv(req, tag="ttable_lookup_req", category=category)
+        rep = [
+            [np.zeros(request_counts[q][h] * _ENTRY_BYTES // 8,
+                      dtype=np.int64)
+             if request_counts[q][h] and q != h else None
+             for q in m.ranks()]
+            for h in m.ranks()
+        ]
+        m.alltoallv(rep, tag="ttable_lookup_rep", category=category)
+        for h in m.ranks():
+            served = sum(request_counts[p][h] for p in m.ranks())
+            m.charge_memops(h, served, category)
 
     # ------------------------------------------------------------------
     # regular schedules

@@ -1,9 +1,22 @@
-"""Vectorized executor backend: compiled flat plans, fused numpy ops.
+"""Vectorized backend: batched inspector engine + compiled executor plans.
 
-Instead of visiting every ``(p, q)`` rank pair in Python, this backend
-compiles the schedule once into CSR-style flat arrays plus one global
-send-stream → receive-stream permutation (:mod:`repro.core.compiled`) and
-then executes each collective with O(P) numpy calls.
+**Inspector half.**  Index analysis uses the open-addressed int64 key
+store (:class:`~repro.core.hashtable.OpenAddressedKeyStore`): probing and
+insertion of a whole indirection array run as a handful of numpy passes
+instead of one dict operation per key, and localization reuses the
+``np.unique`` inverse so each distinct index is translated once.
+Schedule generation groups stamped entries by owner with a stable argsort
+plus ``np.bincount`` (no P×P pair loops) and charges the size/request
+exchanges straight from count matrices via
+:meth:`Machine.exchange_compiled`; translation-table lookups build their
+request/reply matrices the same way, with page-miss detection for
+``paged`` storage done by ``np.isin`` against the sorted page cache.
+
+**Executor half.**  Instead of visiting every ``(p, q)`` rank pair in
+Python, this backend compiles the schedule once into CSR-style flat
+arrays plus one global send-stream → receive-stream permutation
+(:mod:`repro.core.compiled`) and then executes each collective with O(P)
+numpy calls.
 
 The fast path goes further: because the simulated machine holds every
 rank's data in one process, a whole collective is ONE flat gather.  The
@@ -35,7 +48,9 @@ from repro.core.compiled import (
     compile_lightweight_schedule,
     compile_remap_plan,
     compile_schedule,
+    split_csr,
 )
+from repro.core.hashtable import OpenAddressedKeyStore
 
 
 def _flat_layout(arrays) -> tuple[tuple[int, ...], tuple[int, ...], int] | None:
@@ -66,9 +81,169 @@ def _serial():
 
 @register_backend
 class VectorizedBackend(Backend):
-    """Compiled-plan data transportation (no per-pair Python loop)."""
+    """Batched inspector + compiled-plan executor (no per-key or
+    per-pair Python loops)."""
 
     name = "vectorized"
+
+    # ------------------------------------------------------------------
+    # inspector phase: index analysis
+    # ------------------------------------------------------------------
+    def make_key_store(self):
+        return OpenAddressedKeyStore()
+
+    def chaos_hash(self, machine, htables, ttable, idx, stamp, category):
+        from repro.core.inspector import _INSERT_COST, _PROBE_COST
+
+        # Step 1: probe; one unique pass per rank, inverse kept so the
+        # final localization is a gather instead of a second probe.
+        new_per_rank: list[np.ndarray] = []
+        uniq_per_rank: list[np.ndarray] = []
+        inv_per_rank: list[np.ndarray] = []
+        for p in machine.ranks():
+            machine.charge_memops(p, _PROBE_COST * idx[p].size, category)
+            uniq, inv = np.unique(idx[p], return_inverse=True)
+            uniq_per_rank.append(uniq)
+            inv_per_rank.append(inv)
+            new_per_rank.append(htables[p].store.missing(uniq))
+
+        # Step 2: translate only the new uniques.
+        owners, offsets = ttable.dereference(new_per_rank,
+                                             category=category,
+                                             backend=self)
+
+        # Step 3: insert, stamp, localize via the unique inverse.
+        localized: list[np.ndarray] = []
+        for p in machine.ranks():
+            ht = htables[p]
+            new = new_per_rank[p]
+            machine.charge_memops(p, _INSERT_COST * new.size, category)
+            ht.insert_translated(new, owners[p], offsets[p])
+            if idx[p].size:
+                uniq = uniq_per_rank[p]
+                slots = ht.lookup_slots(uniq)
+                ht.stamp_slots(slots, stamp)
+                machine.charge_memops(p, uniq.size, category)
+                loc_uniq = np.where(
+                    ht.proc[slots] == ht.rank,
+                    ht.off[slots],
+                    ht.n_local + ht.buf[slots],
+                ).astype(np.int64)
+                localized.append(loc_uniq[inv_per_rank[p]])
+            else:
+                ht.registry.acquire(stamp)  # stamp exists on empty ranks
+                localized.append(np.zeros(0, dtype=np.int64))
+        return localized
+
+    # ------------------------------------------------------------------
+    # inspector phase: schedule generation
+    # ------------------------------------------------------------------
+    def build_schedule(self, machine, htables, expr, category):
+        from repro.core.schedule import Schedule
+
+        n = machine.n_ranks
+        empty = np.zeros(0, dtype=np.int64)  # shared placeholder, never written
+        z = lambda: empty  # noqa: E731
+
+        counts = np.zeros((n, n), dtype=np.int64)
+        requests: list[list[np.ndarray]] = [[z() for _ in range(n)]
+                                            for _ in range(n)]
+        recv_slots: list[list[np.ndarray]] = [[z() for _ in range(n)]
+                                              for _ in range(n)]
+        ghost_size = [0] * n
+
+        for p in machine.ranks():
+            ht = htables[p]
+            if isinstance(expr, str):
+                sel_expr = ht.expr(expr)
+            else:
+                sel_expr = expr
+            slots = ht.select(sel_expr, off_processor_only=True)
+            machine.charge_memops(p, ht.n_entries + 2 * slots.size, category)
+            ghost_size[p] = ht.ghost_capacity()
+            if slots.size == 0:
+                continue
+            owners = ht.proc[slots]
+            # owners are ranks < n: a narrow dtype makes the stable radix
+            # argsort several times cheaper than on int64
+            if n <= np.iinfo(np.uint16).max:
+                order = np.argsort(owners.astype(np.uint16), kind="stable")
+            else:
+                order = np.argsort(owners, kind="stable")
+            slots = slots[order]
+            counts[p] = np.bincount(owners[order], minlength=n)
+            off = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts[p], out=off[1:])
+            requests[p] = split_csr(ht.off[slots], off)
+            recv_slots[p] = split_csr(ht.buf[slots], off)
+
+        # Size exchange (schedule setup), then the request exchange —
+        # charged from count matrices; the request data itself becomes
+        # the receivers' send lists directly.
+        machine.exchange_compiled((counts > 0).astype(np.int64), 8,
+                                  tag="sched_sizes", category=category)
+        machine.exchange_compiled(counts, 8, tag="sched_requests",
+                                  category=category)
+        send_indices: list[list[np.ndarray]] = [[z() for _ in range(n)]
+                                                for _ in range(n)]
+        recv_totals = counts.sum(axis=0)
+        for q in machine.ranks():
+            for p in machine.ranks():
+                if counts[p, q]:
+                    send_indices[q][p] = requests[p][q]
+            if recv_totals[q]:
+                machine.charge_memops(q, int(recv_totals[q]), category)
+        return Schedule(
+            n_ranks=n,
+            send_indices=send_indices,
+            recv_slots=recv_slots,
+            ghost_size=ghost_size,
+        )
+
+    # ------------------------------------------------------------------
+    # inspector phase: translation-table lookups
+    # ------------------------------------------------------------------
+    def translation_lookup(self, machine, ttable, qs, category):
+        from repro.core.translation import _ENTRY_BYTES
+
+        m = machine
+        if ttable.storage == "replicated":
+            for p in m.ranks():
+                m.charge_memops(p, qs[p].size, category)
+            return
+        n = m.n_ranks
+        counts = np.zeros((n, n), dtype=np.int64)  # requests p -> home
+        for p in m.ranks():
+            q = qs[p]
+            if q.size == 0:
+                continue
+            if ttable.storage == "paged":
+                uniq_pages = np.unique(q // ttable.page_size)
+                cache = ttable._page_cache[p]
+                cached = cache.as_array()
+                missing = (uniq_pages[~np.isin(uniq_pages, cached)]
+                           if cached.size else uniq_pages)
+                cache.update(missing.tolist())
+                if missing.size:
+                    starts = np.minimum(missing * ttable.page_size,
+                                        ttable.dist.n_global - 1)
+                    homes = ttable._table_dist.owner(starts)
+                    counts[p] = (np.bincount(homes, minlength=n)
+                                 * ttable.page_size)
+                m.charge_memops(p, q.size, category)  # local cache probes
+            else:
+                homes = ttable._table_dist.owner(q)
+                counts[p] = np.bincount(homes, minlength=n)
+        # request: 8 bytes/index; reply: _ENTRY_BYTES per entry, shipped
+        # as whole int64 words exactly like the serial reference
+        m.exchange_compiled(counts, 8, tag="ttable_lookup_req",
+                            category=category)
+        reply_words = (counts.T * _ENTRY_BYTES) // 8
+        m.exchange_compiled(reply_words, 8, tag="ttable_lookup_rep",
+                            category=category)
+        served = counts.sum(axis=0)
+        for h in m.ranks():
+            m.charge_memops(h, int(served[h]), category)
 
     # ------------------------------------------------------------------
     # regular schedules

@@ -172,6 +172,19 @@ def _expand(rows: np.ndarray, k: int) -> np.ndarray:
     return (rows[:, None] * k + np.arange(k, dtype=np.int64)).reshape(-1)
 
 
+def split_csr(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
+    """Split a CSR-flattened array into its per-segment views.
+
+    ``offsets`` is the ``(n_segments + 1,)`` delimiter vector; segment
+    ``i`` is ``flat[offsets[i]:offsets[i + 1]]``.  The inverse of the
+    concatenation the compiled plans (and the vectorized inspector's
+    owner-grouped request lists) are built from; returns views, not
+    copies.
+    """
+    return [flat[int(offsets[i]):int(offsets[i + 1])]
+            for i in range(offsets.size - 1)]
+
+
 def _source_order(n: int, rank: int, self_first: bool) -> list[int]:
     if not self_first:
         return list(range(n))

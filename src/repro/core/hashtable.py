@@ -14,6 +14,13 @@ stamps (Figure 6):
 * ``stamp_a | stamp_b``  → merged schedule (gathers the union),
 * ``stamp_b - stamp_a``  → incremental schedule (only what earlier
   schedules did not fetch).
+
+The *key store* — the global-index → slot map at the heart of index
+analysis — is pluggable: :class:`DictKeyStore` is the reference
+(one Python dict operation per key, used by the serial backend) and
+:class:`OpenAddressedKeyStore` is a batched open-addressed int64 table
+(used by the vectorized backend).  Both assign identical slots, so the
+choice is invisible to everything above.
 """
 
 from __future__ import annotations
@@ -30,25 +37,27 @@ class StampRegistry:
 
     At most 63 live stamps (bits of an int64 mask).  Clearing a stamp
     frees its bit for reuse — the paper reuses the non-bonded list's stamp
-    after clearing it on each list regeneration.
+    after clearing it on each list regeneration.  Free bits are kept in a
+    single int bitmask; acquire always hands out the lowest free bit.
     """
 
     MAX_STAMPS = 63
 
     def __init__(self) -> None:
         self._bits: dict[str, int] = {}
-        self._free: list[int] = list(range(self.MAX_STAMPS))
+        self._free_mask: int = (1 << self.MAX_STAMPS) - 1
 
     def acquire(self, name: str) -> int:
         """Get (or create) the bit for stamp ``name``; returns the mask."""
         if name in self._bits:
             return 1 << self._bits[name]
-        if not self._free:
+        if not self._free_mask:
             raise RuntimeError(
                 f"out of stamp bits ({self.MAX_STAMPS} in use); "
                 "release stamps you no longer need"
             )
-        bit = self._free.pop(0)
+        bit = (self._free_mask & -self._free_mask).bit_length() - 1
+        self._free_mask &= ~(1 << bit)
         self._bits[name] = bit
         return 1 << bit
 
@@ -62,8 +71,7 @@ class StampRegistry:
         bit = self._bits.pop(name, None)
         if bit is None:
             raise KeyError(f"unknown stamp {name!r}")
-        self._free.append(bit)
-        self._free.sort()
+        self._free_mask |= 1 << bit
         return 1 << bit
 
     def names(self) -> list[str]:
@@ -102,8 +110,199 @@ class StampExpr:
         return sel
 
 
+class DictKeyStore:
+    """Reference key store: one Python dict operation per key.
+
+    This is the historical (interpreter-bound) index-analysis path; the
+    serial backend keeps it as the semantics oracle.
+    """
+
+    kind = "dict"
+
+    def __init__(self) -> None:
+        self._slot_of: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self._slot_of
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Slot of each key, -1 where absent."""
+        get = self._slot_of.get
+        return np.fromiter(
+            (get(int(k), -1) for k in keys), dtype=np.int64, count=keys.size
+        )
+
+    def missing(self, sorted_uniques: np.ndarray) -> np.ndarray:
+        """Subset of (already unique, sorted) keys not in the store."""
+        has = self._slot_of
+        return np.array(
+            [k for k in sorted_uniques.tolist() if k not in has],
+            dtype=np.int64,
+        )
+
+    def insert(self, keys: np.ndarray, slots: np.ndarray) -> None:
+        """Map each key to its slot; duplicates are an error."""
+        slot_of = self._slot_of
+        for k, s in zip(keys.tolist(), slots.tolist()):
+            if k in slot_of:
+                raise ValueError(f"duplicate insert of global index {k}")
+            slot_of[k] = s
+
+
+class OpenAddressedKeyStore:
+    """Batched open-addressed int64 hash table (linear probing).
+
+    All operations are vectorized: a lookup of ``m`` keys runs a handful
+    of numpy passes (expected O(1) probe rounds at load factor <= 1/2)
+    instead of ``m`` dict operations.  Keys must be non-negative (-1 is
+    the empty-slot sentinel); global array indices always are.  Slot
+    assignment is identical to :class:`DictKeyStore` — callers choose the
+    slots, the store only maps keys to them.
+    """
+
+    kind = "open-addressed"
+    MIN_CAP = 64  # power of two
+
+    def __init__(self) -> None:
+        self._cap = self.MIN_CAP
+        self._keys = np.full(self._cap, -1, dtype=np.int64)
+        self._vals = np.zeros(self._cap, dtype=np.int64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, key: int) -> bool:
+        k = np.asarray([key], dtype=np.int64)
+        return bool(k[0] >= 0 and self.lookup(k)[0] >= 0)
+
+    @staticmethod
+    def _hash(keys: np.ndarray) -> np.ndarray:
+        # splitmix64 finalizer: avalanches low/high bits so sequential
+        # global indices spread uniformly; uint64 arithmetic wraps.
+        h = keys.astype(np.uint64)
+        h = (h ^ (h >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        h = (h ^ (h >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return h ^ (h >> np.uint64(31))
+
+    def _probe(self, keys: np.ndarray) -> np.ndarray:
+        """Position of each key's slot, or of the first empty slot hit.
+
+        The table is never more than half full, so probing terminates.
+        """
+        capmask = self._cap - 1
+        pos = (self._hash(keys) & np.uint64(capmask)).astype(np.int64)
+        pending = np.arange(keys.size, dtype=np.int64)
+        while pending.size:
+            tk = self._keys[pos[pending]]
+            done = (tk == keys[pending]) | (tk == -1)
+            pending = pending[~done]
+            pos[pending] = (pos[pending] + 1) & capmask
+        return pos
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Slot of each key, -1 where absent."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0 or self._n == 0:
+            return np.full(keys.size, -1, dtype=np.int64)
+        if keys.min() < 0:
+            # negative keys can never be stored (-1 is the empty-slot
+            # sentinel, which a probe for -1 would match); report them
+            # absent and probe only the rest
+            neg = keys < 0
+            out = np.full(keys.size, -1, dtype=np.int64)
+            out[~neg] = self.lookup(keys[~neg])
+            return out
+        pos = self._probe(keys)
+        return np.where(self._keys[pos] == keys, self._vals[pos],
+                        np.int64(-1))
+
+    def missing(self, sorted_uniques: np.ndarray) -> np.ndarray:
+        """Subset of (already unique, sorted) keys not in the store."""
+        uniq = np.asarray(sorted_uniques, dtype=np.int64)
+        return uniq[self.lookup(uniq) < 0]
+
+    def insert(self, keys: np.ndarray, slots: np.ndarray) -> None:
+        """Map each key to its slot; duplicates are an error."""
+        keys = np.asarray(keys, dtype=np.int64)
+        slots = np.asarray(slots, dtype=np.int64)
+        if keys.size == 0:
+            return
+        if keys.min() < 0:
+            raise ValueError(
+                "open-addressed key store requires non-negative keys"
+            )
+        # intra-batch uniqueness: adjacent check (the inspector always
+        # passes sorted uniques, so the sort below rarely runs)
+        if keys.size > 1:
+            srt = keys if np.all(keys[:-1] < keys[1:]) else np.sort(keys)
+            dup = srt[:-1][srt[:-1] == srt[1:]]
+            if dup.size:
+                raise ValueError(
+                    f"duplicate insert of global index {int(dup[0])}"
+                )
+        need = self._n + keys.size
+        if need * 2 > self._cap:
+            self._grow(need)
+        self._scatter_insert(keys, slots)
+        self._n += keys.size
+
+    def _grow(self, need: int) -> None:
+        cap = self._cap
+        while need * 2 > cap:
+            cap *= 2
+        old_keys, old_vals = self._keys, self._vals
+        live = old_keys != -1
+        self._cap = cap
+        self._keys = np.full(cap, -1, dtype=np.int64)
+        self._vals = np.zeros(cap, dtype=np.int64)
+        if live.any():
+            self._scatter_insert(old_keys[live], old_vals[live])
+
+    def _scatter_insert(self, keys: np.ndarray, vals: np.ndarray) -> None:
+        """Place unique keys; resolves intra-batch collisions by
+        write-then-verify rounds (losers of a contended slot re-probe).
+        Meeting an equal stored key while probing means the key is
+        already present — the duplicate-insert error, detected for free.
+        """
+        capmask = self._cap - 1
+        pos = (self._hash(keys) & np.uint64(capmask)).astype(np.int64)
+        pending = np.arange(keys.size, dtype=np.int64)
+        while pending.size:
+            tk = self._keys[pos[pending]]
+            clash = tk == keys[pending]
+            if clash.any():
+                raise ValueError(
+                    "duplicate insert of global index "
+                    f"{int(keys[pending[clash][0]])}"
+                )
+            occupied = tk != -1
+            blocked = pending[occupied]
+            pos[blocked] = (pos[blocked] + 1) & capmask
+            cand = pending[~occupied]
+            if cand.size:
+                self._keys[pos[cand]] = keys[cand]  # last write wins
+                won = self._keys[pos[cand]] == keys[cand]
+                winners = cand[won]
+                self._vals[pos[winners]] = vals[winners]
+                losers = cand[~won]
+                pos[losers] = (pos[losers] + 1) & capmask
+                pending = np.concatenate([blocked, losers])
+            else:
+                pending = blocked
+
+
 class IndexHashTable:
-    """One rank's index-analysis table (vectorized, dict-backed).
+    """One rank's index-analysis table.
+
+    Entry attributes (global index, owner, offset, ghost slot, stamp
+    mask) live in parallel numpy arrays; the global-index → slot map is a
+    pluggable *key store* (see module docstring).  The store only affects
+    wall-clock speed — slot assignment and every observable result are
+    identical across stores.
 
     Parameters
     ----------
@@ -113,9 +312,13 @@ class IndexHashTable:
     n_local:
         Local size of the data array this table indexes; localized
         off-processor references are numbered ``n_local + buffer_slot``.
+    store:
+        Key store instance; defaults to the :class:`DictKeyStore`
+        reference.  Backends choose via ``Backend.make_key_store()``.
     """
 
-    def __init__(self, rank: int, n_local: int, registry: StampRegistry | None = None):
+    def __init__(self, rank: int, n_local: int,
+                 registry: StampRegistry | None = None, store=None):
         if rank < 0:
             raise ValueError(f"negative rank {rank}")
         if n_local < 0:
@@ -123,7 +326,7 @@ class IndexHashTable:
         self.rank = int(rank)
         self.n_local = int(n_local)
         self.registry = registry if registry is not None else StampRegistry()
-        self._slot_of: dict[int, int] = {}
+        self.store = store if store is not None else DictKeyStore()
         self.n_entries = 0
         self._cap = _GROW
         self.g = np.zeros(self._cap, dtype=np.int64)       # global index
@@ -149,18 +352,12 @@ class IndexHashTable:
     # ------------------------------------------------------------------
     def lookup_slots(self, gidx: np.ndarray) -> np.ndarray:
         """Slot of each global index, or -1 if absent."""
-        arr = np.asarray(gidx, dtype=np.int64)
-        get = self._slot_of.get
-        return np.fromiter(
-            (get(int(k), -1) for k in arr), dtype=np.int64, count=arr.size
-        )
+        return self.store.lookup(np.asarray(gidx, dtype=np.int64))
 
     def missing_uniques(self, gidx: np.ndarray) -> np.ndarray:
         """Unique global indices from ``gidx`` not yet in the table."""
         uniq = np.unique(np.asarray(gidx, dtype=np.int64))
-        has = self._slot_of
-        return np.array([k for k in uniq.tolist() if k not in has],
-                        dtype=np.int64)
+        return self.store.missing(uniq)
 
     def insert_translated(
         self, gidx: np.ndarray, owners: np.ndarray, offsets: np.ndarray
@@ -189,10 +386,7 @@ class IndexHashTable:
             self.n_ghost, self.n_ghost + n_off, dtype=np.int64
         )
         self.n_ghost += n_off
-        for k, s in zip(gidx.tolist(), slots.tolist()):
-            if k in self._slot_of:
-                raise ValueError(f"duplicate insert of global index {k}")
-            self._slot_of[k] = s
+        self.store.insert(gidx, slots)
         self.n_entries += n_new
         return slots
 
@@ -259,10 +453,11 @@ class IndexHashTable:
         return self.n_entries
 
     def __contains__(self, gidx: int) -> bool:
-        return int(gidx) in self._slot_of
+        return int(gidx) in self.store
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"IndexHashTable(rank={self.rank}, entries={self.n_entries}, "
-            f"ghost={self.n_ghost}, stamps={self.registry.names()})"
+            f"ghost={self.n_ghost}, store={self.store.kind!r}, "
+            f"stamps={self.registry.names()})"
         )

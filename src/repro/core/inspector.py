@@ -9,12 +9,22 @@ the indirection array rewritten to localized indices.
 
 The back half — schedule generation from stamped entries — lives in
 :mod:`repro.core.schedule`.
+
+The functions here validate arguments and dispatch to a *backend*
+(:mod:`repro.core.backends`): ``serial`` analyses indices one dict
+operation at a time (the reference semantics), ``vectorized`` (the
+default) probes and inserts whole arrays through a batched
+open-addressed key store.  Pass ``backend=`` (a name, a
+:class:`~repro.core.backends.Backend`, or ``None`` for the process
+default) to choose per call; the same backend also performs the
+translation-table lookups ``chaos_hash`` triggers.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backends.base import resolve_backend
 from repro.core.hashtable import IndexHashTable, StampRegistry
 from repro.core.translation import TranslationTable
 from repro.sim.machine import Machine
@@ -25,21 +35,33 @@ _INSERT_COST = 3
 
 
 def make_hash_tables(
-    machine: Machine, ttable: TranslationTable
+    machine: Machine, ttable: TranslationTable, backend=None
 ) -> list[IndexHashTable]:
     """One hash table per rank for arrays distributed like ``ttable``.
 
     All tables share one :class:`StampRegistry` so stamp names mean the
-    same thing on every rank.
+    same thing on every rank.  ``backend`` selects the key store backing
+    each table (dict reference vs batched open addressing); every store
+    assigns identical slots, so the choice only affects wall-clock speed.
     """
+    be = resolve_backend(backend)
     registry = StampRegistry()
     return [
         IndexHashTable(
             rank=p,
             n_local=ttable.dist.local_size(p),
             registry=registry,
+            store=be.make_key_store(),
         )
         for p in machine.ranks()
+    ]
+
+
+def _normalize(indices: list[np.ndarray | None]) -> list[np.ndarray]:
+    return [
+        np.zeros(0, dtype=np.int64) if x is None
+        else np.asarray(x, dtype=np.int64)
+        for x in indices
     ]
 
 
@@ -50,6 +72,7 @@ def chaos_hash(
     indices: list[np.ndarray | None],
     stamp: str,
     category: str = "inspector",
+    backend=None,
 ) -> list[np.ndarray]:
     """Hash one indirection array into the tables; return localized copy.
 
@@ -63,38 +86,10 @@ def chaos_hash(
     """
     machine.check_per_rank(htables, "hash tables")
     machine.check_per_rank(indices, "indices")
-    idx = [
-        np.zeros(0, dtype=np.int64) if x is None else np.asarray(x, dtype=np.int64)
-        for x in indices
-    ]
-
-    # Step 1: probe; find the uniques each rank has never seen.
-    new_per_rank: list[np.ndarray] = []
-    for p in machine.ranks():
-        machine.charge_memops(p, _PROBE_COST * idx[p].size, category)
-        new_per_rank.append(htables[p].missing_uniques(idx[p]))
-
-    # Step 2: translate only the new uniques (collective; the expensive
-    # part the hash table amortizes away in adaptive runs).
-    owners, offsets = ttable.dereference(new_per_rank, category=category)
-
-    # Step 3: insert and stamp.
-    localized: list[np.ndarray] = []
-    for p in machine.ranks():
-        ht = htables[p]
-        new = new_per_rank[p]
-        machine.charge_memops(p, _INSERT_COST * new.size, category)
-        ht.insert_translated(new, owners[p], offsets[p])
-        if idx[p].size:
-            uniq = np.unique(idx[p])
-            slots = ht.lookup_slots(uniq)
-            ht.stamp_slots(slots, stamp)
-            machine.charge_memops(p, uniq.size, category)
-            localized.append(ht.localize(idx[p]))
-        else:
-            ht.registry.acquire(stamp)  # stamp exists even if rank is empty
-            localized.append(np.zeros(0, dtype=np.int64))
-    return localized
+    idx = _normalize(indices)
+    return resolve_backend(backend).chaos_hash(
+        machine, htables, ttable, idx, stamp, category
+    )
 
 
 def clear_stamp(
@@ -126,6 +121,7 @@ def localize_only(
     htables: list[IndexHashTable],
     indices: list[np.ndarray | None],
     category: str = "inspector",
+    backend=None,
 ) -> list[np.ndarray]:
     """Localize indirection arrays already fully present in the tables.
 
@@ -134,10 +130,5 @@ def localize_only(
     """
     machine.check_per_rank(htables, "hash tables")
     machine.check_per_rank(indices, "indices")
-    out = []
-    for p in machine.ranks():
-        x = indices[p]
-        arr = np.zeros(0, dtype=np.int64) if x is None else np.asarray(x, dtype=np.int64)
-        machine.charge_memops(p, _PROBE_COST * arr.size, category)
-        out.append(htables[p].localize(arr) if arr.size else arr)
-    return out
+    idx = _normalize(indices)
+    return resolve_backend(backend).localize(machine, htables, idx, category)

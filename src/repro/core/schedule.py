@@ -13,6 +13,12 @@ matching a :class:`~repro.core.hashtable.StampExpr`, groups them by owner,
 and a request exchange tells every owner which of its local elements other
 ranks need.  Merged and incremental schedules fall out of the stamp
 algebra for free.
+
+:func:`build_schedule` validates and dispatches to a *backend*
+(:mod:`repro.core.backends`): ``serial`` walks every rank pair in Python
+(the reference), ``vectorized`` (the default) groups by owner with
+argsort/bincount and charges the exchanges from count matrices.  Both
+produce bitwise-identical schedules and traffic statistics.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.backends.base import resolve_backend
 from repro.core.hashtable import IndexHashTable, StampExpr
 from repro.sim.machine import Machine
 
@@ -118,69 +125,19 @@ def build_schedule(
     htables: list[IndexHashTable],
     expr: StampExpr | str,
     category: str = "inspector",
+    backend=None,
 ) -> Schedule:
     """Construct a communication schedule from stamped hash tables.
 
     ``expr`` selects which entries participate: a stamp name for a plain
     schedule, or a :class:`StampExpr` for merged (``a | b``) and
     incremental (``b - a``) schedules.  This is the paper's
-    ``CHAOS_schedule`` primitive (Figure 6).
+    ``CHAOS_schedule`` primitive (Figure 6).  ``backend`` selects the
+    schedule-generation strategy (see module docstring).
     """
     machine.check_per_rank(htables, "hash tables")
-    n = machine.n_ranks
-    z = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
-
-    requests: list[list[np.ndarray]] = [[z() for _ in range(n)] for _ in range(n)]
-    recv_slots: list[list[np.ndarray]] = [[z() for _ in range(n)] for _ in range(n)]
-    ghost_size = [0] * n
-
-    for p in machine.ranks():
-        ht = htables[p]
-        if isinstance(expr, str):
-            sel_expr = ht.expr(expr)
-        else:
-            sel_expr = expr
-        slots = ht.select(sel_expr, off_processor_only=True)
-        machine.charge_memops(p, ht.n_entries + 2 * slots.size, category)
-        ghost_size[p] = ht.ghost_capacity()
-        if slots.size == 0:
-            continue
-        owners = ht.proc[slots]
-        order = np.argsort(owners, kind="stable")
-        slots = slots[order]
-        owners = owners[order]
-        bounds = np.searchsorted(owners, np.arange(n + 1, dtype=np.int64))
-        for q in machine.ranks():
-            lo, hi = bounds[q], bounds[q + 1]
-            if lo == hi:
-                continue
-            grp = slots[lo:hi]
-            requests[p][q] = ht.off[grp].astype(np.int64)
-            recv_slots[p][q] = ht.buf[grp].astype(np.int64)
-
-    # Size exchange (schedule setup), then the request exchange itself:
-    lengths = [[requests[p][q].size for q in machine.ranks()] for p in machine.ranks()]
-    machine.alltoall_lengths(lengths, tag="sched_sizes", category=category)
-    send_payload = [
-        [requests[p][q] if requests[p][q].size and p != q else
-         (requests[p][q] if requests[p][q].size else None)
-         for q in machine.ranks()]
-        for p in machine.ranks()
-    ]
-    received = machine.alltoallv(send_payload, tag="sched_requests",
-                                 category=category)
-    send_indices: list[list[np.ndarray]] = [[z() for _ in range(n)] for _ in range(n)]
-    for q in machine.ranks():
-        for p in machine.ranks():
-            got = received[q][p]
-            if got is not None and np.size(got):
-                send_indices[q][p] = np.asarray(got, dtype=np.int64)
-                machine.charge_memops(q, np.size(got), category)
-    return Schedule(
-        n_ranks=n,
-        send_indices=send_indices,
-        recv_slots=recv_slots,
-        ghost_size=ghost_size,
+    return resolve_backend(backend).build_schedule(
+        machine, htables, expr, category
     )
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backends.base import resolve_backend
 from repro.core.distribution import (
     BlockDistribution,
     Distribution,
@@ -30,6 +31,46 @@ from repro.core.distribution import (
 from repro.sim.machine import Machine
 
 _ENTRY_BYTES = 12  # (proc: int32, offset: int64) per table entry
+
+
+class _PageCache:
+    """One rank's set of cached translation-table pages.
+
+    Supports the serial reference's per-page membership loop (``in`` /
+    ``update`` / ``clear`` / ``len``) and hands the vectorized backend a
+    sorted array view for batched ``np.isin`` miss detection.
+    """
+
+    __slots__ = ("_pages", "_arr")
+
+    def __init__(self) -> None:
+        self._pages: set[int] = set()
+        self._arr: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page: int) -> bool:
+        return int(page) in self._pages
+
+    def update(self, pages) -> None:
+        before = len(self._pages)
+        self._pages.update(int(p) for p in pages)
+        if len(self._pages) != before:
+            self._arr = None
+
+    def clear(self) -> None:
+        self._pages.clear()
+        self._arr = None
+
+    def as_array(self) -> np.ndarray:
+        """Sorted int64 array of cached page ids (cached between misses)."""
+        if self._arr is None:
+            arr = np.fromiter(self._pages, dtype=np.int64,
+                              count=len(self._pages))
+            arr.sort()
+            self._arr = arr
+        return self._arr
 
 
 class TranslationTable:
@@ -67,7 +108,8 @@ class TranslationTable:
         # Table homes for distributed/paged storage: block by global index.
         self._table_dist = BlockDistribution(dist.n_global, machine.n_ranks)
         # Per-rank page caches (paged mode only).
-        self._page_cache: list[set[int]] = [set() for _ in machine.ranks()]
+        self._page_cache: list[_PageCache] = [_PageCache()
+                                              for _ in machine.ranks()]
         self._charge_build()
 
     # ------------------------------------------------------------------
@@ -98,6 +140,10 @@ class TranslationTable:
         """Charge the communication needed to assemble the table."""
         m = self.machine
         n = self.dist.n_global
+        if n == 0:
+            # an empty distribution has no entries to gather or route;
+            # charging a collective here would bill phantom traffic
+            return
         if self.storage == "replicated":
             # Each rank contributes its slice; all-gather replicates it.
             share = np.zeros(max(1, n // max(1, m.n_ranks)), dtype=np.int64)
@@ -132,11 +178,16 @@ class TranslationTable:
         self,
         queries: list[np.ndarray | None],
         category: str = "inspector",
+        backend=None,
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """Collective lookup: each rank presents global indices, receives
         (owner, offset) arrays aligned with its query order.
 
-        ``queries[p]`` may be ``None`` (no lookups on rank ``p``).
+        ``queries[p]`` may be ``None`` (no lookups on rank ``p``).  The
+        lookup cost under this table's storage policy is charged by the
+        selected *backend* (:mod:`repro.core.backends`): serial walks
+        rank pairs and pages in Python, vectorized (the default) builds
+        bincount request matrices; both charge identical traffic.
         """
         m = self.machine
         m.check_per_rank(queries, "queries")
@@ -145,65 +196,10 @@ class TranslationTable:
             else self.dist.check_indices(q)
             for q in queries
         ]
-        if self.storage == "replicated":
-            for p in m.ranks():
-                m.charge_memops(p, qs[p].size, category)
-        elif self.storage == "distributed":
-            self._charge_remote_lookup(qs, category, use_cache=False)
-        else:  # paged
-            self._charge_remote_lookup(qs, category, use_cache=True)
+        resolve_backend(backend).translation_lookup(m, self, qs, category)
         owners = [self._owners[q] for q in qs]
         offsets = [self._offsets[q] for q in qs]
         return owners, offsets
-
-    def _charge_remote_lookup(
-        self, qs: list[np.ndarray], category: str, use_cache: bool
-    ) -> None:
-        """Charge the request/reply exchange for non-replicated tables."""
-        m = self.machine
-        request_counts = [[0] * m.n_ranks for _ in m.ranks()]
-        for p in m.ranks():
-            q = qs[p]
-            if q.size == 0:
-                continue
-            homes = self._table_dist.owner(q)
-            if use_cache:
-                pages = q // self.page_size
-                cache = self._page_cache[p]
-                uniq_pages, first_idx = np.unique(pages, return_index=True)
-                missing = [pg for pg in uniq_pages.tolist() if pg not in cache]
-                cache.update(missing)
-                # only missing pages generate requests, whole pages return
-                for pg in missing:
-                    home = int(self._table_dist.owner(
-                        np.array([min(pg * self.page_size,
-                                      self.dist.n_global - 1)], dtype=np.int64)
-                    )[0])
-                    request_counts[p][home] += self.page_size
-                m.charge_memops(p, q.size, category)  # local cache probes
-            else:
-                uniq_homes, counts = np.unique(homes, return_counts=True)
-                for h, c in zip(uniq_homes.tolist(), counts.tolist()):
-                    request_counts[p][h] += int(c)
-        # request: 8 bytes/index; reply: _ENTRY_BYTES per entry
-        req = [
-            [np.zeros(request_counts[p][h], dtype=np.int64)
-             if request_counts[p][h] and p != h else None
-             for h in m.ranks()]
-            for p in m.ranks()
-        ]
-        m.alltoallv(req, tag="ttable_lookup_req", category=category)
-        rep = [
-            [np.zeros(request_counts[q][h] * _ENTRY_BYTES // 8, dtype=np.int64)
-             if request_counts[q][h] and q != h else None
-             for q in m.ranks()]
-            for h in m.ranks()
-        ]
-        rep = [[rep[h][q] for q in m.ranks()] for h in m.ranks()]
-        m.alltoallv(rep, tag="ttable_lookup_rep", category=category)
-        for h in m.ranks():
-            served = sum(request_counts[p][h] for p in m.ranks())
-            m.charge_memops(h, served, category)
 
     # ------------------------------------------------------------------
     def owner_local(self, indices) -> np.ndarray:

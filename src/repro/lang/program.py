@@ -127,10 +127,15 @@ class ProgramInstance:
         machine: Machine,
         bindings: dict[str, Any] | None = None,
         ttable_storage: str = "replicated",
+        backend=None,
     ):
         self.compiled = compiled
         self.machine = machine
         self.ttable_storage = ttable_storage
+        #: backend for every phase of generated code — index analysis,
+        #: schedule generation and executor data transport (name,
+        #: Backend instance, or None for the process-wide default)
+        self.backend = backend
         self.symbols = compiled.analyzer.symbols
         self.host: dict[str, Any] = {}
         self.local: dict[str, list[np.ndarray]] = {}   # distributed 1-D
@@ -174,7 +179,8 @@ class ProgramInstance:
     def _htables(self, decomp: str):
         st = self.decomps[decomp]
         if st.htables is None:
-            st.htables = make_hash_tables(self.machine, st.ttable)
+            st.htables = make_hash_tables(self.machine, st.ttable,
+                                          backend=self.backend)
         return st.htables
 
     def _aligned_arrays(self, decomp: str) -> list[str]:
@@ -318,7 +324,8 @@ class ProgramInstance:
                     self._set_ragged(name, self.host.get(name, []))
                 elif name in self.local:
                     self.local[name] = remap_array(
-                        m, plan, self.local[name], category="remap"
+                        m, plan, self.local[name], category="remap",
+                        backend=self.backend,
                     )
 
     def _distribute_array(self, name: str, dist: Distribution) -> None:
@@ -535,11 +542,12 @@ class ProgramInstance:
                     clear_stamp(m, hts, stamp, category="inspector")
                 loc[pat.key()] = chaos_hash(
                     m, hts, tt, space["gidx"][pat.key()], stamp,
-                    category="inspector",
+                    category="inspector", backend=self.backend,
                 )
             expr = hts[0].expr(*[plan.stamp_for(p)
                                  for p in plan.index_patterns])
-            sched = build_schedule(m, hts, expr, category="inspector")
+            sched = build_schedule(m, hts, expr, category="inspector",
+                                   backend=self.backend)
             return {
                 "schedule": sched,
                 "loc": loc,
@@ -638,7 +646,8 @@ class ProgramInstance:
             if name not in self.local:
                 raise ExecutionError(f"array {name!r} not distributed yet",
                                      nest.outer.line)
-            g = gather(m, sched, self.local[name], category="comm")
+            g = gather(m, sched, self.local[name], category="comm",
+                       backend=self.backend)
             ghosts_of[name] = g
             stacked[name] = stack_local_ghost(self.local[name], g)
 
@@ -716,7 +725,7 @@ class ProgramInstance:
                     self.local[name][p].dtype, copy=False
                 ))
             scatter_op(m, sched, self.local[name], ghost_acc, ufunc,
-                       category="comm")
+                       category="comm", backend=self.backend)
         m.barrier()
 
     # ---- local loops ------------------------------------------------------
@@ -798,9 +807,11 @@ class ProgramInstance:
         dest_rank = [tt.owner_local(d) if d.size else d
                      for d in dest_cell_per]
         sched = build_lightweight_schedule(m, dest_rank, category="inspector")
-        arrived_vals = scatter_append(m, sched, values_per, category="comm")
+        arrived_vals = scatter_append(m, sched, values_per, category="comm",
+                                      backend=self.backend)
         arrived_cells = scatter_append(m, sched, dest_cell_per,
-                                       category="comm")
+                                       category="comm",
+                                       backend=self.backend)
         # regroup arrivals into ragged rows of the target
         new_rows_global: list[np.ndarray | None] = [None] * dist.n_global
         for p in m.ranks():

@@ -1,9 +1,19 @@
-"""Unit tests: stamped index hash table and stamp algebra."""
+"""Unit tests: stamped index hash table and stamp algebra.
+
+``TestIndexHashTable`` runs once per key store (dict reference and
+open-addressed) — the store must be invisible to table behaviour.
+"""
 
 import numpy as np
 import pytest
 
-from repro.core import IndexHashTable, StampExpr, StampRegistry
+from repro.core import (
+    DictKeyStore,
+    IndexHashTable,
+    OpenAddressedKeyStore,
+    StampExpr,
+    StampRegistry,
+)
 
 
 class TestStampRegistry:
@@ -62,9 +72,20 @@ class TestStampExpr:
         assert np.array_equal(e.matches(masks), [True, True, False, True])
 
 
+@pytest.fixture(params=[DictKeyStore, OpenAddressedKeyStore],
+                ids=["dict", "open-addressed"])
+def store_cls(request):
+    return request.param
+
+
 class TestIndexHashTable:
+    @pytest.fixture(autouse=True)
+    def _bind_store(self, store_cls):
+        self.store_cls = store_cls
+
     def make(self, rank=0, n_local=10):
-        return IndexHashTable(rank=rank, n_local=n_local)
+        return IndexHashTable(rank=rank, n_local=n_local,
+                              store=self.store_cls())
 
     def test_insert_and_lookup(self):
         ht = self.make()
