@@ -31,7 +31,6 @@ from repro.core import (
     remap_array,
     scatter_op,
     stack_local_ghost,
-    allocate_ghosts,
 )
 from repro.core.distribution import BlockDistribution
 from repro.lang import ProgramInstance, compile_program

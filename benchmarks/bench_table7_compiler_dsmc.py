@@ -21,7 +21,7 @@ from common import COMPILER_DSMC_PROCS, compiler_dsmc_config, print_table  # noq
 
 import numpy as np
 
-from repro.apps.dsmc import CartesianGrid, FlowConfig
+from repro.apps.dsmc import CartesianGrid
 from repro.core import build_lightweight_schedule, scatter_append
 from repro.core.distribution import BlockDistribution
 from repro.core.translation import TranslationTable

@@ -1,0 +1,192 @@
+"""Benchmark-regression gate: compare fresh results to committed baselines.
+
+Wall-clock milliseconds differ wildly between machines, so the gate
+compares *vectorized-vs-serial speedup ratios* — both backends run in the
+same process on the same hardware, which makes the ratio a stable,
+machine-independent measure of whether the vectorized engine's advantage
+is eroding.  A gated check fails when a baseline ratio shrinks by more
+than ``--max-slowdown`` (default 1.3x); the remaining per-phase ratios
+are advisory (reported, never fatal) because short phases are too noisy
+on shared CI runners to gate on individually.
+
+Baselines are committed JSON files at the repository root
+(``BENCH_inspector.json``, ``BENCH_backends.json``); fresh results are
+the files the benchmark scripts write under ``benchmarks/results/``.
+``--update`` refreshes a baseline when the gated ratios improved or
+stayed within a small drift tolerance: a sequence of sub-threshold
+erosions cannot ratchet itself into the baseline, one lucky fast run
+cannot pin the baseline out of reach, and an unchanged run produces no
+file diff (so CI's refresh commit is skipped).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_inspector.py
+    PYTHONPATH=src python benchmarks/bench_backends.py
+    python benchmarks/check_regression.py            # gate (CI)
+    python benchmarks/check_regression.py --update   # refresh baselines
+                                                     # (main branch only)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_RESULTS = os.path.join(REPO_ROOT, "benchmarks", "results")
+
+
+def _inspector_ratios(payload: dict) -> dict[str, float]:
+    """Per-phase serial/vectorized wall-clock ratios + the headline one."""
+    ratios: dict[str, float] = {}
+    wall = payload.get("wall_clock_s", {})
+    serial, vec = wall.get("serial", {}), wall.get("vectorized", {})
+    for phase in sorted(set(serial) & set(vec)):
+        if vec[phase] > 0:
+            ratios[phase] = serial[phase] / vec[phase]
+    if "speedup_hash_plus_schedule" in payload:
+        ratios["hash+schedule"] = float(payload["speedup_hash_plus_schedule"])
+    return ratios
+
+
+def _backend_ratios(payload: dict) -> dict[str, float]:
+    return {k: float(v) for k, v in payload.get("speedups", {}).items()}
+
+
+#: (baseline file at repo root, result file under benchmarks/results/,
+#:  ratio extractor, metrics that gate — the rest are advisory)
+CHECKS = (
+    ("BENCH_inspector.json", "bench_inspector.json", _inspector_ratios,
+     frozenset({"hash+schedule"})),
+    ("BENCH_backends.json", "backend_ablation.json", _backend_ratios,
+     frozenset({"gather_scatter", "scatter_append"})),
+)
+
+
+def _load(path: str) -> dict | None:
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _gated_mean(ratios: dict[str, float], gated: frozenset[str]) -> float:
+    vals = [v for k, v in ratios.items() if k in gated]
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+#: declines up to this factor are treated as run-to-run noise and still
+#: refresh the baseline; it must stay well below the gate's
+#: ``--max-slowdown`` so a genuine one-shot regression is never absorbed
+DRIFT_TOLERANCE = 1.1
+
+
+def _maybe_update(baseline_path: str, result_path: str, extract,
+                  gated: frozenset[str]) -> None:
+    """Refresh a baseline when gated ratios improved or merely drifted.
+
+    Improvements always refresh.  Small declines (< ``DRIFT_TOLERANCE``)
+    refresh too, so one lucky run cannot pin the baseline at a value
+    typical runs can never reach again (which would turn the gate into a
+    permanent failure).  Declines beyond the tolerance keep the old
+    baseline: a sequence of just-under-the-gate erosions cannot ratchet
+    itself in, because each must land within the much smaller drift
+    tolerance of the *original* baseline to be absorbed.
+    """
+    name = os.path.basename(baseline_path)
+    baseline = _load(baseline_path)
+    if baseline is not None:
+        old = _gated_mean(extract(baseline), gated)
+        new = _gated_mean(extract(_load(result_path)), gated)
+        if new < old and (new <= 0 or old / new > DRIFT_TOLERANCE):
+            print(f"baseline kept: {name} (gated mean fell {old:.2f}x -> "
+                  f"{new:.2f}x, beyond the {DRIFT_TOLERANCE}x drift "
+                  "tolerance)")
+            return
+    shutil.copyfile(result_path, baseline_path)
+    print(f"baseline refreshed: {name} <- {os.path.basename(result_path)}")
+
+
+def check(results_dir: str, baseline_dir: str, max_slowdown: float,
+          update: bool) -> int:
+    failures: list[str] = []
+    missing: list[str] = []
+    for baseline_name, result_name, extract, gated in CHECKS:
+        baseline_path = os.path.join(baseline_dir, baseline_name)
+        result_path = os.path.join(results_dir, result_name)
+        current = _load(result_path)
+        if current is None:
+            missing.append(
+                f"{result_path} missing — run the matching benchmark first"
+            )
+            continue
+        if update:
+            _maybe_update(baseline_path, result_path, extract, gated)
+            continue
+        baseline = _load(baseline_path)
+        if baseline is None:
+            missing.append(
+                f"{baseline_path} missing — run with --update on main to "
+                "create it"
+            )
+            continue
+        base_ratios = extract(baseline)
+        cur_ratios = extract(current)
+        print(f"\n== {baseline_name} vs {result_name} "
+              f"(gated metrics fail when the advantage shrinks > "
+              f"{max_slowdown:.2f}x) ==")
+        for key in sorted(base_ratios):
+            if key not in cur_ratios:
+                if key in gated:
+                    failures.append(f"{baseline_name}: gated metric {key!r} "
+                                    "vanished from current results")
+                continue
+            base, cur = base_ratios[key], cur_ratios[key]
+            slowdown = base / cur if cur > 0 else float("inf")
+            ok = slowdown <= max_slowdown
+            if key in gated:
+                status = "OK" if ok else "REGRESSION"
+            else:
+                status = "advisory" if ok else "advisory-WARN"
+            print(f"  {key:20s} baseline {base:6.2f}x  current {cur:6.2f}x"
+                  f"  ratio {slowdown:5.2f}  [{status}]")
+            if key in gated and not ok:
+                failures.append(
+                    f"{baseline_name}: {key} speedup fell {slowdown:.2f}x "
+                    f"({base:.2f}x -> {cur:.2f}x)"
+                )
+    if missing:
+        print("\n".join(missing), file=sys.stderr)
+        return 2
+    if failures:
+        print("\nbenchmark regressions detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    if not update:
+        print("\nall gated benchmark ratios within tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--results", default=DEFAULT_RESULTS,
+                    help="directory holding fresh benchmark JSON results")
+    ap.add_argument("--baselines", default=REPO_ROOT,
+                    help="directory holding committed BENCH_*.json baselines")
+    ap.add_argument("--max-slowdown", type=float, default=1.3,
+                    help="tolerated shrink factor of a gated speedup ratio")
+    ap.add_argument("--update", action="store_true",
+                    help="refresh the committed baselines from the fresh "
+                         "results (only where the gated ratios improved) "
+                         "instead of gating")
+    args = ap.parse_args(argv)
+    return check(args.results, args.baselines, args.max_slowdown,
+                 args.update)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,7 +44,7 @@ def main() -> None:
     def fetched(expr) -> list[int]:
         sched = rt.build_schedule(ttable, expr)
         # what processor 1 sends to processor 0, as 1-based element ids
-        return [6 + int(off) for off in sched.send_indices[1][0]]
+        return [6 + int(off) for off in sched.send_view(1, 0)]
 
     e = ht0.expr
     cases = [

@@ -45,7 +45,6 @@ from repro.core.schedule import Schedule, build_schedule
 from repro.core.translation import TranslationTable
 from repro.partitioners.base import Partitioner, run_partitioner
 from repro.partitioners.geometric import RCB
-from repro.partitioners.util import degree_weights
 from repro.sim.machine import Machine
 from repro.sim.metrics import load_balance_index
 
@@ -64,10 +63,10 @@ class ParallelMD:
         Translation-table policy (paper used ``"replicated"``).
     backend:
         Backend for index analysis, schedule generation, the translation
-        lookups they trigger, and all Phase-F/remap data transport (name,
+        lookups they trigger, iteration partitioning (Phase C/D), and all
+        Phase-F/remap data transport (name,
         :class:`~repro.core.backends.Backend`, or ``None`` for the
-        process default).  Iteration partitioning (Phase C/D) still uses
-        the process-wide default backend.
+        process default).
     """
 
     def __init__(
@@ -154,9 +153,12 @@ class ParallelMD:
             [[a, b] for a, b in zip(split_by_block(ib_g, m),
                                     split_by_block(jb_g, m))],
             rule="almost-owner-computes", category="partition",
+            backend=self.backend,
         )
-        self.ib = assign.remap_iteration_data(m, split_by_block(ib_g, m))
-        self.jb = assign.remap_iteration_data(m, split_by_block(jb_g, m))
+        self.ib = assign.remap_iteration_data(m, split_by_block(ib_g, m),
+                                              backend=self.backend)
+        self.jb = assign.remap_iteration_data(m, split_by_block(jb_g, m),
+                                              backend=self.backend)
 
         # Phase E: hash tables and schedules.
         self.htables = make_hash_tables(m, self.ttable,
@@ -179,7 +181,6 @@ class ParallelMD:
         with an atom depends on ... the number of non-bonded list entries
         for that atom" — i.e. the atom's own (half-)list row length, since
         the owner of atom i executes i's rows under owner-computes."""
-        s = self.system
         return 1.0 + np.diff(self.inblo).astype(float)
 
     def _charge_nb_update(self) -> None:
@@ -305,9 +306,12 @@ class ParallelMD:
             [[a, b] for a, b in zip(split_by_block(ib_g, m),
                                     split_by_block(jb_g, m))],
             rule="almost-owner-computes", category="partition",
+            backend=self.backend,
         )
-        self.ib = assign.remap_iteration_data(m, split_by_block(ib_g, m))
-        self.jb = assign.remap_iteration_data(m, split_by_block(jb_g, m))
+        self.ib = assign.remap_iteration_data(m, split_by_block(ib_g, m),
+                                              backend=self.backend)
+        self.jb = assign.remap_iteration_data(m, split_by_block(jb_g, m),
+                                              backend=self.backend)
 
         self.htables = make_hash_tables(m, self.ttable,
                                         backend=self.backend)

@@ -24,7 +24,7 @@ import numpy as np
 from repro.apps.dsmc.collisions import COLLIDE_OPS, MOVE_OPS, collide_cells
 from repro.apps.dsmc.grid import CartesianGrid
 from repro.apps.dsmc.move import advance_positions, remove_outflow
-from repro.apps.dsmc.particles import FlowConfig, ParticleSet, inflow_particles
+from repro.apps.dsmc.particles import ParticleSet, inflow_particles
 from repro.apps.dsmc.sequential import DSMCConfig, DSMCTrace, initial_population
 from repro.core.distribution import BlockDistribution, IrregularDistribution
 from repro.core.lightweight import (
@@ -239,7 +239,6 @@ class ParallelDSMC:
         # old distribution: particles grouped by source rank, slot = global
         # rank-major position; new distribution: owner of each slot
         old_map = src_rank.copy()
-        new_map_by_slot = owner[order]
         old_dist = IrregularDistribution(old_map, m.n_ranks)
         # the slot-indexed new distribution needs a translation table build
         # every step — the dominant regular-schedule overhead
@@ -258,7 +257,7 @@ class ParallelDSMC:
         ids = remap_array(m, plan, per_rank(all_ids), backend=self.backend)
         pos = remap_array(m, plan, per_rank(all_pos), backend=self.backend)
         vel = remap_array(m, plan, per_rank(all_vel), backend=self.backend)
-        del new_map_by_slot, slot_of
+        del slot_of
         return [
             ParticleSet(ids=i, positions=x, velocities=v)
             for i, x, v in zip(ids, pos, vel)

@@ -27,7 +27,6 @@ from repro.core.distribution import (
     BlockDistribution,
     CyclicDistribution,
     Distribution,
-    IrregularDistribution,
 )
 from repro.core.executor import (
     allocate_ghosts,

@@ -127,7 +127,7 @@ class SerialBackend(Backend):
                 if got is not None and np.size(got):
                     send_indices[q][p] = np.asarray(got, dtype=np.int64)
                     machine.charge_memops(q, np.size(got), category)
-        return Schedule(
+        return Schedule.from_pair_lists(
             n_ranks=n,
             send_indices=send_indices,
             recv_slots=recv_slots,
@@ -201,7 +201,7 @@ class SerialBackend(Backend):
         for p in machine.ranks():
             d = np.asarray(data[p])
             for q in machine.ranks():
-                sel = sched.send_indices[p][q]
+                sel = sched.send_view(p, q)
                 if sel.size:
                     send[p][q] = d[sel]
                     machine.charge_copyops(p, sel.size, category)
@@ -210,7 +210,7 @@ class SerialBackend(Backend):
             g = ghosts[p]
             for q in machine.ranks():
                 got = received[p][q]
-                slots = sched.recv_slots[p][q]
+                slots = sched.recv_view(p, q)
                 if slots.size:
                     g[slots] = got
                     machine.charge_copyops(p, slots.size, category)
@@ -223,7 +223,7 @@ class SerialBackend(Backend):
         for p in machine.ranks():
             g = np.asarray(ghosts[p])
             for q in machine.ranks():
-                slots = sched.recv_slots[p][q]
+                slots = sched.recv_view(p, q)
                 if slots.size:
                     send[p][q] = g[slots]
                     machine.charge_copyops(p, slots.size, category)
@@ -232,7 +232,7 @@ class SerialBackend(Backend):
             d = data[p]
             for q in machine.ranks():
                 got = received[p][q]
-                sel = sched.send_indices[p][q]
+                sel = sched.send_view(p, q)
                 if sel.size:
                     if op is None:
                         d[sel] = got
@@ -249,7 +249,7 @@ class SerialBackend(Backend):
         for p in machine.ranks():
             v = np.asarray(values[p])
             for q in machine.ranks():
-                sel = sched.send_sel[p][q]
+                sel = sched.send_view(p, q)
                 if sel.size:
                     send[p][q] = v[sel]
             machine.charge_copyops(p, v.shape[0], category)
@@ -282,7 +282,7 @@ class SerialBackend(Backend):
         for p in machine.ranks():
             expected = int(sched.send_sizes(p).sum())
             for q in machine.ranks():
-                sel = sched.send_sel[p][q]
+                sel = sched.send_view(p, q)
                 if sel.size:
                     send[p][q] = tuple(
                         np.asarray(arrays[k][p])[sel] for k in range(n_attr)
@@ -322,7 +322,7 @@ class SerialBackend(Backend):
         for p in machine.ranks():
             d = np.asarray(data[p])
             for q in machine.ranks():
-                sel = plan.send_sel[p][q]
+                sel = plan.send_view(p, q)
                 if sel.size:
                     send[p][q] = d[sel]
                     machine.charge_copyops(p, sel.size, category)
@@ -335,7 +335,7 @@ class SerialBackend(Backend):
             new_local = np.zeros(shape, dtype=d.dtype)
             for q in machine.ranks():
                 got = received[p][q]
-                sel = plan.place_sel[p][q]
+                sel = plan.place_view(p, q)
                 if sel.size:
                     new_local[sel] = got
                     machine.charge_copyops(p, sel.size, category)

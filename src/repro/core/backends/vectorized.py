@@ -6,17 +6,21 @@ insertion of a whole indirection array run as a handful of numpy passes
 instead of one dict operation per key, and localization reuses the
 ``np.unique`` inverse so each distinct index is translated once.
 Schedule generation groups stamped entries by owner with a stable argsort
-plus ``np.bincount`` (no P×P pair loops) and charges the size/request
+plus ``np.bincount`` and emits the CSR-native
+:class:`~repro.core.schedule.Schedule` buffers directly — the owner-grouped
+request stream *is* the receive storage, and each receiver's flat send
+buffer is one concatenation of request segments, so no per-pair list is
+ever assembled — while charging the size/request
 exchanges straight from count matrices via
 :meth:`Machine.exchange_compiled`; translation-table lookups build their
 request/reply matrices the same way, with page-miss detection for
 ``paged`` storage done by ``np.isin`` against the sorted page cache.
 
 **Executor half.**  Instead of visiting every ``(p, q)`` rank pair in
-Python, this backend compiles the schedule once into CSR-style flat
-arrays plus one global send-stream → receive-stream permutation
-(:mod:`repro.core.compiled`) and then executes each collective with O(P)
-numpy calls.
+Python, this backend derives (once, cached) the machine-wide view of the
+schedule's CSR buffers — the global send-stream → receive-stream
+permutation of :mod:`repro.core.compiled` — and then executes each
+collective with O(P) numpy calls.
 
 The fast path goes further: because the simulated machine holds every
 rank's data in one process, a whole collective is ONE flat gather.  The
@@ -48,7 +52,7 @@ from repro.core.compiled import (
     compile_lightweight_schedule,
     compile_remap_plan,
     compile_schedule,
-    split_csr,
+    offsets_from_counts,
 )
 from repro.core.hashtable import OpenAddressedKeyStore
 
@@ -142,14 +146,11 @@ class VectorizedBackend(Backend):
         from repro.core.schedule import Schedule
 
         n = machine.n_ranks
-        empty = np.zeros(0, dtype=np.int64)  # shared placeholder, never written
-        z = lambda: empty  # noqa: E731
 
-        counts = np.zeros((n, n), dtype=np.int64)
-        requests: list[list[np.ndarray]] = [[z() for _ in range(n)]
-                                            for _ in range(n)]
-        recv_slots: list[list[np.ndarray]] = [[z() for _ in range(n)]
-                                              for _ in range(n)]
+        counts = np.zeros((n, n), dtype=np.int64)  # [p][q]: p requests of q
+        requests: list[np.ndarray] = []   # flat, owner-ascending, per rank
+        recv_slots: list[np.ndarray] = []
+        recv_offsets: list[np.ndarray] = []
         ghost_size = [0] * n
 
         for p in machine.ranks():
@@ -162,6 +163,9 @@ class VectorizedBackend(Backend):
             machine.charge_memops(p, ht.n_entries + 2 * slots.size, category)
             ghost_size[p] = ht.ghost_capacity()
             if slots.size == 0:
+                requests.append(np.zeros(0, dtype=np.int64))
+                recv_slots.append(np.zeros(0, dtype=np.int64))
+                recv_offsets.append(offsets_from_counts(counts[p]))
                 continue
             owners = ht.proc[slots]
             # owners are ranks < n: a narrow dtype makes the stable radix
@@ -172,31 +176,40 @@ class VectorizedBackend(Backend):
                 order = np.argsort(owners, kind="stable")
             slots = slots[order]
             counts[p] = np.bincount(owners[order], minlength=n)
-            off = np.zeros(n + 1, dtype=np.int64)
-            np.cumsum(counts[p], out=off[1:])
-            requests[p] = split_csr(ht.off[slots], off)
-            recv_slots[p] = split_csr(ht.buf[slots], off)
+            # fancy indexing already yields fresh arrays; the schedule
+            # constructor coerces dtype only if it is not int64 yet
+            requests.append(ht.off[slots])
+            recv_slots.append(ht.buf[slots])
+            recv_offsets.append(offsets_from_counts(counts[p]))
 
         # Size exchange (schedule setup), then the request exchange —
         # charged from count matrices; the request data itself becomes
-        # the receivers' send lists directly.
-        machine.exchange_compiled((counts > 0).astype(np.int64), 8,
-                                  tag="sched_sizes", category=category)
+        # the receivers' send lists directly: each receiver's flat send
+        # buffer is one concatenation of the senders' request segments
+        # (sources ascending), no nested per-pair lists anywhere.
+        machine.alltoall_lengths_compiled(counts, tag="sched_sizes",
+                                          category=category)
         machine.exchange_compiled(counts, 8, tag="sched_requests",
                                   category=category)
-        send_indices: list[list[np.ndarray]] = [[z() for _ in range(n)]
-                                                for _ in range(n)]
         recv_totals = counts.sum(axis=0)
+        send_indices = []
+        send_offsets = []
         for q in machine.ranks():
-            for p in machine.ranks():
-                if counts[p, q]:
-                    send_indices[q][p] = requests[p][q]
+            send_offsets.append(offsets_from_counts(counts[:, q]))
             if recv_totals[q]:
+                send_indices.append(np.concatenate([
+                    requests[p][recv_offsets[p][q]:recv_offsets[p][q + 1]]
+                    for p in np.flatnonzero(counts[:, q])
+                ]))
                 machine.charge_memops(q, int(recv_totals[q]), category)
+            else:
+                send_indices.append(np.zeros(0, dtype=np.int64))
         return Schedule(
             n_ranks=n,
             send_indices=send_indices,
+            send_offsets=send_offsets,
             recv_slots=recv_slots,
+            recv_offsets=recv_offsets,
             ghost_size=ghost_size,
         )
 

@@ -1,19 +1,23 @@
-"""Compiled (flattened) communication plans.
+"""Compiled communication plans and shared CSR-layout helpers.
 
-The nested rank-major schedules (:class:`~repro.core.schedule.Schedule`,
+The schedules themselves (:class:`~repro.core.schedule.Schedule`,
 :class:`~repro.core.lightweight.LightweightSchedule`,
-:class:`~repro.core.remap.RemapPlan`) store one small array per ``(p, q)``
-rank pair.  Executing them directly means O(P²) Python-level loop
-iterations per collective — an interpreter-bound hot path.
+:class:`~repro.core.remap.RemapPlan`) are CSR-native: each rank stores
+one concatenated int64 index vector plus a per-partner offset vector.
+The helpers here (:func:`concat_csr`, :func:`split_csr`,
+:func:`csr_counts`, :func:`grouped_arange`, :func:`stream_perm`) define
+that layout in one place for builders and consumers alike.
 
-A *compiled* plan flattens each rank's per-destination arrays into
-CSR-style storage (one concatenated index vector plus a per-destination
-offset vector) and precomputes a single global permutation that reorders
-the machine-wide *send stream* (sender-major, destination-minor) into the
-machine-wide *receive stream* (receiver-major, source-minor).  With those
-arrays in hand an executor backend can move all data for a collective with
-a handful of fused numpy operations — one ``take`` per rank plus one
-permutation — regardless of how many rank pairs communicate.
+A *compiled* plan adds the machine-wide view on top: a single global
+permutation that reorders the machine-wide *send stream* (sender-major,
+destination-minor) into the machine-wide *receive stream*
+(receiver-major, source-minor).  With those arrays in hand an executor
+backend can move all data for a collective with a handful of fused numpy
+operations — one ``take`` per rank plus one permutation — regardless of
+how many rank pairs communicate.  Because the schedules already store
+flat buffers, compilation performs no flattening of its own: it shares
+the schedule's arrays and only derives the count matrix and the global
+permutation.
 
 Compilation is performed once per schedule and cached on the schedule
 object itself (schedules are immutable after construction), so repeated
@@ -30,16 +34,153 @@ import numpy as np
 _CACHE_ATTR = "_compiled_plan"
 
 
+# ---------------------------------------------------------------------
+# CSR layout helpers
+# ---------------------------------------------------------------------
+def concat_csr(parts, group: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate arrays into a ``(flat, offsets)`` CSR pair.
+
+    ``offsets`` delimits one segment per part; with ``group > 1`` every
+    ``group`` consecutive parts fold into a single segment (used when
+    merging schedules: one segment per destination, several source
+    schedules each).  ``flat`` is int64, ``offsets`` has
+    ``len(parts) // group + 1`` entries.
+    """
+    sizes = np.array([np.asarray(a).size for a in parts], dtype=np.int64)
+    if group > 1:
+        sizes = sizes.reshape(-1, group).sum(axis=1)
+    offsets = offsets_from_counts(sizes)
+    if offsets[-1]:
+        flat = np.concatenate(
+            [np.asarray(a, dtype=np.int64).ravel() for a in parts]
+        )
+    else:
+        flat = np.zeros(0, dtype=np.int64)
+    return flat, offsets
+
+
+def split_csr(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
+    """Split a CSR-flattened array into its per-segment views.
+
+    ``offsets`` is the ``(n_segments + 1,)`` delimiter vector; segment
+    ``i`` is ``flat[offsets[i]:offsets[i + 1]]``.  The inverse of
+    :func:`concat_csr`; returns views, not copies.
+    """
+    return [flat[int(offsets[i]):int(offsets[i + 1])]
+            for i in range(offsets.size - 1)]
+
+
+def csr_counts(offsets: list[np.ndarray]) -> np.ndarray:
+    """Per-rank offset vectors → dense ``(n, n)`` segment-size matrix."""
+    return np.diff(np.stack(offsets), axis=1)
+
+
+def offsets_from_counts(counts_row: np.ndarray) -> np.ndarray:
+    """Segment sizes → the ``(n + 1,)`` CSR offset vector (inverse of
+    ``np.diff``; the one construction every builder performs)."""
+    off = np.zeros(counts_row.size + 1, dtype=np.int64)
+    np.cumsum(counts_row, out=off[1:])
+    return off
+
+
+def normalize_csr(
+    flats: list[np.ndarray], offsets: list[np.ndarray], n_segments: int,
+    what: str,
+) -> tuple[list[np.ndarray], list[np.ndarray], np.ndarray]:
+    """Coerce per-rank CSR buffers to int64 and validate their shape.
+
+    Each offset vector must be ``(n_segments + 1,)``, start at 0, be
+    non-decreasing, and end at its flat array's length.  Returns the
+    coerced buffers plus the dense segment-size matrix (validation
+    computes it anyway, constructors reuse it for consistency checks).
+    """
+    if len(flats) != len(offsets):
+        raise ValueError(f"{what}: need one offset vector per flat array")
+    flats = [np.asarray(a, dtype=np.int64) for a in flats]
+    offsets = [np.asarray(o, dtype=np.int64) for o in offsets]
+    for i, off in enumerate(offsets):
+        if off.shape != (n_segments + 1,):
+            raise ValueError(
+                f"{what}[{i}]: offsets must have shape ({n_segments + 1},),"
+                f" got {off.shape}"
+            )
+    off_mat = np.stack(offsets)
+    sizes = np.array([a.size for a in flats], dtype=np.int64)
+    counts = np.diff(off_mat, axis=1)
+    bad = ((off_mat[:, 0] != 0) | (off_mat[:, -1] != sizes)
+           | (counts < 0).any(axis=1))
+    if bad.any():
+        i = int(np.flatnonzero(bad)[0])
+        raise ValueError(
+            f"{what}[{i}]: offsets must run non-decreasing from 0 to "
+            f"{sizes[i]}, got {offsets[i].tolist()}"
+        )
+    return flats, offsets, counts
+
+
+def zero_csr(n_ranks: int) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """All-empty per-rank CSR buffers (``n_ranks`` empty segments each)."""
+    return (
+        [np.zeros(0, dtype=np.int64) for _ in range(n_ranks)],
+        [np.zeros(n_ranks + 1, dtype=np.int64) for _ in range(n_ranks)],
+    )
+
+
+def grouped_arange(starts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[i], starts[i] + sizes[i])``.
+
+    Fully vectorized — the standard "grouped arange" construction used
+    to build stream permutations without a Python loop per rank pair.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    total = int(sizes.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    prefix = np.cumsum(sizes) - sizes  # exclusive prefix sum
+    return (np.repeat(starts - prefix, sizes)
+            + np.arange(total, dtype=np.int64))
+
+
+def stream_perm(counts: np.ndarray, self_first: bool = False) -> np.ndarray:
+    """Sender-major → receiver-major permutation of a global stream.
+
+    ``counts[p, q]`` is the number of elements ``p`` sends to ``q``.  The
+    send stream concatenates each sender's segments destination-ascending;
+    the returned permutation reorders it receiver-major with sources
+    ascending (``self_first=True``: each receiver's own kept-local segment
+    first, then the other sources ascending — append-order semantics).
+    """
+    n = counts.shape[0]
+    send_base = offsets_from_counts(counts.sum(axis=1))
+    row_off = np.zeros((n, n + 1), dtype=np.int64)
+    np.cumsum(counts, axis=1, out=row_off[:, 1:])
+    # starts[p, q] = global send-stream position of the p -> q segment
+    starts = send_base[:n, None] + row_off[:, :n]
+    if self_first:
+        # source visit order per receiver: itself first, then ascending
+        eye = np.arange(n)
+        src_order = np.argsort(eye[None, :] != eye[:, None],
+                               axis=1, kind="stable")
+        receivers = eye[:, None]
+        sizes = counts[src_order, receivers].ravel()
+        seg_starts = starts[src_order, receivers].ravel()
+    else:
+        sizes = counts.T.ravel()
+        seg_starts = starts.T.ravel()
+    return grouped_arange(seg_starts, sizes)
+
+
 @dataclass
 class CompiledPlan:
-    """Flat CSR-style form of a rank-major communication plan.
+    """Machine-wide flat form of a CSR-native communication plan.
 
-    ``send_idx[p]`` concatenates rank ``p``'s pack selections over all
-    destinations (destination-ascending); ``send_off[p]`` is the
-    ``(n_ranks + 1,)`` offset vector delimiting each destination's
-    segment.  ``place_idx[p]`` (when the plan places, rather than
-    appends) concatenates the placement slots in *receive-stream* order —
-    the order arrivals appear after applying :attr:`perm`.
+    ``send_idx[p]`` / ``send_off[p]`` are the plan's own CSR buffers
+    (shared, not copied): rank ``p``'s pack selections concatenated
+    destination-ascending with the ``(n_ranks + 1,)`` offset vector.
+    ``place_idx[p]`` (when the plan places, rather than appends) holds
+    the placement slots in *receive-stream* order — the order arrivals
+    appear after applying :attr:`perm`.
 
     ``perm`` maps the global send stream to the global receive stream:
     ``recv_stream = send_stream[perm]``.  ``send_base``/``recv_base``
@@ -172,79 +313,26 @@ def _expand(rows: np.ndarray, k: int) -> np.ndarray:
     return (rows[:, None] * k + np.arange(k, dtype=np.int64)).reshape(-1)
 
 
-def split_csr(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
-    """Split a CSR-flattened array into its per-segment views.
-
-    ``offsets`` is the ``(n_segments + 1,)`` delimiter vector; segment
-    ``i`` is ``flat[offsets[i]:offsets[i + 1]]``.  The inverse of the
-    concatenation the compiled plans (and the vectorized inspector's
-    owner-grouped request lists) are built from; returns views, not
-    copies.
-    """
-    return [flat[int(offsets[i]):int(offsets[i + 1])]
-            for i in range(offsets.size - 1)]
-
-
-def _source_order(n: int, rank: int, self_first: bool) -> list[int]:
-    if not self_first:
-        return list(range(n))
-    return [rank] + [q for q in range(n) if q != rank]
-
-
 def _compile(
     cls,
     n: int,
-    send_rows: list[list[np.ndarray]],
-    place_rows: list[list[np.ndarray]] | None,
+    send_idx: list[np.ndarray],
+    send_off: list[np.ndarray],
+    place_idx: list[np.ndarray] | None,
     self_first: bool = False,
 ) -> CompiledPlan:
-    counts = np.zeros((n, n), dtype=np.int64)
-    for p in range(n):
-        for q in range(n):
-            counts[p, q] = send_rows[p][q].size
+    """Derive the machine-wide view of CSR-native plan buffers.
 
-    send_idx: list[np.ndarray] = []
-    send_off: list[np.ndarray] = []
-    send_max = np.full(n, -1, dtype=np.int64)
-    for p in range(n):
-        off = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts[p], out=off[1:])
-        flat = (
-            np.concatenate([np.asarray(a, dtype=np.int64)
-                            for a in send_rows[p]])
-            if off[-1] else np.zeros(0, dtype=np.int64)
-        )
-        send_idx.append(flat)
-        send_off.append(off)
-        if flat.size:
-            send_max[p] = flat.max()
-
-    send_base = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(counts.sum(axis=1), out=send_base[1:])
-    recv_base = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(counts.sum(axis=0), out=recv_base[1:])
-
-    pieces: list[np.ndarray] = []
-    place_idx: list[np.ndarray] | None = [] if place_rows is not None else None
-    for p in range(n):  # receiver
-        slot_parts: list[np.ndarray] = []
-        for q in _source_order(n, p, self_first):  # sender
-            c = int(counts[q, p])
-            if c:
-                start = int(send_base[q] + send_off[q][p])
-                pieces.append(np.arange(start, start + c, dtype=np.int64))
-                if place_rows is not None:
-                    slot_parts.append(
-                        np.asarray(place_rows[p][q], dtype=np.int64)
-                    )
-        if place_idx is not None:
-            place_idx.append(
-                np.concatenate(slot_parts) if slot_parts
-                else np.zeros(0, dtype=np.int64)
-            )
-    perm = (
-        np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64)
+    The per-rank ``send_idx`` / ``send_off`` / ``place_idx`` arrays are
+    shared with the plan (plans are immutable after construction); only
+    the count matrix, stream bases and the global permutation are new.
+    """
+    counts = csr_counts(send_off)
+    send_max = np.array(
+        [int(a.max()) if a.size else -1 for a in send_idx], dtype=np.int64
     )
+    send_base = offsets_from_counts(counts.sum(axis=1))
+    recv_base = offsets_from_counts(counts.sum(axis=0))
     return cls(
         n_ranks=n,
         send_idx=send_idx,
@@ -253,7 +341,7 @@ def _compile(
         counts=counts,
         send_base=send_base,
         recv_base=recv_base,
-        perm=perm,
+        perm=stream_perm(counts, self_first=self_first),
         send_max=send_max,
     )
 
@@ -267,32 +355,37 @@ def _cached(sched, builder):
 
 
 def compile_schedule(sched) -> CompiledSchedule:
-    """Flatten a :class:`Schedule`; cached on the schedule object."""
+    """Machine-wide view of a :class:`Schedule`; cached on the schedule.
+
+    The schedule's flat buffers are shared directly: ``recv_slots`` is
+    already the receive stream's placement order (source-ascending).
+    """
     return _cached(
         sched,
         lambda: _compile(
             CompiledSchedule, sched.n_ranks, sched.send_indices,
-            sched.recv_slots,
+            sched.send_offsets, sched.recv_slots,
         ),
     )
 
 
 def compile_lightweight_schedule(sched) -> CompiledLightweightSchedule:
-    """Flatten a :class:`LightweightSchedule`; cached on the schedule."""
+    """Machine-wide view of a :class:`LightweightSchedule`; cached."""
     return _cached(
         sched,
         lambda: _compile(
             CompiledLightweightSchedule, sched.n_ranks, sched.send_sel,
-            None, self_first=True,
+            sched.send_offsets, None, self_first=True,
         ),
     )
 
 
 def compile_remap_plan(plan) -> CompiledRemapPlan:
-    """Flatten a :class:`RemapPlan`; cached on the plan object."""
+    """Machine-wide view of a :class:`RemapPlan`; cached on the plan."""
     return _cached(
         plan,
         lambda: _compile(
-            CompiledRemapPlan, plan.n_ranks, plan.send_sel, plan.place_sel,
+            CompiledRemapPlan, plan.n_ranks, plan.send_sel,
+            plan.send_offsets, plan.place_sel,
         ),
     )

@@ -92,8 +92,8 @@ def scatter(
     """Return ghost values to their owners, overwriting local elements.
 
     The exact reverse of :func:`gather`: rank ``p`` sends
-    ``ghosts[p][recv_slots[p][q]]`` back to ``q``, which writes them at
-    ``send_indices[q][p]``.
+    ``ghosts[p][sched.recv_view(p, q)]`` back to ``q``, which writes them
+    at ``sched.send_view(q, p)``.
     """
     machine.check_per_rank(data, "data")
     machine.check_per_rank(ghosts, "ghosts")

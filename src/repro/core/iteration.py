@@ -44,10 +44,16 @@ class IterationAssignment:
 
     def remap_iteration_data(
         self, machine: Machine, arrays: list[np.ndarray],
-        category: str = "remap",
+        category: str = "remap", backend=None,
     ) -> list[np.ndarray]:
-        """Move one per-iteration array set to the executing ranks."""
-        return scatter_append(machine, self.schedule, arrays, category=category)
+        """Move one per-iteration array set to the executing ranks.
+
+        ``backend`` selects the data-transport strategy (a name, a
+        :class:`~repro.core.backends.Backend`, or ``None`` for the
+        process default), exactly as in :func:`scatter_append`.
+        """
+        return scatter_append(machine, self.schedule, arrays,
+                              category=category, backend=backend)
 
 
 def _majority_vote(owner_rows: np.ndarray) -> np.ndarray:
@@ -75,6 +81,7 @@ def partition_iterations(
     accesses: list[list[np.ndarray]],
     rule: str = "almost-owner-computes",
     category: str = "partition",
+    backend=None,
 ) -> IterationAssignment:
     """Assign loop iterations to ranks and build the Phase-D move plan.
 
@@ -90,6 +97,10 @@ def partition_iterations(
         taken to be the left-hand-side reference.
     rule:
         ``"almost-owner-computes"`` (majority) or ``"owner-computes"``.
+    backend:
+        Strategy for the translation-table dereference (a name, a
+        :class:`~repro.core.backends.Backend`, or ``None`` for the
+        process default).
     """
     if rule not in ("almost-owner-computes", "owner-computes"):
         raise ValueError(f"unknown iteration-partitioning rule {rule!r}")
@@ -112,7 +123,8 @@ def partition_iterations(
         flat_queries.append(
             np.concatenate([np.asarray(a, dtype=np.int64) for a in arrays])
         )
-    owners_flat, _ = ttable.dereference(flat_queries, category=category)
+    owners_flat, _ = ttable.dereference(flat_queries, category=category,
+                                        backend=backend)
 
     dest: list[np.ndarray] = []
     for p in machine.ranks():

@@ -8,6 +8,11 @@ size exchange.  It is both cheaper to construct (no hash table, no
 translation-table lookups) and cheaper to use (receivers append, never
 reorder), which is why ``scatter_append`` beats ``gather``/``scatter`` by
 large factors in DSMC (Table 4).
+
+Like :class:`~repro.core.schedule.Schedule`, the plan is CSR-native: one
+flat int64 selection vector per rank plus a per-destination offset
+vector — the bucketing argsort's output *is* the storage, no per-pair
+list assembly happens at all.
 """
 
 from __future__ import annotations
@@ -17,71 +22,93 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.backends.base import resolve_backend
-from repro.core.compiled import compile_lightweight_schedule
+from repro.core.compiled import (
+    compile_lightweight_schedule,
+    concat_csr,
+    csr_counts,
+    normalize_csr,
+    offsets_from_counts,
+    split_csr,
+)
 from repro.sim.machine import Machine
 
 
 @dataclass
 class LightweightSchedule:
-    """Destination-bucketed move plan, rank-major.
+    """Destination-bucketed move plan, CSR-native and rank-major.
 
-    ``send_sel[p][q]`` holds positions (into rank ``p``'s source arrays)
-    of elements destined for rank ``q`` — including ``q == p`` for
-    elements that stay local.  ``recv_counts[p][q]`` is how many elements
-    ``p`` receives from ``q``.
+    ``send_sel[p]`` holds positions (into rank ``p``'s source arrays) of
+    every element, concatenated destination-ascending — including the
+    kept-local segment for ``q == p``; ``send_offsets[p]`` is the
+    ``(n_ranks + 1,)`` delimiter vector (the segment for ``q`` is
+    ``send_sel[p][send_offsets[p][q]:send_offsets[p][q + 1]]``).
+    ``recv_counts[p][q]`` is how many elements ``p`` receives from ``q``.
     """
 
     n_ranks: int
-    send_sel: list[list[np.ndarray]]
+    send_sel: list[np.ndarray]
+    send_offsets: list[np.ndarray]
     recv_counts: np.ndarray  # (n_ranks, n_ranks): [p][q] = p receives from q
 
     def __post_init__(self):
         if len(self.send_sel) != self.n_ranks:
-            raise ValueError("send_sel must have one row per rank")
-        # index arrays are int64 by contract, whatever the caller built
-        self.send_sel = [
-            [np.asarray(a, dtype=np.int64) for a in row]
-            for row in self.send_sel
-        ]
+            raise ValueError("send_sel must have one flat array per rank")
+        self.send_sel, self.send_offsets, send_counts = normalize_csr(
+            self.send_sel, self.send_offsets, self.n_ranks, "send_sel"
+        )
         self.recv_counts = np.asarray(self.recv_counts, dtype=np.int64)
         if self.recv_counts.shape != (self.n_ranks, self.n_ranks):
             raise ValueError("recv_counts must be (n_ranks, n_ranks)")
-        for p in range(self.n_ranks):
-            for q in range(self.n_ranks):
-                if self.send_sel[p][q].size != self.recv_counts[q][p]:
-                    raise ValueError(
-                        f"inconsistent: {p} sends {self.send_sel[p][q].size} "
-                        f"to {q}, which expects {self.recv_counts[q][p]}"
-                    )
+        if not np.array_equal(send_counts, self.recv_counts.T):
+            p, q = np.argwhere(send_counts != self.recv_counts.T)[0]
+            raise ValueError(
+                f"inconsistent: {p} sends {send_counts[p, q]} "
+                f"to {q}, which expects {self.recv_counts[q, p]}"
+            )
+
+    # -- flat layout accessors ------------------------------------------
+    def send_view(self, rank: int, dest: int) -> np.ndarray:
+        """Zero-copy view of ``rank``'s selection for ``dest``."""
+        off = self.send_offsets[rank]
+        return self.send_sel[rank][int(off[dest]):int(off[dest + 1])]
+
+    def send_pairs(self) -> list[list[np.ndarray]]:
+        """Nested ``[p][q]`` selection views (deprecated legacy accessor,
+        see :meth:`repro.core.schedule.Schedule.send_pairs`)."""
+        return [split_csr(self.send_sel[p], self.send_offsets[p])
+                for p in range(self.n_ranks)]
 
     def recv_total(self, rank: int) -> int:
         """Total elements rank will hold after the move (incl. kept)."""
         return int(self.recv_counts[rank].sum())
 
     def send_sizes(self, rank: int) -> np.ndarray:
-        return np.array(
-            [self.send_sel[rank][q].size for q in range(self.n_ranks)],
-            dtype=np.int64,
-        )
+        return np.diff(self.send_offsets[rank])
 
     def total_messages(self) -> int:
-        return sum(
-            1
-            for p in range(self.n_ranks)
-            for q in range(self.n_ranks)
-            if p != q and self.send_sel[p][q].size
-        )
+        off_diag = csr_counts(self.send_offsets)
+        np.fill_diagonal(off_diag, 0)
+        return int(np.count_nonzero(off_diag))
 
     def total_moved(self) -> int:
         """Elements crossing rank boundaries (excludes kept-local)."""
-        return int(
-            sum(
-                self.send_sel[p][q].size
-                for p in range(self.n_ranks)
-                for q in range(self.n_ranks)
-                if p != q
-            )
-        )
+        off_diag = csr_counts(self.send_offsets)
+        np.fill_diagonal(off_diag, 0)
+        return int(off_diag.sum())
+
+    @classmethod
+    def from_pair_lists(
+        cls,
+        n_ranks: int,
+        send_sel: list[list[np.ndarray]],
+        recv_counts: np.ndarray,
+    ) -> "LightweightSchedule":
+        """Build from legacy nested per-pair selection lists."""
+        if len(send_sel) != n_ranks:
+            raise ValueError("send_sel must have one row per rank")
+        flat, offs = zip(*(concat_csr(row) for row in send_sel))
+        return cls(n_ranks=n_ranks, send_sel=list(flat),
+                   send_offsets=list(offs), recv_counts=recv_counts)
 
 
 def build_lightweight_schedule(
@@ -94,12 +121,14 @@ def build_lightweight_schedule(
     ``dest_ranks[p][i]`` is the rank that element ``i`` of rank ``p``'s
     local arrays must move to.  Cost: one local bucketing pass per rank
     plus a single message-size exchange — no translation table, no hash
-    table, no permutation list.
+    table, no permutation list.  The stable bucketing argsort is emitted
+    directly as the CSR selection vector.
     """
     machine.check_per_rank(dest_ranks, "dest_ranks")
     n = machine.n_ranks
-    z = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
-    send_sel: list[list[np.ndarray]] = [[z() for _ in range(n)] for _ in range(n)]
+    counts = np.zeros((n, n), dtype=np.int64)
+    send_sel: list[np.ndarray] = []
+    send_offsets: list[np.ndarray] = []
 
     for p in machine.ranks():
         d = np.asarray(dest_ranks[p], dtype=np.int64)
@@ -108,26 +137,24 @@ def build_lightweight_schedule(
             raise ValueError(f"destination rank {bad} out of range on rank {p}")
         machine.charge_memops(p, d.size, category)
         if d.size == 0:
+            send_sel.append(np.zeros(0, dtype=np.int64))
+            send_offsets.append(offsets_from_counts(counts[p]))
             continue
-        order = np.argsort(d, kind="stable")
-        sorted_d = d[order]
-        bounds = np.searchsorted(sorted_d, np.arange(n + 1, dtype=np.int64))
-        for q in machine.ranks():
-            lo, hi = bounds[q], bounds[q + 1]
-            if lo != hi:
-                send_sel[p][q] = order[lo:hi].astype(np.int64)
+        # destinations are ranks < n: a narrow dtype makes the stable
+        # radix argsort several times cheaper than on int64
+        if n <= np.iinfo(np.uint16).max:
+            order = np.argsort(d.astype(np.uint16), kind="stable")
+        else:
+            order = np.argsort(d, kind="stable")
+        counts[p] = np.bincount(d, minlength=n)
+        send_sel.append(np.asarray(order, dtype=np.int64))
+        send_offsets.append(offsets_from_counts(counts[p]))
 
-    lengths = [
-        [send_sel[p][q].size if p != q else 0 for q in machine.ranks()]
-        for p in machine.ranks()
-    ]
-    machine.alltoall_lengths(lengths, tag="lw_sizes", category=category)
-    recv_counts = np.zeros((n, n), dtype=np.int64)
-    for p in machine.ranks():
-        for q in machine.ranks():
-            recv_counts[q][p] = send_sel[p][q].size
+    machine.alltoall_lengths_compiled(counts, tag="lw_sizes",
+                                      category=category)
     return LightweightSchedule(n_ranks=n, send_sel=send_sel,
-                               recv_counts=recv_counts)
+                               send_offsets=send_offsets,
+                               recv_counts=counts.T.copy())
 
 
 def scatter_append(

@@ -5,6 +5,12 @@
 of identically-distributed arrays.  The plan is the analogue of a
 communication schedule specialized for a full redistribution: every element
 has exactly one source and one destination.
+
+Like :class:`~repro.core.schedule.Schedule`, the plan is CSR-native: flat
+int64 selection/placement vectors per rank plus per-partner offset
+vectors.  The placement side is assembled by permuting the global
+sender-major placement stream receiver-major
+(:func:`repro.core.compiled.stream_perm`) — no per-pair list assembly.
 """
 
 from __future__ import annotations
@@ -14,61 +20,104 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.backends.base import resolve_backend
-from repro.core.compiled import compile_remap_plan
+from repro.core.compiled import (
+    compile_remap_plan,
+    concat_csr,
+    csr_counts,
+    normalize_csr,
+    offsets_from_counts,
+    split_csr,
+    stream_perm,
+)
 from repro.core.distribution import Distribution
 from repro.sim.machine import Machine
 
 
 @dataclass
 class RemapPlan:
-    """A built redistribution plan, rank-major.
+    """A built redistribution plan, CSR-native and rank-major.
 
-    ``send_sel[p][q]`` — *old* local offsets on ``p`` of elements moving to
-    ``q`` (``q == p`` for stay-local elements); ``place_sel[p][q]`` — *new*
-    local offsets on ``p`` where elements arriving from ``q`` land (aligned
-    with ``send_sel[q][p]``).  ``new_sizes[p]`` — new local array length.
+    ``send_sel[p]`` — *old* local offsets on ``p`` of every element,
+    concatenated destination-ascending (``q == p`` for stay-local
+    elements), delimited by ``send_offsets[p]``; ``place_sel[p]`` — *new*
+    local offsets on ``p`` where arrivals land, concatenated
+    source-ascending (aligned element-wise with the senders' segments),
+    delimited by ``place_offsets[p]``.  ``new_sizes[p]`` — new local
+    array length.
     """
 
     n_ranks: int
-    send_sel: list[list[np.ndarray]]
-    place_sel: list[list[np.ndarray]]
+    send_sel: list[np.ndarray]
+    send_offsets: list[np.ndarray]
+    place_sel: list[np.ndarray]
+    place_offsets: list[np.ndarray]
     new_sizes: list[int]
 
     def __post_init__(self):
-        # index arrays are int64 by contract, whatever the caller built
-        self.send_sel = [
-            [np.asarray(a, dtype=np.int64) for a in row]
-            for row in self.send_sel
-        ]
-        self.place_sel = [
-            [np.asarray(a, dtype=np.int64) for a in row]
-            for row in self.place_sel
-        ]
-        for p in range(self.n_ranks):
-            for q in range(self.n_ranks):
-                if self.send_sel[p][q].size != self.place_sel[q][p].size:
-                    raise ValueError(
-                        f"remap plan inconsistent between ranks {p} and {q}"
-                    )
+        n = self.n_ranks
+        if len(self.send_sel) != n or len(self.place_sel) != n:
+            raise ValueError("remap buffers must have one entry per rank")
+        self.send_sel, self.send_offsets, send_counts = normalize_csr(
+            self.send_sel, self.send_offsets, n, "send_sel"
+        )
+        self.place_sel, self.place_offsets, place_counts = normalize_csr(
+            self.place_sel, self.place_offsets, n, "place_sel"
+        )
+        if not np.array_equal(send_counts, place_counts.T):
+            p, q = np.argwhere(send_counts != place_counts.T)[0]
+            raise ValueError(
+                f"remap plan inconsistent between ranks {p} and {q}"
+            )
+
+    # -- flat layout accessors ------------------------------------------
+    def send_view(self, rank: int, dest: int) -> np.ndarray:
+        """Zero-copy view of ``rank``'s selection for ``dest``."""
+        off = self.send_offsets[rank]
+        return self.send_sel[rank][int(off[dest]):int(off[dest + 1])]
+
+    def place_view(self, rank: int, src: int) -> np.ndarray:
+        """Zero-copy view of ``rank``'s placement slots for ``src``."""
+        off = self.place_offsets[rank]
+        return self.place_sel[rank][int(off[src]):int(off[src + 1])]
+
+    def send_pairs(self) -> list[list[np.ndarray]]:
+        """Nested ``[p][q]`` selection views (deprecated legacy accessor,
+        see :meth:`repro.core.schedule.Schedule.send_pairs`)."""
+        return [split_csr(self.send_sel[p], self.send_offsets[p])
+                for p in range(self.n_ranks)]
+
+    def place_pairs(self) -> list[list[np.ndarray]]:
+        """Nested ``[p][q]`` placement views (deprecated legacy accessor)."""
+        return [split_csr(self.place_sel[p], self.place_offsets[p])
+                for p in range(self.n_ranks)]
 
     def elements_moved(self) -> int:
         """Elements that change ranks (excludes stay-local)."""
-        return int(
-            sum(
-                self.send_sel[p][q].size
-                for p in range(self.n_ranks)
-                for q in range(self.n_ranks)
-                if p != q
-            )
-        )
+        off_diag = csr_counts(self.send_offsets)
+        np.fill_diagonal(off_diag, 0)
+        return int(off_diag.sum())
 
     def total_messages(self) -> int:
-        return sum(
-            1
-            for p in range(self.n_ranks)
-            for q in range(self.n_ranks)
-            if p != q and self.send_sel[p][q].size
-        )
+        off_diag = csr_counts(self.send_offsets)
+        np.fill_diagonal(off_diag, 0)
+        return int(np.count_nonzero(off_diag))
+
+    @classmethod
+    def from_pair_lists(
+        cls,
+        n_ranks: int,
+        send_sel: list[list[np.ndarray]],
+        place_sel: list[list[np.ndarray]],
+        new_sizes: list[int],
+    ) -> "RemapPlan":
+        """Build from legacy nested per-pair selection/placement lists."""
+        if len(send_sel) != n_ranks or len(place_sel) != n_ranks:
+            raise ValueError("send_sel/place_sel must have one row per rank")
+        send, send_off = zip(*(concat_csr(row) for row in send_sel))
+        place, place_off = zip(*(concat_csr(row) for row in place_sel))
+        return cls(n_ranks=n_ranks, send_sel=list(send),
+                   send_offsets=list(send_off), place_sel=list(place),
+                   place_offsets=list(place_off), new_sizes=new_sizes)
 
 
 def remap(
@@ -91,36 +140,46 @@ def remap(
     if old_dist.n_ranks != machine.n_ranks or new_dist.n_ranks != machine.n_ranks:
         raise ValueError("distributions sized for a different machine")
     n = machine.n_ranks
-    z = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
-    send_sel: list[list[np.ndarray]] = [[z() for _ in range(n)] for _ in range(n)]
-    place_sel: list[list[np.ndarray]] = [[z() for _ in range(n)] for _ in range(n)]
+    counts = np.zeros((n, n), dtype=np.int64)
+    send_sel: list[np.ndarray] = []
+    send_offsets: list[np.ndarray] = []
+    place_by_sender: list[np.ndarray] = []
 
     for p in machine.ranks():
         g = old_dist.global_indices(p)
         machine.charge_memops(p, g.size, category)
         if g.size == 0:
+            send_sel.append(np.zeros(0, dtype=np.int64))
+            send_offsets.append(offsets_from_counts(counts[p]))
+            place_by_sender.append(np.zeros(0, dtype=np.int64))
             continue
         new_owner = new_dist.owner(g)
         new_off = new_dist.local_index(g)
         order = np.argsort(new_owner, kind="stable")
-        so = new_owner[order]
-        bounds = np.searchsorted(so, np.arange(n + 1, dtype=np.int64))
-        for q in machine.ranks():
-            lo, hi = bounds[q], bounds[q + 1]
-            if lo == hi:
-                continue
-            sel = order[lo:hi]
-            send_sel[p][q] = sel.astype(np.int64)
-            place_sel[q][p] = new_off[sel].astype(np.int64)
+        counts[p] = np.bincount(new_owner, minlength=n)
+        send_sel.append(np.asarray(order, dtype=np.int64))
+        send_offsets.append(offsets_from_counts(counts[p]))
+        # new local offsets, aligned with the send stream (dest-ascending)
+        place_by_sender.append(np.asarray(new_off[order], dtype=np.int64))
 
-    lengths = [
-        [send_sel[p][q].size if p != q else 0 for q in machine.ranks()]
-        for p in machine.ranks()
-    ]
-    machine.alltoall_lengths(lengths, tag="remap_sizes", category=category)
+    machine.alltoall_lengths_compiled(counts, tag="remap_sizes",
+                                      category=category)
+
+    # receiver-major reorder of the placement stream: place_sel[q] is the
+    # concatenation (sources ascending) of what each sender computed
+    perm = stream_perm(counts)
+    place_stream = (np.concatenate(place_by_sender)[perm]
+                    if perm.size else np.zeros(0, dtype=np.int64))
+    recv_base = offsets_from_counts(counts.sum(axis=0))
+    place_sel = [place_stream[int(recv_base[q]):int(recv_base[q + 1])]
+                 for q in machine.ranks()]
+    place_offsets = [offsets_from_counts(counts[:, q])
+                     for q in machine.ranks()]
+
     new_sizes = [new_dist.local_size(p) for p in machine.ranks()]
-    return RemapPlan(n_ranks=n, send_sel=send_sel, place_sel=place_sel,
-                     new_sizes=new_sizes)
+    return RemapPlan(n_ranks=n, send_sel=send_sel,
+                     send_offsets=send_offsets, place_sel=place_sel,
+                     place_offsets=place_offsets, new_sizes=new_sizes)
 
 
 def remap_array(

@@ -14,7 +14,7 @@ against; ``get_or_build`` rebuilds only when a dependency moved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 

@@ -7,6 +7,16 @@ A schedule for rank ``p`` stores exactly what the paper lists:
    ``p``'s ghost buffer,
 3. *send sizes* and 4. *fetch sizes* — per-destination message sizes.
 
+The paper hands these to the communication layer as flat index/offset
+buffers, and since the CSR-native refactor :class:`Schedule` stores them
+the same way: one concatenated int64 index vector per rank plus a
+``(n_ranks + 1,)`` offset vector delimiting each partner's segment —
+no nested per-pair Python lists anywhere in the dataclass.  Per-pair
+views are available through :meth:`Schedule.send_view` /
+:meth:`Schedule.recv_view` (zero-copy slices) and the *deprecated*
+nested compatibility accessors :meth:`Schedule.send_pairs` /
+:meth:`Schedule.recv_pairs`.
+
 Schedules are built collectively from the stamped hash tables
 (:func:`build_schedule`): each rank selects the off-processor entries
 matching a :class:`~repro.core.hashtable.StampExpr`, groups them by owner,
@@ -17,106 +27,179 @@ algebra for free.
 :func:`build_schedule` validates and dispatches to a *backend*
 (:mod:`repro.core.backends`): ``serial`` walks every rank pair in Python
 (the reference), ``vectorized`` (the default) groups by owner with
-argsort/bincount and charges the exchanges from count matrices.  Both
-produce bitwise-identical schedules and traffic statistics.
+argsort/bincount and emits the flat CSR buffers directly — zero per-pair
+list assembly.  Both produce bitwise-identical schedules and traffic
+statistics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.backends.base import resolve_backend
+from repro.core.compiled import (
+    concat_csr,
+    normalize_csr,
+    split_csr,
+    zero_csr,
+)
 from repro.core.hashtable import IndexHashTable, StampExpr
 from repro.sim.machine import Machine
 
 
 @dataclass
 class Schedule:
-    """A built communication schedule, rank-major.
+    """A built communication schedule, CSR-native and rank-major.
 
-    ``send_indices[p][q]`` — local offsets on ``p`` of elements to send to
-    ``q``; ``recv_slots[p][q]`` — ghost-buffer slots on ``p`` where data
-    arriving from ``q`` is placed (aligned element-wise with
-    ``send_indices[q][p]``); ``ghost_size[p]`` — ghost-buffer slots rank
-    ``p`` must allocate.
+    ``send_indices[p]`` — local offsets on ``p`` of every element ``p``
+    sends, concatenated destination-ascending; ``send_offsets[p]`` is the
+    ``(n_ranks + 1,)`` vector delimiting each destination's segment (the
+    segment for ``q`` is ``send_indices[p][send_offsets[p][q]:
+    send_offsets[p][q + 1]]``).  ``recv_slots[p]`` / ``recv_offsets[p]``
+    hold the ghost-buffer slots where data arriving at ``p`` is placed,
+    concatenated source-ascending and aligned element-wise with the
+    senders' segments.  ``ghost_size[p]`` — ghost-buffer slots rank ``p``
+    must allocate.
     """
 
     n_ranks: int
-    send_indices: list[list[np.ndarray]]
-    recv_slots: list[list[np.ndarray]]
+    send_indices: list[np.ndarray]
+    send_offsets: list[np.ndarray]
+    recv_slots: list[np.ndarray]
+    recv_offsets: list[np.ndarray]
     ghost_size: list[int]
 
     def __post_init__(self):
-        if len(self.send_indices) != self.n_ranks:
-            raise ValueError("send_indices must have one row per rank")
-        if len(self.recv_slots) != self.n_ranks:
-            raise ValueError("recv_slots must have one row per rank")
-        # index arrays are int64 by contract, whatever the caller built
-        self.send_indices = [
-            [np.asarray(a, dtype=np.int64) for a in row]
-            for row in self.send_indices
-        ]
-        self.recv_slots = [
-            [np.asarray(a, dtype=np.int64) for a in row]
-            for row in self.recv_slots
-        ]
-        for p in range(self.n_ranks):
-            for q in range(self.n_ranks):
-                ns = self.send_indices[p][q].size
-                nr = self.recv_slots[q][p].size
-                if ns != nr:
-                    raise ValueError(
-                        f"schedule inconsistent: {p} sends {ns} to {q} "
-                        f"but {q} expects {nr}"
-                    )
+        n = self.n_ranks
+        if len(self.send_indices) != n or len(self.recv_slots) != n:
+            raise ValueError("schedule buffers must have one entry per rank")
+        self.send_indices, self.send_offsets, send_counts = normalize_csr(
+            self.send_indices, self.send_offsets, n, "send"
+        )
+        self.recv_slots, self.recv_offsets, recv_counts = normalize_csr(
+            self.recv_slots, self.recv_offsets, n, "recv"
+        )
+        if not np.array_equal(send_counts, recv_counts.T):
+            p, q = np.argwhere(send_counts != recv_counts.T)[0]
+            raise ValueError(
+                f"schedule inconsistent: {p} sends {send_counts[p, q]} to "
+                f"{q} but {q} expects {recv_counts[q, p]}"
+            )
+        self._counts = send_counts
+        self._send_pairs: list[list[np.ndarray]] | None = None
+        self._recv_pairs: list[list[np.ndarray]] | None = None
+
+    # -- flat layout accessors ------------------------------------------
+    def counts(self) -> np.ndarray:
+        """``(n_ranks, n_ranks)`` matrix: ``counts[p, q]`` elements
+        ``p`` sends to ``q``."""
+        return self._counts
+
+    def send_view(self, rank: int, dest: int) -> np.ndarray:
+        """Zero-copy view of ``rank``'s send segment for ``dest``."""
+        off = self.send_offsets[rank]
+        return self.send_indices[rank][int(off[dest]):int(off[dest + 1])]
+
+    def recv_view(self, rank: int, src: int) -> np.ndarray:
+        """Zero-copy view of ``rank``'s ghost slots for data from ``src``."""
+        off = self.recv_offsets[rank]
+        return self.recv_slots[rank][int(off[src]):int(off[src + 1])]
+
+    # -- deprecated nested compatibility accessors ----------------------
+    def send_pairs(self) -> list[list[np.ndarray]]:
+        """Nested ``[p][q]`` views of the send segments.
+
+        .. deprecated:: PR 3
+           Legacy accessor for code written against the nested-list
+           layout; built lazily (views, not copies) and cached.  New code
+           should consume the flat CSR buffers or :meth:`send_view`.
+        """
+        if self._send_pairs is None:
+            self._send_pairs = [
+                split_csr(self.send_indices[p], self.send_offsets[p])
+                for p in range(self.n_ranks)
+            ]
+        return self._send_pairs
+
+    def recv_pairs(self) -> list[list[np.ndarray]]:
+        """Nested ``[p][q]`` views of the receive segments (deprecated,
+        see :meth:`send_pairs`)."""
+        if self._recv_pairs is None:
+            self._recv_pairs = [
+                split_csr(self.recv_slots[p], self.recv_offsets[p])
+                for p in range(self.n_ranks)
+            ]
+        return self._recv_pairs
 
     # -- paper's four components, per rank ------------------------------
     def send_list(self, rank: int) -> np.ndarray:
-        """All local elements ``rank`` sends, concatenated by destination."""
-        parts = [self.send_indices[rank][q] for q in range(self.n_ranks)]
-        return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+        """All local elements ``rank`` sends, concatenated by destination
+        (the native storage — zero-copy)."""
+        return self.send_indices[rank]
 
     def permutation_list(self, rank: int) -> np.ndarray:
-        """Ghost-buffer placement order of incoming elements."""
-        parts = [self.recv_slots[rank][q] for q in range(self.n_ranks)]
-        return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+        """Ghost-buffer placement order of incoming elements (zero-copy)."""
+        return self.recv_slots[rank]
 
     def send_sizes(self, rank: int) -> np.ndarray:
-        return np.array(
-            [self.send_indices[rank][q].size for q in range(self.n_ranks)],
-            dtype=np.int64,
-        )
+        return np.diff(self.send_offsets[rank])
 
     def fetch_sizes(self, rank: int) -> np.ndarray:
-        return np.array(
-            [self.recv_slots[rank][q].size for q in range(self.n_ranks)],
-            dtype=np.int64,
-        )
+        return np.diff(self.recv_offsets[rank])
 
     # -- aggregate stats -------------------------------------------------
     def total_elements(self) -> int:
         """Off-processor elements moved by one gather with this schedule."""
-        return int(sum(self.send_sizes(p).sum() for p in range(self.n_ranks)))
+        return int(self._counts.sum())
 
     def total_messages(self) -> int:
         """Messages per gather (non-empty (p,q) pairs, p != q)."""
-        return sum(
-            1
-            for p in range(self.n_ranks)
-            for q in range(self.n_ranks)
-            if p != q and self.send_indices[p][q].size
-        )
+        off_diag = self._counts.copy()
+        np.fill_diagonal(off_diag, 0)
+        return int(np.count_nonzero(off_diag))
 
     @classmethod
     def empty(cls, n_ranks: int) -> "Schedule":
-        z = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
+        send, send_off = zero_csr(n_ranks)
+        recv, recv_off = zero_csr(n_ranks)
         return cls(
             n_ranks=n_ranks,
-            send_indices=[[z() for _ in range(n_ranks)] for _ in range(n_ranks)],
-            recv_slots=[[z() for _ in range(n_ranks)] for _ in range(n_ranks)],
+            send_indices=send,
+            send_offsets=send_off,
+            recv_slots=recv,
+            recv_offsets=recv_off,
             ghost_size=[0] * n_ranks,
+        )
+
+    @classmethod
+    def from_pair_lists(
+        cls,
+        n_ranks: int,
+        send_indices: list[list[np.ndarray]],
+        recv_slots: list[list[np.ndarray]],
+        ghost_size: list[int],
+    ) -> "Schedule":
+        """Build a schedule from legacy nested per-pair lists.
+
+        Compatibility constructor for callers (and the serial reference
+        backend) that still assemble one small array per ``(p, q)`` pair;
+        the rows are concatenated into the native CSR buffers.
+        """
+        if len(send_indices) != n_ranks:
+            raise ValueError("send_indices must have one row per rank")
+        if len(recv_slots) != n_ranks:
+            raise ValueError("recv_slots must have one row per rank")
+        send, send_off = zip(*(concat_csr(row) for row in send_indices))
+        recv, recv_off = zip(*(concat_csr(row) for row in recv_slots))
+        return cls(
+            n_ranks=n_ranks,
+            send_indices=list(send),
+            send_offsets=list(send_off),
+            recv_slots=list(recv),
+            recv_offsets=list(recv_off),
+            ghost_size=ghost_size,
         )
 
 
@@ -156,20 +239,22 @@ def merge_schedules(machine: Machine, scheds: list[Schedule],
     for s in scheds:
         if s.n_ranks != n:
             raise ValueError("schedules span different machines")
-    send_indices = [
-        [np.concatenate([s.send_indices[p][q] for s in scheds]).astype(np.int64)
-         for q in range(n)]
+    # per (p, q), input-schedule order is preserved within the segment
+    send, send_off = zip(*(
+        concat_csr([s.send_view(p, q) for q in range(n) for s in scheds],
+                   group=len(scheds))
         for p in range(n)
-    ]
-    recv_slots = [
-        [np.concatenate([s.recv_slots[p][q] for s in scheds]).astype(np.int64)
-         for q in range(n)]
+    ))
+    recv, recv_off = zip(*(
+        concat_csr([s.recv_view(p, q) for q in range(n) for s in scheds],
+                   group=len(scheds))
         for p in range(n)
-    ]
+    ))
     ghost_size = [max(s.ghost_size[p] for s in scheds) for p in range(n)]
     for p in range(n):
         machine.charge_memops(
             p, sum(s.send_sizes(p).sum() for s in scheds), category
         )
-    return Schedule(n_ranks=n, send_indices=send_indices,
-                    recv_slots=recv_slots, ghost_size=ghost_size)
+    return Schedule(n_ranks=n, send_indices=list(send),
+                    send_offsets=list(send_off), recv_slots=list(recv),
+                    recv_offsets=list(recv_off), ghost_size=ghost_size)

@@ -61,13 +61,13 @@ def check_schedule(sched: Schedule, dist: Distribution | None = None
     for p in range(n):
         seen_slots: set[int] = set()
         for q in range(n):
-            ns = sched.send_indices[p][q].size
-            nr = sched.recv_slots[q][p].size
+            ns = sched.send_view(p, q).size
+            nr = sched.recv_view(q, p).size
             if ns != nr:
                 problems.append(
                     f"{p}->{q}: sends {ns} but receiver expects {nr}"
                 )
-            slots = sched.recv_slots[p][q]
+            slots = sched.recv_view(p, q)
             if slots.size:
                 if slots.min() < 0 or slots.max() >= sched.ghost_size[p]:
                     problems.append(
@@ -80,13 +80,13 @@ def check_schedule(sched: Schedule, dist: Distribution | None = None
                         f"{sorted(dup)[:5]}"
                     )
                 seen_slots.update(slots.tolist())
-            sel = sched.send_indices[p][q]
-            if dist is not None and sel.size:
-                if sel.min() < 0 or sel.max() >= dist.local_size(p):
-                    problems.append(
-                        f"rank {p}: send index beyond local size "
-                        f"{dist.local_size(p)}"
-                    )
+        sel = sched.send_indices[p]
+        if dist is not None and sel.size:
+            if sel.min() < 0 or sel.max() >= dist.local_size(p):
+                problems.append(
+                    f"rank {p}: send index beyond local size "
+                    f"{dist.local_size(p)}"
+                )
     return problems
 
 
@@ -103,9 +103,7 @@ def check_schedule_against_hash_tables(
                 f"rank {p}: schedule ghost size {sched.ghost_size[p]} "
                 f"exceeds hash-table capacity {cap}"
             )
-        filled = set()
-        for q in range(sched.n_ranks):
-            filled.update(sched.recv_slots[p][q].tolist())
+        filled = set(sched.recv_slots[p].tolist())
         valid = set(ht.buf[: ht.n_entries][ht.buf[: ht.n_entries] >= 0].tolist())
         orphan = filled - valid
         if orphan:
@@ -124,7 +122,7 @@ def check_lightweight(sched: LightweightSchedule) -> list[str]:
         total = int(sched.send_sizes(p).sum())
         seen: set[int] = set()
         for q in range(n):
-            sel = sched.send_sel[p][q]
+            sel = sched.send_view(p, q)
             if sel.size:
                 if sel.min() < 0 or sel.max() >= total:
                     problems.append(f"rank {p}: selection out of range")
@@ -148,16 +146,14 @@ def check_remap_plan(plan: RemapPlan) -> list[str]:
     problems: list[str] = []
     n = plan.n_ranks
     for p in range(n):
-        filled: list[int] = []
         for q in range(n):
-            if plan.send_sel[p][q].size != plan.place_sel[q][p].size:
+            if plan.send_view(p, q).size != plan.place_view(q, p).size:
                 problems.append(f"{p}->{q}: plan asymmetry")
-        for q in range(n):
-            sel = plan.place_sel[p][q]
-            if sel.size:
-                if sel.min() < 0 or sel.max() >= plan.new_sizes[p]:
-                    problems.append(f"rank {p}: placement out of range")
-                filled.extend(sel.tolist())
+        filled = plan.place_sel[p].tolist()
+        if filled:
+            sel = plan.place_sel[p]
+            if sel.min() < 0 or sel.max() >= plan.new_sizes[p]:
+                problems.append(f"rank {p}: placement out of range")
         if len(filled) != plan.new_sizes[p] or \
                 len(set(filled)) != plan.new_sizes[p]:
             problems.append(

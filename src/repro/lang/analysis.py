@@ -33,11 +33,9 @@ from repro.lang.ast_nodes import (
     DistributeStmt,
     Expr,
     Forall,
-    FullSlice,
     Num,
     Program,
     Reduce,
-    UnaryOp,
     VarRef,
     array_refs,
 )
@@ -243,7 +241,6 @@ class Analyzer:
 
         loop_vars = {loop.var} | ({inner.var} if inner else set())
         reduces = [s for s in body if isinstance(s, Reduce)]
-        assigns = [s for s in body if isinstance(s, Assign)]
 
         # cell-append template (Figure 11)
         if inner is not None and reduces and all(

@@ -13,7 +13,7 @@ from repro.lang.analysis import (
     SubscriptPattern,
     classify_subscript,
 )
-from repro.lang.ast_nodes import ArrayRef, Assign, Reduce, array_refs
+from repro.lang.ast_nodes import Assign, Reduce, array_refs
 from repro.lang.errors import AnalysisError
 from repro.lang.plans import AppendPlan, LocalPlan, RefPlan, ReductionPlan
 

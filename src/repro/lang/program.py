@@ -20,7 +20,7 @@ compiler-generated code has:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -31,7 +31,7 @@ from repro.core.distribution import (
     Distribution,
     IrregularDistribution,
 )
-from repro.core.executor import allocate_ghosts, gather, scatter_op, stack_local_ghost
+from repro.core.executor import gather, scatter_op, stack_local_ghost
 from repro.core.inspector import chaos_hash, clear_stamp, make_hash_tables
 from repro.core.iteration import partition_iterations, split_by_block
 from repro.core.lightweight import build_lightweight_schedule, scatter_append
@@ -59,7 +59,7 @@ from repro.lang.ast_nodes import (
     VarRef,
 )
 from repro.lang.codegen import lower_program
-from repro.lang.errors import AnalysisError, ExecutionError
+from repro.lang.errors import ExecutionError
 from repro.lang.parser import parse_program
 from repro.lang.plans import AppendPlan, LocalPlan, ReductionPlan
 from repro.sim.machine import Machine
@@ -514,11 +514,12 @@ class ProgramInstance:
             ]
             assign = partition_iterations(
                 m, tt, accesses, rule="almost-owner-computes",
-                category="inspector",
+                category="inspector", backend=self.backend,
             )
             for k in keys:
                 gidx[k] = assign.remap_iteration_data(
-                    m, split_by_block(ind_values[k], m), category="inspector"
+                    m, split_by_block(ind_values[k], m),
+                    category="inspector", backend=self.backend,
                 )
             n_iter = [gidx[keys[0]][p].size for p in m.ranks()] if keys \
                 else [0] * m.n_ranks

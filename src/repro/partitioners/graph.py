@@ -73,7 +73,6 @@ class GreedyGraphGrowing(Partitioner):
             return PartitionResult(labels=np.zeros(n, dtype=np.int64),
                                    n_parts=1)
         adj = edges_to_csr(n, self.edges)
-        target = w.sum() / n_parts
         # seeds: spread by coordinate-sorted strides (deterministic)
         order = np.lexsort(c.T[::-1])
         seeds = order[np.linspace(0, n - 1, n_parts).astype(np.int64)]
@@ -111,7 +110,6 @@ class GreedyGraphGrowing(Partitioner):
             for nb in adj.indices[adj.indptr[node]:adj.indptr[node + 1]]:
                 if labels[nb] == -1:
                     heapq.heappush(frontiers[k], (int(nb), int(nb)))
-        del target
         return PartitionResult(labels=labels, n_parts=n_parts)
 
 

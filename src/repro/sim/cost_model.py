@@ -20,7 +20,7 @@ irregular kernel, one pairwise force evaluation, ...) into virtual seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

@@ -281,6 +281,29 @@ class Machine:
             self.barrier()
         return recv
 
+    def alltoall_lengths_compiled(
+        self,
+        counts,
+        tag: str = "sizes",
+        category: str = "comm",
+        sync: bool = True,
+    ) -> None:
+        """Charge a message-size exchange straight from a count matrix.
+
+        The array-native counterpart of :meth:`alltoall_lengths`, used by
+        the CSR-native schedule builders: each non-empty off-rank pair of
+        ``counts`` is charged one 8-byte size message — identical
+        messages, bytes, tags, and clock charges to the nested-list
+        form, with no per-pair Python payload lists materialized.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.size and counts.min() < 0:
+            raise ValueError("negative length in compiled size exchange")
+        self.exchange_compiled(
+            (counts > 0).astype(np.int64), 8, tag=tag, category=category,
+            sync=sync,
+        )
+
     def allgather(
         self,
         items: Sequence[Any],

@@ -36,7 +36,7 @@ class TestBuild:
     def test_inconsistent_schedule_rejected(self):
         z = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
         with pytest.raises(ValueError):
-            LightweightSchedule(
+            LightweightSchedule.from_pair_lists(
                 n_ranks=2,
                 send_sel=[[z(), np.array([0])], [z(), z()]],
                 recv_counts=np.zeros((2, 2), dtype=np.int64),

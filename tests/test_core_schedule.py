@@ -30,13 +30,25 @@ class TestScheduleStructure:
         assert s.permutation_list(1).size == 0
 
     def test_inconsistent_rejected(self):
-        s = Schedule.empty(2)
-        s.send_indices[0][1] = np.array([1, 2])
+        # rank 0 sends 2 elements to rank 1 but rank 1 expects none
+        z = np.zeros(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            Schedule.from_pair_lists(
+                n_ranks=2,
+                send_indices=[[z, np.array([1, 2])], [z, z]],
+                recv_slots=[[z, z], [z, z]],
+                ghost_size=[0, 0],
+            )
+
+    def test_csr_offsets_validated(self):
+        z = np.zeros(0, dtype=np.int64)
         with pytest.raises(ValueError):
             Schedule(
                 n_ranks=2,
-                send_indices=s.send_indices,
-                recv_slots=s.recv_slots,
+                send_indices=[np.array([0, 1]), z],
+                send_offsets=[np.array([0, 1, 1]), np.zeros(3, np.int64)],
+                recv_slots=[z, z],
+                recv_offsets=[np.zeros(3, np.int64), np.zeros(3, np.int64)],
                 ghost_size=[0, 0],
             )
 
@@ -69,7 +81,7 @@ class TestFigure6:
 
     def fetched(self, expr) -> list[int]:
         s = self.rt.build_schedule(self.tt, expr)
-        return sorted(5 + off + 1 for off in s.send_indices[1][0].tolist())
+        return sorted(5 + off + 1 for off in s.send_view(1, 0).tolist())
 
     def test_sched_a(self):
         assert self.fetched(self.e("a")) == [7, 9]

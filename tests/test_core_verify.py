@@ -60,27 +60,25 @@ class TestScheduleChecks:
 
     def test_corrupted_slot_detected(self, rng):
         m, rt, tt, sched = self.make(rng)
-        # find a nonempty recv list and poke an out-of-range slot into it
+        # find a nonempty recv buffer and poke an out-of-range slot into it
         for p in range(4):
-            for q in range(4):
-                if sched.recv_slots[p][q].size:
-                    sched.recv_slots[p][q] = sched.recv_slots[p][q].copy()
-                    sched.recv_slots[p][q][0] = sched.ghost_size[p] + 10
-                    problems = check_schedule(sched, tt.dist)
-                    assert any("out of range" in msg for msg in problems)
-                    return
+            if sched.recv_slots[p].size:
+                sched.recv_slots[p] = sched.recv_slots[p].copy()
+                sched.recv_slots[p][0] = sched.ghost_size[p] + 10
+                problems = check_schedule(sched, tt.dist)
+                assert any("out of range" in msg for msg in problems)
+                return
         pytest.skip("no off-processor traffic in this draw")
 
     def test_send_index_range_detected(self, rng):
         m, rt, tt, sched = self.make(rng)
         for p in range(4):
-            for q in range(4):
-                if sched.send_indices[p][q].size:
-                    sched.send_indices[p][q] = sched.send_indices[p][q].copy()
-                    sched.send_indices[p][q][0] = tt.dist.local_size(p) + 99
-                    problems = check_schedule(sched, tt.dist)
-                    assert any("beyond local size" in msg for msg in problems)
-                    return
+            if sched.send_indices[p].size:
+                sched.send_indices[p] = sched.send_indices[p].copy()
+                sched.send_indices[p][0] = tt.dist.local_size(p) + 99
+                problems = check_schedule(sched, tt.dist)
+                assert any("beyond local size" in msg for msg in problems)
+                return
         pytest.skip("no off-processor traffic in this draw")
 
 
@@ -93,26 +91,30 @@ class TestLightweightChecks:
     def test_count_mismatch_detected(self, machine4, rng):
         dest = [rng.integers(0, 4, 12) for _ in range(4)]
         sched = build_lightweight_schedule(machine4, dest)
-        # drop one element from a selection without fixing recv_counts
-        for q in range(4):
-            if sched.send_sel[0][q].size:
-                sched.send_sel[0][q] = sched.send_sel[0][q][:-1]
-                break
+        # drop one element from the selection without fixing recv_counts
+        # (the stale offsets make the last nonempty view come up short)
+        sched.send_sel[0] = sched.send_sel[0][:-1]
         problems = check_lightweight(sched)
         assert problems  # count mismatch and/or undelivered element
 
     def test_double_send_detected(self, machine4, rng):
+        from repro.core import LightweightSchedule
+
         dest = [rng.integers(0, 4, 12) for _ in range(4)]
         sched = build_lightweight_schedule(machine4, dest)
         # send element 0 of rank 0 to a second destination too
+        pairs = [[sched.send_view(p, q).copy() for q in range(4)]
+                 for p in range(4)]
+        recv_counts = sched.recv_counts.copy()
         for q in range(4):
-            if not np.any(sched.send_sel[0][q] == 0):
-                sched.send_sel[0][q] = np.concatenate(
-                    [sched.send_sel[0][q], np.array([0], dtype=np.int64)]
+            if not np.any(pairs[0][q] == 0):
+                pairs[0][q] = np.concatenate(
+                    [pairs[0][q], np.array([0], dtype=np.int64)]
                 )
-                sched.recv_counts[q][0] += 1
+                recv_counts[q][0] += 1
                 break
-        problems = check_lightweight(sched)
+        bad = LightweightSchedule.from_pair_lists(4, pairs, recv_counts)
+        problems = check_lightweight(bad)
         assert any("multiple destinations" in msg for msg in problems)
 
 

@@ -59,21 +59,20 @@ def _table_state(ht):
 
 def _schedule_state(sched):
     return (
-        [[a.copy() for a in row] for row in sched.send_indices],
-        [[a.copy() for a in row] for row in sched.recv_slots],
+        [a.copy() for a in sched.send_indices],
+        [o.copy() for o in sched.send_offsets],
+        [a.copy() for a in sched.recv_slots],
+        [o.copy() for o in sched.recv_offsets],
         list(sched.ghost_size),
     )
 
 
 def _assert_schedules_equal(a, b):
-    sa, ra, ga = a
-    sb, rb, gb = b
+    *buffers_a, ga = a
+    *buffers_b, gb = b
     assert ga == gb
-    for row_a, row_b in zip(sa, sb):
-        for x, y in zip(row_a, row_b):
-            assert np.array_equal(x, y)
-    for row_a, row_b in zip(ra, rb):
-        for x, y in zip(row_a, row_b):
+    for per_rank_a, per_rank_b in zip(buffers_a, buffers_b):
+        for x, y in zip(per_rank_a, per_rank_b):
             assert np.array_equal(x, y)
 
 

@@ -12,7 +12,6 @@ from repro.lang import (
 )
 from repro.lang.ast_nodes import (
     AlignStmt,
-    ArrayDecl,
     ArrayRef,
     BinOp,
     DecompositionStmt,
@@ -20,7 +19,6 @@ from repro.lang.ast_nodes import (
     Forall,
     Num,
     Reduce,
-    VarRef,
 )
 
 

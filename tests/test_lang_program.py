@@ -10,7 +10,6 @@ from repro.lang import (
     compile_program,
     interpret_sequential,
 )
-from repro.lang.plans import AppendPlan, LocalPlan, ReductionPlan
 from repro.sim import Machine
 
 

@@ -18,7 +18,7 @@ from repro.core import (
     scatter_append,
     split_by_block,
 )
-from repro.partitioners import RCB, ChainPartitioner, chain_boundaries
+from repro.partitioners import RCB, chain_boundaries
 from repro.sim import Machine, load_balance_index
 from repro.util import hash_uniform
 
@@ -169,7 +169,7 @@ def test_stamp_union_is_set_union(idx_a, idx_b):
 
     def fetched(expr):
         sched = rt.build_schedule(tt, expr)
-        return set(sched.send_indices[1][0].tolist())
+        return set(sched.send_view(1, 0).tolist())
 
     fa = fetched(ht.expr("a"))
     fb = fetched(ht.expr("b"))

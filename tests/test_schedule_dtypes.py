@@ -1,10 +1,11 @@
 """Regression: schedule index arrays are normalized to int64.
 
-Callers historically controlled the dtype of ``send_indices`` /
-``recv_slots`` / ``send_sel`` — an int32 indirection array produced an
-int32 schedule, and downstream code (compiled plans, fancy indexing)
-silently depended on whatever arrived.  Construction now coerces every
-index array to int64.
+Callers historically controlled the dtype of the schedule index buffers —
+an int32 indirection array produced an int32 schedule, and downstream
+code (compiled plans, fancy indexing) silently depended on whatever
+arrived.  Construction now coerces every flat buffer and offset vector to
+int64, whether a schedule is built directly from CSR buffers or through
+the legacy nested ``from_pair_lists`` constructors.
 """
 
 import numpy as np
@@ -23,56 +24,82 @@ def _rows(n, arrs):
     return [[np.asarray(a, dtype=np.int32) for a in row] for row in arrs]
 
 
-def test_schedule_coerces_int32_indices():
+def _sched_2ranks():
     z = np.zeros(0, dtype=np.int32)
-    sched = Schedule(
+    return Schedule.from_pair_lists(
         n_ranks=2,
         send_indices=_rows(2, [[z, np.array([0, 1])], [np.array([2]), z]]),
         recv_slots=_rows(2, [[z, np.array([0])], [np.array([1, 0]), z]]),
         ghost_size=[2, 1],
     )
+
+
+def test_schedule_coerces_int32_indices():
+    sched = _sched_2ranks()
+    for p in range(2):
+        assert sched.send_indices[p].dtype == np.int64
+        assert sched.send_offsets[p].dtype == np.int64
+        assert sched.recv_slots[p].dtype == np.int64
+        assert sched.recv_offsets[p].dtype == np.int64
+
+
+def test_schedule_coerces_int32_csr_buffers():
+    off = lambda *v: np.asarray(v, dtype=np.int32)  # noqa: E731
+    sched = Schedule(
+        n_ranks=2,
+        send_indices=[np.array([0, 1], dtype=np.int32),
+                      np.array([2], dtype=np.int32)],
+        send_offsets=[off(0, 0, 2), off(0, 1, 1)],
+        recv_slots=[np.array([0], dtype=np.int32),
+                    np.array([1, 0], dtype=np.int32)],
+        recv_offsets=[off(0, 0, 1), off(0, 2, 2)],
+        ghost_size=[2, 1],
+    )
+    for p in range(2):
+        assert sched.send_indices[p].dtype == np.int64
+        assert sched.recv_slots[p].dtype == np.int64
+    assert sched.counts().dtype == np.int64
+
+
+def test_pair_views_roundtrip():
+    sched = _sched_2ranks()
+    assert np.array_equal(sched.send_view(0, 1), [0, 1])
+    assert np.array_equal(sched.send_view(1, 0), [2])
+    pairs = sched.send_pairs()
     for p in range(2):
         for q in range(2):
-            assert sched.send_indices[p][q].dtype == np.int64
-            assert sched.recv_slots[p][q].dtype == np.int64
+            assert np.array_equal(pairs[p][q], sched.send_view(p, q))
 
 
 def test_lightweight_coerces_int32_indices():
     z = np.zeros(0, dtype=np.int32)
-    sched = LightweightSchedule(
+    sched = LightweightSchedule.from_pair_lists(
         n_ranks=2,
         send_sel=_rows(2, [[np.array([0]), np.array([1])],
                            [z, np.array([0, 1])]]),
         recv_counts=np.array([[1, 0], [1, 2]], dtype=np.int32),
     )
     for p in range(2):
-        for q in range(2):
-            assert sched.send_sel[p][q].dtype == np.int64
+        assert sched.send_sel[p].dtype == np.int64
+        assert sched.send_offsets[p].dtype == np.int64
     assert sched.recv_counts.dtype == np.int64
 
 
 def test_remap_plan_coerces_int32_indices():
     z = np.zeros(0, dtype=np.int32)
-    plan = RemapPlan(
+    plan = RemapPlan.from_pair_lists(
         n_ranks=2,
         send_sel=_rows(2, [[np.array([0]), np.array([1])], [z, np.array([0])]]),
         place_sel=_rows(2, [[np.array([0]), z], [np.array([0]), np.array([1])]]),
         new_sizes=[1, 2],
     )
     for p in range(2):
-        for q in range(2):
-            assert plan.send_sel[p][q].dtype == np.int64
-            assert plan.place_sel[p][q].dtype == np.int64
+        assert plan.send_sel[p].dtype == np.int64
+        assert plan.place_sel[p].dtype == np.int64
 
 
 def test_compiled_plans_are_int64():
-    z = np.zeros(0, dtype=np.int32)
-    sched = Schedule(
-        n_ranks=2,
-        send_indices=_rows(2, [[z, np.array([0, 1])], [np.array([2]), z]]),
-        recv_slots=_rows(2, [[z, np.array([0])], [np.array([1, 0]), z]]),
-        ghost_size=[2, 1],
-    )
+    sched = _sched_2ranks()
     plan = compile_schedule(sched)
     for p in range(2):
         assert plan.send_idx[p].dtype == np.int64
@@ -80,7 +107,7 @@ def test_compiled_plans_are_int64():
     assert plan.perm.dtype == np.int64
     assert plan.counts.dtype == np.int64
 
-    lw = LightweightSchedule(
+    lw = LightweightSchedule.from_pair_lists(
         n_ranks=1,
         send_sel=[[np.array([0, 1], dtype=np.int32)]],
         recv_counts=np.array([[2]]),
@@ -88,7 +115,7 @@ def test_compiled_plans_are_int64():
     lwp = compile_lightweight_schedule(lw)
     assert lwp.send_idx[0].dtype == np.int64
 
-    rp = RemapPlan(
+    rp = RemapPlan.from_pair_lists(
         n_ranks=1,
         send_sel=[[np.array([0], dtype=np.int32)]],
         place_sel=[[np.array([0], dtype=np.int32)]],
@@ -100,11 +127,5 @@ def test_compiled_plans_are_int64():
 
 
 def test_compiled_plan_cached_on_schedule():
-    z = np.zeros(0, dtype=np.int64)
-    sched = Schedule(
-        n_ranks=1,
-        send_indices=[[z]],
-        recv_slots=[[z]],
-        ghost_size=[0],
-    )
+    sched = Schedule.empty(1)
     assert compile_schedule(sched) is compile_schedule(sched)
