@@ -21,7 +21,7 @@ import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
-from common import print_table  # noqa: E402
+from common import bench_context, print_table  # noqa: E402
 
 import numpy as np
 
@@ -71,24 +71,26 @@ def ablate_hash_reuse():
 
     def with_reuse():
         m = Machine(P)
+        ctx = bench_context(m)
         tt = TranslationTable.from_map(m, maparr, storage="distributed")
-        hts = make_hash_tables(m, tt)
+        hts = make_hash_tables(ctx, tt)
         m.reset_clocks()
         for upd in updates:
             if "nb" in hts[0].registry:
-                clear_stamp(m, hts, "nb")
-            chaos_hash(m, hts, tt, split_by_block(upd, m), "nb")
-            build_schedule(m, hts, hts[0].expr("nb"))
+                clear_stamp(ctx, hts, "nb")
+            chaos_hash(ctx, hts, tt, split_by_block(upd, m), "nb")
+            build_schedule(ctx, hts, hts[0].expr("nb"))
         return m.clocks.mean_category("inspector")
 
     def without_reuse():
         m = Machine(P)
+        ctx = bench_context(m)
         tt = TranslationTable.from_map(m, maparr, storage="distributed")
         m.reset_clocks()
         for upd in updates:
-            hts = make_hash_tables(m, tt)  # fresh: all analysis redone
-            chaos_hash(m, hts, tt, split_by_block(upd, m), "nb")
-            build_schedule(m, hts, hts[0].expr("nb"))
+            hts = make_hash_tables(ctx, tt)  # fresh: all analysis redone
+            chaos_hash(ctx, hts, tt, split_by_block(upd, m), "nb")
+            build_schedule(ctx, hts, hts[0].expr("nb"))
         return m.clocks.mean_category("inspector")
 
     reuse, fresh = with_reuse(), without_reuse()
@@ -140,11 +142,12 @@ def ablate_translation_storage():
         m = Machine(P)
         tt = TranslationTable.from_map(m, maparr, storage=storage,
                                        page_size=256)
+        ctx = bench_context(m)
         m.reset_clocks()
-        tt.dereference(queries)
+        tt.dereference(ctx, queries)
         first = m.execution_time()
         m.reset_clocks()
-        tt.dereference(queries)  # repeat: paged should now hit its cache
+        tt.dereference(ctx, queries)  # repeat: paged should now hit its cache
         second = m.execution_time()
         out.append((storage, first, second,
                     tt.memory_per_rank(0) / 1024.0))
@@ -175,10 +178,10 @@ def ablate_iteration_rule():
     ]
 
     def offproc(rule):
-        assign = partition_iterations(m, tt, accesses, rule=rule)
+        assign = partition_iterations(rt.ctx, tt, accesses, rule=rule)
         total = 0
         for a in arrays:
-            new_a = assign.remap_iteration_data(m, split_by_block(a, m))
+            new_a = assign.remap_iteration_data(rt.ctx, split_by_block(a, m))
             for p in m.ranks():
                 total += int(np.count_nonzero(tt.owner_local(new_a[p]) != p))
         return total

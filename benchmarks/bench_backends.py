@@ -24,7 +24,7 @@ sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
 import numpy as np  # noqa: E402
 
-from common import charmm_config, print_table  # noqa: E402
+from common import bench_context, charmm_config, print_table  # noqa: E402
 
 from repro.apps.charmm import ParallelMD, build_solvated_system  # noqa: E402
 from repro.core import (  # noqa: E402
@@ -55,17 +55,17 @@ def charmm_env():
 def lightweight_env(n_particles: int = 200_000, seed: int = 7):
     """DSMC-style migration: particles bucketed to random destinations."""
     rng = np.random.default_rng(seed)
-    m = Machine(N_RANKS)
+    ctx = bench_context(Machine(N_RANKS))
     per = n_particles // N_RANKS
     dest = [rng.integers(0, N_RANKS, per) for _ in range(N_RANKS)]
-    sched = build_lightweight_schedule(m, dest)
+    sched = build_lightweight_schedule(ctx, dest)
     values = [rng.standard_normal((per, 3)) for _ in range(N_RANKS)]
-    return m, sched, values
+    return ctx, sched, values
 
 
 def time_gather_scatter(md, backend: str, rounds: int) -> float:
     """Best wall-clock seconds for one gather + scatter_op round."""
-    m = md.machine
+    ctx = md.ctx.with_backend(backend)
     sched = md.sched_nb
     ghosts = allocate_ghosts(sched, md.pos)
     force = [np.zeros_like(a) for a in md.pos]
@@ -73,33 +73,35 @@ def time_gather_scatter(md, backend: str, rounds: int) -> float:
     best = float("inf")
     for _ in range(rounds):
         t0 = time.perf_counter()
-        gather(m, sched, md.pos, ghosts, backend=backend)
-        scatter_op(m, sched, force, fghost, np.add, backend=backend)
+        gather(ctx, sched, md.pos, ghosts)
+        scatter_op(ctx, sched, force, fghost, np.add)
         best = min(best, time.perf_counter() - t0)
     return best
 
 
-def time_scatter_append(m, sched, values, backend: str, rounds: int) -> float:
+def time_scatter_append(base_ctx, sched, values, backend: str,
+                        rounds: int) -> float:
     """Best wall-clock seconds for one scatter_append round."""
+    ctx = base_ctx.with_backend(backend)
     best = float("inf")
     for _ in range(rounds):
         t0 = time.perf_counter()
-        scatter_append(m, sched, values, backend=backend)
+        scatter_append(ctx, sched, values)
         best = min(best, time.perf_counter() - t0)
     return best
 
 
 def generate_table(rounds: int = 5):
     md = charmm_env()
-    m, lw_sched, values = lightweight_env()
+    ctx, lw_sched, values = lightweight_env()
     times: dict[str, dict[str, float]] = {}
     for backend in BACKENDS:
         # warm once so plan compilation is excluded from per-round times
         time_gather_scatter(md, backend, 1)
-        time_scatter_append(m, lw_sched, values, backend, 1)
+        time_scatter_append(ctx, lw_sched, values, backend, 1)
         times[backend] = {
             "gather_scatter": time_gather_scatter(md, backend, rounds),
-            "scatter_append": time_scatter_append(m, lw_sched, values,
+            "scatter_append": time_scatter_append(ctx, lw_sched, values,
                                                   backend, rounds),
         }
     rows = [

@@ -32,6 +32,7 @@ import numpy as np  # noqa: E402
 from common import full_scale, print_table  # noqa: E402
 
 from repro.core import (  # noqa: E402
+    ExecutionContext,
     TranslationTable,
     build_schedule,
     chaos_hash,
@@ -56,18 +57,19 @@ def run_once(backend: str, cfg: dict, seed: int = 11) -> dict[str, float]:
     rng = np.random.default_rng(seed)
     n, n_refs = cfg["n_global"], cfg["n_refs"]
     m = Machine(N_RANKS)
+    ctx = ExecutionContext.resolve(m, backend)
     tt = TranslationTable.from_map(m, rng.integers(0, N_RANKS, n))
-    hts = make_hash_tables(m, tt, backend=backend)
+    hts = make_hash_tables(ctx, tt)
     refs = rng.integers(0, n, n_refs)
     per = n_refs // N_RANKS
     idx = [refs[p * per:(p + 1) * per] for p in range(N_RANKS)]
 
     t0 = time.perf_counter()
-    chaos_hash(m, hts, tt, idx, "nb", backend=backend)
+    chaos_hash(ctx, hts, tt, idx, "nb")
     t_hash = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    sched = build_schedule(m, hts, "nb", backend=backend)
+    sched = build_schedule(ctx, hts, "nb")
     t_sched = time.perf_counter() - t0
     del sched
 
@@ -79,13 +81,13 @@ def run_once(backend: str, cfg: dict, seed: int = 11) -> dict[str, float]:
         if n_churn:
             b[rng.integers(0, per, n_churn)] = rng.integers(0, n, n_churn)
         idx2.append(b)
-    clear_stamp(m, hts, "nb")
+    clear_stamp(ctx, hts, "nb")
     t0 = time.perf_counter()
-    chaos_hash(m, hts, tt, idx2, "nb", backend=backend)
+    chaos_hash(ctx, hts, tt, idx2, "nb")
     t_rehash = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    localize_only(m, hts, idx2, backend=backend)
+    localize_only(ctx, hts, idx2)
     t_localize = time.perf_counter() - t0
 
     return {"chaos_hash": t_hash, "build_schedule": t_sched,

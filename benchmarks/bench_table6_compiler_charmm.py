@@ -16,7 +16,7 @@ import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
-from common import compiler_charmm_config, print_table  # noqa: E402
+from common import bench_context, compiler_charmm_config, print_table  # noqa: E402
 
 import numpy as np
 
@@ -140,6 +140,7 @@ class HandCodedLoop:
 
     def __init__(self, machine: Machine, wl: dict, map_array: np.ndarray):
         self.m = machine
+        self.ctx = bench_context(machine)
         self.wl = wl
         self.arrays: dict[str, list[np.ndarray]] = {}
         self._distribute(map_array, initial=True)
@@ -151,17 +152,17 @@ class HandCodedLoop:
         if initial:
             block = BlockDistribution(wl["n"], m.n_ranks)
             TranslationTable.from_distribution(m, block)  # DISTRIBUTE(BLOCK)
-            plan = remap(m, block, new_table.dist, category="remap")
+            plan = remap(self.ctx, block, new_table.dist, category="remap")
             for name, g in (("x", wl["x"]), ("y", wl["y"]),
                             ("dx", np.zeros(wl["n"])),
                             ("dy", np.zeros(wl["n"]))):
                 split = [g[block.global_indices(p)] for p in m.ranks()]
-                self.arrays[name] = remap_array(m, plan, split,
+                self.arrays[name] = remap_array(self.ctx, plan, split,
                                                 category="remap")
         else:
-            plan = remap(m, self.table.dist, new_table.dist, category="remap")
+            plan = remap(self.ctx, self.table.dist, new_table.dist, category="remap")
             for name in ("x", "y", "dx", "dy"):
-                self.arrays[name] = remap_array(m, plan, self.arrays[name],
+                self.arrays[name] = remap_array(self.ctx, plan, self.arrays[name],
                                                 category="remap")
         self.table = new_table
         self._inspect()
@@ -170,7 +171,7 @@ class HandCodedLoop:
         m = self.m
         wl = self.wl
         dist = self.table.dist
-        self.htables = make_hash_tables(m, self.table)
+        self.htables = make_hash_tables(self.ctx, self.table)
         i_per, j_per = [], []
         offsets0, jnb0 = wl["inblo0"], wl["jnb0"]
         for p in m.ranks():
@@ -184,18 +185,18 @@ class HandCodedLoop:
             i_per.append(np.repeat(rows, counts))
             j_per.append(jnb0[flat])
             m.charge_memops(p, 2 * total, "inspector")
-        self.i_loc = chaos_hash(m, self.htables, self.table, i_per, "i",
+        self.i_loc = chaos_hash(self.ctx, self.htables, self.table, i_per, "i",
                                 category="inspector")
-        self.j_loc = chaos_hash(m, self.htables, self.table, j_per, "jnb",
+        self.j_loc = chaos_hash(self.ctx, self.htables, self.table, j_per, "jnb",
                                 category="inspector")
-        self.sched = build_schedule(m, self.htables,
+        self.sched = build_schedule(self.ctx, self.htables,
                                     self.htables[0].expr("i", "jnb"),
                                     category="inspector")
 
     def execute_once(self):
         m = self.m
-        x_g = gather(m, self.sched, self.arrays["x"], category="comm")
-        y_g = gather(m, self.sched, self.arrays["y"], category="comm")
+        x_g = gather(self.ctx, self.sched, self.arrays["x"], category="comm")
+        y_g = gather(self.ctx, self.sched, self.arrays["y"], category="comm")
         xs = stack_local_ghost(self.arrays["x"], x_g)
         ys = stack_local_ghost(self.arrays["y"], y_g)
         dxa = [np.zeros(a.shape[0] + g, dtype=np.float64)
@@ -217,7 +218,7 @@ class HandCodedLoop:
                 n_local = self.arrays[name][p].shape[0]
                 self.arrays[name][p] += acc[p][:n_local]
                 ghost_acc.append(acc[p][n_local:])
-            scatter_op(m, self.sched, self.arrays[name], ghost_acc, np.add,
+            scatter_op(self.ctx, self.sched, self.arrays[name], ghost_acc, np.add,
                        category="comm")
         m.barrier()
 

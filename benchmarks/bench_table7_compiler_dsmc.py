@@ -17,7 +17,7 @@ import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
-from common import COMPILER_DSMC_PROCS, compiler_dsmc_config, print_table  # noqa: E402
+from common import COMPILER_DSMC_PROCS, bench_context, compiler_dsmc_config, print_table  # noqa: E402
 
 import numpy as np
 
@@ -131,6 +131,7 @@ def run_manual(n_ranks: int, cfg: dict):
     grid, rows, sizes = make_template_state(cfg)
     nc = grid.n_cells
     m = Machine(n_ranks)
+    ctx = bench_context(m)
     dist = BlockDistribution(nc, m.n_ranks)
     table = TranslationTable.from_distribution(m, dist)
     # per-rank ragged state
@@ -163,9 +164,10 @@ def run_manual(n_ranks: int, cfg: dict):
         dest_rank = [table.owner_local(d) if d.size else d
                      for d in dest_cell_per]
         before = m.clocks.mean_category("comm")
-        sched = build_lightweight_schedule(m, dest_rank, category="inspector")
-        arrived_vals = scatter_append(m, sched, values_per, category="comm")
-        arrived_cells = scatter_append(m, sched, dest_cell_per,
+        sched = build_lightweight_schedule(ctx, dest_rank,
+                                           category="inspector")
+        arrived_vals = scatter_append(ctx, sched, values_per, category="comm")
+        arrived_cells = scatter_append(ctx, sched, dest_cell_per,
                                        category="comm")
         append_time += m.clocks.mean_category("comm") - before
         # regroup; counts come directly from the arrival groups — no extra

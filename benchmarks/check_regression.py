@@ -20,11 +20,17 @@ file diff (so CI's refresh commit is skipped).
 
 Usage::
 
+    python benchmarks/check_regression.py --run      # run benches + gate
     PYTHONPATH=src python benchmarks/bench_inspector.py
     PYTHONPATH=src python benchmarks/bench_backends.py
     python benchmarks/check_regression.py            # gate (CI)
     python benchmarks/check_regression.py --update   # refresh baselines
                                                      # (main branch only)
+
+``--run`` executes the two gated benchmark scripts first; both build one
+shared :class:`~repro.core.context.ExecutionContext` per machine (see
+``benchmarks/common.py``), so fresh results and committed baselines
+measure the same context-resolved pipeline.
 """
 
 from __future__ import annotations
@@ -33,10 +39,27 @@ import argparse
 import json
 import os
 import shutil
+import subprocess
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_RESULTS = os.path.join(REPO_ROOT, "benchmarks", "results")
+
+#: scripts whose JSON results the gate consumes, in run order
+GATED_BENCH_SCRIPTS = ("bench_inspector.py", "bench_backends.py")
+
+
+def run_gated_benches() -> None:
+    """Regenerate the gated results by running the benchmark scripts."""
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for script in GATED_BENCH_SCRIPTS:
+        path = os.path.join(REPO_ROOT, "benchmarks", script)
+        print(f"running {script} ...", flush=True)
+        subprocess.run([sys.executable, path], check=True, env=env)
 
 
 def _inspector_ratios(payload: dict) -> dict[str, float]:
@@ -183,7 +206,12 @@ def main(argv: list[str] | None = None) -> int:
                     help="refresh the committed baselines from the fresh "
                          "results (only where the gated ratios improved) "
                          "instead of gating")
+    ap.add_argument("--run", action="store_true",
+                    help="run the gated benchmark scripts first (they share "
+                         "one ExecutionContext per machine), then gate")
     args = ap.parse_args(argv)
+    if args.run:
+        run_gated_benches()
     return check(args.results, args.baselines, args.max_slowdown,
                  args.update)
 

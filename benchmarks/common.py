@@ -33,7 +33,12 @@ import time
 
 import numpy as np
 
-from repro.core import available_backends, default_backend, set_default_backend
+from repro.core import (
+    ExecutionContext,
+    available_backends,
+    default_backend,
+    set_default_backend,
+)
 from repro.util import format_table
 
 #: processor counts used in the paper's CHARMM tables
@@ -79,6 +84,28 @@ def apply_bench_backend() -> str:
 # every bench script imports this module first, so a --backend=NAME flag
 # (or REPRO_BENCH_BACKEND) takes effect for all of them uniformly
 apply_bench_backend()
+
+
+#: one ExecutionContext per machine for the whole benchmark process —
+#: helpers share it instead of re-resolving the backend per call (the
+#: dict also keeps each machine alive, so ids cannot be recycled)
+_BENCH_CTX: dict[int, ExecutionContext] = {}
+
+
+def bench_context(machine) -> ExecutionContext:
+    """The shared per-run :class:`ExecutionContext` for ``machine``.
+
+    Resolved once with the backend selected by ``--backend=NAME`` /
+    ``REPRO_BENCH_BACKEND`` (installed process-wide above) and reused by
+    every helper touching the same machine, so all phases of one
+    benchmark run through one context — exactly how applications hold
+    it.
+    """
+    ctx = _BENCH_CTX.get(id(machine))
+    if ctx is None:
+        ctx = ExecutionContext.resolve(machine)
+        _BENCH_CTX[id(machine)] = ctx
+    return ctx
 
 
 # ---------------------------------------------------------------------

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.apps.charmm import ParallelMD, SequentialMD, build_small_system
 from repro.partitioners import RCB
+from repro.core import ExecutionContext
 from repro.sim import Machine
 
 N_ATOMS = 600
@@ -31,7 +32,10 @@ def main() -> None:
     seq.run(N_STEPS)
 
     machine = Machine(N_PROCS)
-    par = ParallelMD(system_par, machine, dt=0.002,
+    # the app constructs one ExecutionContext at init; passing one
+    # explicitly pins the backend for the whole run
+    ctx = ExecutionContext.resolve(machine)
+    par = ParallelMD(system_par, ctx, dt=0.002,
                      update_every=UPDATE_EVERY, partitioner=RCB())
     par.run(N_STEPS)
 

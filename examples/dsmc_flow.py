@@ -23,6 +23,7 @@ from repro.apps.dsmc import (
     SequentialDSMC,
 )
 from repro.partitioners import ChainPartitioner
+from repro.core import ExecutionContext
 from repro.sim import Machine
 
 GRID = (20, 10)
@@ -46,7 +47,8 @@ def main() -> None:
     results = {}
     for migration in ("lightweight", "regular"):
         m = Machine(N_PROCS)
-        par = ParallelDSMC(grid, m, config(), migration=migration)
+        par = ParallelDSMC(grid, ExecutionContext.resolve(m), config(),
+                           migration=migration)
         par.run(N_STEPS)
         ids, pos, vel = par.canonical_state()
         assert np.array_equal(ids, ids_ref)

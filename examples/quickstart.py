@@ -16,7 +16,12 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import ChaosRuntime, IrregularReduction, split_by_block
+from repro.core import (
+    ChaosRuntime,
+    ExecutionContext,
+    IrregularReduction,
+    split_by_block,
+)
 from repro.partitioners import RCB
 from repro.sim import Machine
 
@@ -38,7 +43,10 @@ def main() -> None:
     ib = np.clip(ia + rng.integers(-20, 21, N_EDGES), 0, N_ELEMENTS - 1)
 
     machine = Machine(N_PROCS)                    # simulated iPSC/860
-    rt = ChaosRuntime(machine)
+    # one ExecutionContext carries the machine, the resolved backend
+    # (REPRO_BACKEND=serial selects the reference), and per-run caches
+    ctx = ExecutionContext.resolve(machine)
+    rt = ChaosRuntime(ctx)
 
     # Phase A - data partitioning: RCB over element positions.
     labels = RCB().partition(coords, N_PROCS).labels

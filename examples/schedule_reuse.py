@@ -20,13 +20,15 @@ Run:  python examples/schedule_reuse.py
 
 import numpy as np
 
-from repro.core import ChaosRuntime
+from repro.core import ChaosRuntime, ExecutionContext
 from repro.sim import Machine
 
 
 def main() -> None:
-    machine = Machine(2)
-    rt = ChaosRuntime(machine)
+    # one ExecutionContext per run: machine + resolved backend + per-run
+    # services, shared by every primitive the runtime touches
+    ctx = ExecutionContext.resolve(Machine(2))
+    rt = ChaosRuntime(ctx)
 
     # y(1..10): elements 1-5 on processor 0, 6-10 on processor 1.
     ttable = rt.irregular_table([0] * 5 + [1] * 5)

@@ -36,6 +36,7 @@ from repro.apps.charmm.forces import (
 from repro.apps.charmm.neighbors import build_nonbonded_list, take_csr_rows
 from repro.apps.charmm.sequential import MDTrace
 from repro.apps.charmm.system import MolecularSystem
+from repro.core.context import _UNSET, resolve_component
 from repro.core.distribution import BlockDistribution
 from repro.core.executor import allocate_ghosts, gather, scatter_op, stack_local_ghost
 from repro.core.inspector import chaos_hash, clear_stamp, make_hash_tables
@@ -45,7 +46,6 @@ from repro.core.schedule import Schedule, build_schedule
 from repro.core.translation import TranslationTable
 from repro.partitioners.base import Partitioner, run_partitioner
 from repro.partitioners.geometric import RCB
-from repro.sim.machine import Machine
 from repro.sim.metrics import load_balance_index
 
 
@@ -54,6 +54,13 @@ class ParallelMD:
 
     Parameters
     ----------
+    machine:
+        An :class:`~repro.core.context.ExecutionContext` (preferred) or a
+        bare :class:`Machine`, in which case one context with the default
+        backend is resolved at init.  The context's backend runs index
+        analysis, schedule generation, the translation lookups they
+        trigger, iteration partitioning (Phase C/D), and all Phase-F /
+        remap data transport.
     schedule_mode:
         ``"merged"`` builds one schedule for the union of bonded and
         non-bonded stamps (one gather per step); ``"multiple"`` builds one
@@ -61,18 +68,12 @@ class ParallelMD:
         comparison knob.
     ttable_storage:
         Translation-table policy (paper used ``"replicated"``).
-    backend:
-        Backend for index analysis, schedule generation, the translation
-        lookups they trigger, iteration partitioning (Phase C/D), and all
-        Phase-F/remap data transport (name,
-        :class:`~repro.core.backends.Backend`, or ``None`` for the
-        process default).
     """
 
     def __init__(
         self,
         system: MolecularSystem,
-        machine: Machine,
+        machine,
         dt: float = 0.002,
         update_every: int = 10,
         partitioner: Partitioner | None = None,
@@ -80,8 +81,9 @@ class ParallelMD:
         ttable_storage: str = "replicated",
         thermostat_temperature: float | None = None,
         thermostat_tau: float = 0.1,
-        backend=None,
+        backend=_UNSET,
     ):
+        ctx = resolve_component(machine, backend, "ParallelMD")
         if schedule_mode not in ("merged", "multiple"):
             raise ValueError(f"unknown schedule_mode {schedule_mode!r}")
         if update_every < 1:
@@ -93,13 +95,13 @@ class ParallelMD:
         self.thermostat_temperature = thermostat_temperature
         self.thermostat_tau = float(thermostat_tau)
         self.system = system
-        self.machine = machine
+        self.ctx = ctx
+        self.machine = ctx.machine
         self.dt = float(dt)
         self.update_every = int(update_every)
         self.partitioner = partitioner if partitioner is not None else RCB()
         self.schedule_mode = schedule_mode
         self.ttable_storage = ttable_storage
-        self.backend = backend
         self.trace = MDTrace()
         self.step_count = 0
 
@@ -132,16 +134,16 @@ class ParallelMD:
         # Phase B: distribute atom arrays (host-side scatter; the initial
         # scatter from a BLOCK'd source is charged as a remap).
         block = BlockDistribution(s.n_atoms, m.n_ranks)
-        plan = remap(m, block, dist, category="remap")
+        plan = remap(self.ctx, block, dist, category="remap")
         split = lambda a: [a[block.global_indices(p)] for p in m.ranks()]  # noqa: E731
-        self.pos = remap_array(m, plan, split(s.positions),
-                               category="remap", backend=self.backend)
-        self.vel = remap_array(m, plan, split(s.velocities),
-                               category="remap", backend=self.backend)
-        self.mass = remap_array(m, plan, split(s.masses),
-                                category="remap", backend=self.backend)
-        self.charge = remap_array(m, plan, split(s.charges),
-                                  category="remap", backend=self.backend)
+        self.pos = remap_array(self.ctx, plan, split(s.positions),
+                               category="remap")
+        self.vel = remap_array(self.ctx, plan, split(s.velocities),
+                               category="remap")
+        self.mass = remap_array(self.ctx, plan, split(s.masses),
+                                category="remap")
+        self.charge = remap_array(self.ctx, plan, split(s.charges),
+                                  category="remap")
 
         # Phase C/D for the bonded loop.
         ib_g, jb_g = (
@@ -149,26 +151,20 @@ class ParallelMD:
             else (np.zeros(0, dtype=np.int64),) * 2
         )
         assign = partition_iterations(
-            m, self.ttable,
+            self.ctx, self.ttable,
             [[a, b] for a, b in zip(split_by_block(ib_g, m),
                                     split_by_block(jb_g, m))],
-            rule="almost-owner-computes", category="partition",
-            backend=self.backend,
+            rule="almost-owner-computes", category="partition"
         )
-        self.ib = assign.remap_iteration_data(m, split_by_block(ib_g, m),
-                                              backend=self.backend)
-        self.jb = assign.remap_iteration_data(m, split_by_block(jb_g, m),
-                                              backend=self.backend)
+        self.ib = assign.remap_iteration_data(self.ctx, split_by_block(ib_g, m))
+        self.jb = assign.remap_iteration_data(self.ctx, split_by_block(jb_g, m))
 
         # Phase E: hash tables and schedules.
-        self.htables = make_hash_tables(m, self.ttable,
-                                        backend=self.backend)
-        self.ib_loc = chaos_hash(m, self.htables, self.ttable, self.ib,
-                                 "bonds", category="inspector",
-                                 backend=self.backend)
-        self.jb_loc = chaos_hash(m, self.htables, self.ttable, self.jb,
-                                 "bonds", category="inspector",
-                                 backend=self.backend)
+        self.htables = make_hash_tables(self.ctx, self.ttable)
+        self.ib_loc = chaos_hash(self.ctx, self.htables, self.ttable, self.ib,
+                                 "bonds", category="inspector")
+        self.jb_loc = chaos_hash(self.ctx, self.htables, self.ttable, self.jb,
+                                 "bonds", category="inspector")
         self._hash_nonbonded(category="inspector")
         self._build_schedules(category="inspector")
         # per-step list regeneration cadence bookkeeping
@@ -220,39 +216,33 @@ class ParallelMD:
             j_per.append(j_vals)
         self.nb_i = i_per
         self.nb_j = j_per
-        self.nb_i_loc = chaos_hash(m, self.htables, self.ttable, i_per,
-                                   "nb", category=category,
-                                   backend=self.backend)
-        self.nb_j_loc = chaos_hash(m, self.htables, self.ttable, j_per,
-                                   "nb", category=category,
-                                   backend=self.backend)
+        self.nb_i_loc = chaos_hash(self.ctx, self.htables, self.ttable, i_per,
+                                   "nb", category=category)
+        self.nb_j_loc = chaos_hash(self.ctx, self.htables, self.ttable, j_per,
+                                   "nb", category=category)
 
     def _build_schedules(self, category: str) -> None:
-        m = self.machine
         expr = self.htables[0].expr
         if self.schedule_mode == "merged":
             self.sched: Schedule = build_schedule(
-                m, self.htables, expr("bonds", "nb"), category=category,
-                backend=self.backend,
+                self.ctx, self.htables, expr("bonds", "nb"), category=category
             )
             self.sched_bonded = self.sched
             self.sched_nb = self.sched
         else:
             self.sched_bonded = build_schedule(
-                m, self.htables, expr("bonds"), category=category,
-                backend=self.backend,
+                self.ctx, self.htables, expr("bonds"), category=category
             )
             self.sched_nb = build_schedule(
-                m, self.htables, expr("nb"), category=category,
-                backend=self.backend,
+                self.ctx, self.htables, expr("nb"), category=category
             )
             self.sched = self.sched_nb  # ghost capacity is table-wide
         # static ghost data: charges (atoms' charges never change)
-        self.charge_ghost = gather(m, self.sched_nb, self.charge,
-                                   category="comm", backend=self.backend)
+        self.charge_ghost = gather(self.ctx, self.sched_nb, self.charge,
+                                   category="comm")
         if self.schedule_mode == "multiple":
-            gather(m, self.sched_bonded, self.charge, self.charge_ghost,
-                   category="comm", backend=self.backend)
+            gather(self.ctx, self.sched_bonded, self.charge, self.charge_ghost,
+                   category="comm")
 
     # ==================================================================
     # adaptive: non-bonded list regeneration (stamp reuse)
@@ -260,13 +250,12 @@ class ParallelMD:
     def refresh_nonbonded_list(self) -> None:
         """Regenerate the list, re-hash only its stamp, rebuild schedules."""
         s = self.system
-        m = self.machine
         self._sync_positions_to_system()
         self.inblo, self.jnb = build_nonbonded_list(
             s.positions, s.forcefield.cutoff, s.box
         )
         self._charge_nb_update()
-        clear_stamp(m, self.htables, "nb", category="schedule_regen")
+        clear_stamp(self.ctx, self.htables, "nb", category="schedule_regen")
         self._hash_nonbonded(category="schedule_regen")
         self._build_schedules(category="schedule_regen")
         self.trace.nb_list_updates += 1
@@ -286,15 +275,12 @@ class ParallelMD:
         new_ttable = TranslationTable(
             m, result.to_distribution(m.n_ranks), storage=self.ttable_storage
         )
-        plan = remap(m, self.ttable.dist, new_ttable.dist, category="remap")
-        self.pos = remap_array(m, plan, self.pos, category="remap",
-                               backend=self.backend)
-        self.vel = remap_array(m, plan, self.vel, category="remap",
-                               backend=self.backend)
-        self.mass = remap_array(m, plan, self.mass, category="remap",
-                                backend=self.backend)
-        self.charge = remap_array(m, plan, self.charge,
-                                  category="remap", backend=self.backend)
+        plan = remap(self.ctx, self.ttable.dist, new_ttable.dist, category="remap")
+        self.pos = remap_array(self.ctx, plan, self.pos, category="remap")
+        self.vel = remap_array(self.ctx, plan, self.vel, category="remap")
+        self.mass = remap_array(self.ctx, plan, self.mass, category="remap")
+        self.charge = remap_array(self.ctx, plan, self.charge,
+                                  category="remap")
         self.ttable = new_ttable
 
         ib_g, jb_g = (
@@ -302,25 +288,19 @@ class ParallelMD:
             if self.system.n_bonds else (np.zeros(0, dtype=np.int64),) * 2
         )
         assign = partition_iterations(
-            m, self.ttable,
+            self.ctx, self.ttable,
             [[a, b] for a, b in zip(split_by_block(ib_g, m),
                                     split_by_block(jb_g, m))],
-            rule="almost-owner-computes", category="partition",
-            backend=self.backend,
+            rule="almost-owner-computes", category="partition"
         )
-        self.ib = assign.remap_iteration_data(m, split_by_block(ib_g, m),
-                                              backend=self.backend)
-        self.jb = assign.remap_iteration_data(m, split_by_block(jb_g, m),
-                                              backend=self.backend)
+        self.ib = assign.remap_iteration_data(self.ctx, split_by_block(ib_g, m))
+        self.jb = assign.remap_iteration_data(self.ctx, split_by_block(jb_g, m))
 
-        self.htables = make_hash_tables(m, self.ttable,
-                                        backend=self.backend)
-        self.ib_loc = chaos_hash(m, self.htables, self.ttable, self.ib,
-                                 "bonds", category="inspector",
-                                 backend=self.backend)
-        self.jb_loc = chaos_hash(m, self.htables, self.ttable, self.jb,
-                                 "bonds", category="inspector",
-                                 backend=self.backend)
+        self.htables = make_hash_tables(self.ctx, self.ttable)
+        self.ib_loc = chaos_hash(self.ctx, self.htables, self.ttable, self.ib,
+                                 "bonds", category="inspector")
+        self.jb_loc = chaos_hash(self.ctx, self.htables, self.ttable, self.jb,
+                                 "bonds", category="inspector")
         self._hash_nonbonded(category="inspector")
         self._build_schedules(category="inspector")
 
@@ -337,11 +317,10 @@ class ParallelMD:
         s = self.system
         ff = s.forcefield
 
-        pos_ghost = gather(m, self.sched_nb, self.pos, category="comm",
-                           backend=self.backend)
+        pos_ghost = gather(self.ctx, self.sched_nb, self.pos, category="comm")
         if self.schedule_mode == "multiple":
-            gather(m, self.sched_bonded, self.pos, pos_ghost,
-                   category="comm", backend=self.backend)
+            gather(self.ctx, self.sched_bonded, self.pos, pos_ghost,
+                   category="comm")
         pos_stacked = stack_local_ghost(self.pos, pos_ghost)
         charge_stacked = stack_local_ghost(self.charge, self.charge_ghost)
 
@@ -382,11 +361,11 @@ class ParallelMD:
             force_ghost_b[p] += fb_stack[n_local:force_ghost_b[p].shape[0] + n_local]
             force_ghost_nb[p] += fn_stack[n_local:force_ghost_nb[p].shape[0] + n_local]
 
-        scatter_op(m, self.sched_nb, force_local, force_ghost_nb, np.add,
-                   category="comm", backend=self.backend)
+        scatter_op(self.ctx, self.sched_nb, force_local, force_ghost_nb, np.add,
+                   category="comm")
         if self.schedule_mode == "multiple":
-            scatter_op(m, self.sched_bonded, force_local, force_ghost_b,
-                       np.add, category="comm", backend=self.backend)
+            scatter_op(self.ctx, self.sched_bonded, force_local, force_ghost_b,
+                       np.add, category="comm")
         m.barrier()
         return force_local, energy
 

@@ -26,16 +26,15 @@ from repro.apps.dsmc.grid import CartesianGrid
 from repro.apps.dsmc.move import advance_positions, remove_outflow
 from repro.apps.dsmc.particles import ParticleSet, inflow_particles
 from repro.apps.dsmc.sequential import DSMCConfig, DSMCTrace, initial_population
+from repro.core.context import _UNSET, resolve_component
 from repro.core.distribution import BlockDistribution, IrregularDistribution
 from repro.core.lightweight import (
     build_lightweight_schedule,
-    scatter_append,
     scatter_append_multi,
 )
 from repro.core.remap import remap, remap_array
 from repro.core.translation import TranslationTable
 from repro.partitioners.base import Partitioner, run_partitioner
-from repro.sim.machine import Machine
 from repro.sim.metrics import load_balance_index
 
 
@@ -47,41 +46,43 @@ class ParallelDSMC:
     migration:
         ``"lightweight"`` (scatter_append; the paper's contribution) or
         ``"regular"`` (per-step translation + permutation-ordered remap).
+    machine:
+        An :class:`~repro.core.context.ExecutionContext` (preferred) or a
+        bare :class:`Machine`, in which case one context with the default
+        backend is resolved at init.  The context's backend runs particle
+        migration and remapping; DSMC uses light-weight schedules only,
+        so the executor half of the backend seam is what it exercises
+        (the inspector half matters for the hash-table apps — CHARMM,
+        the compiler runtime).
     partitioner:
         Initial cell partitioner; ``None`` = BLOCK over flat cell ids
         ("static partition" baseline of Table 5 when no remapping).
-    backend:
-        Backend for particle migration and remapping (name,
-        :class:`~repro.core.backends.Backend`, or ``None`` for the
-        process default).  DSMC uses light-weight schedules only, so the
-        executor half of the backend seam is what it exercises; the
-        inspector half matters for the hash-table apps (CHARMM, the
-        compiler runtime).
     """
 
     def __init__(
         self,
         grid: CartesianGrid,
-        machine: Machine,
+        machine,
         config: DSMCConfig | None = None,
         migration: str = "lightweight",
         partitioner: Partitioner | None = None,
         ttable_storage: str = "replicated",
-        backend=None,
+        backend=_UNSET,
     ):
+        ctx = resolve_component(machine, backend, "ParallelDSMC")
         if migration not in ("lightweight", "regular"):
             raise ValueError(f"unknown migration mode {migration!r}")
         self.grid = grid
-        self.machine = machine
+        self.ctx = ctx
+        self.machine = ctx.machine
         self.config = config if config is not None else DSMCConfig()
         self.migration = migration
         self.ttable_storage = ttable_storage
-        self.backend = backend
         self.trace = DSMCTrace()
         self.step_count = 0
         self.next_id = self.config.n_initial
 
-        m = machine
+        m = self.machine
         if partitioner is None:
             dist = BlockDistribution(grid.n_cells, m.n_ranks)
         else:
@@ -196,15 +197,14 @@ class ParallelDSMC:
                              ) -> list[ParticleSet]:
         """The paper's fast path: one light-weight schedule moves all
         particle attributes; arrivals append in arbitrary order."""
-        m = self.machine
         dest = self._dest_ranks(moved)
-        sched = build_lightweight_schedule(m, dest, category="inspector")
+        sched = build_lightweight_schedule(self.ctx, dest,
+                                           category="inspector")
         ids, pos, vel = scatter_append_multi(
-            m, sched,
+            self.ctx, sched,
             [[ps.ids for ps in moved],
              [ps.positions for ps in moved],
              [ps.velocities for ps in moved]],
-            backend=self.backend,
         )
         return [
             ParticleSet(ids=i, positions=x, velocities=v)
@@ -249,14 +249,14 @@ class ParallelDSMC:
             m.charge_memops(p, 6.0 * moved[p].n, "inspector")
         new_dist = IrregularDistribution(new_map_for_old_index, m.n_ranks)
         TranslationTable(m, new_dist, storage=self.ttable_storage)
-        plan = remap(m, old_dist, new_dist, category="inspector")
+        plan = remap(self.ctx, old_dist, new_dist, category="inspector")
         # data arrays in old (source-rank) layout:
         per_rank = lambda arr: [  # noqa: E731
             arr[src_rank == p] for p in m.ranks()
         ]
-        ids = remap_array(m, plan, per_rank(all_ids), backend=self.backend)
-        pos = remap_array(m, plan, per_rank(all_pos), backend=self.backend)
-        vel = remap_array(m, plan, per_rank(all_vel), backend=self.backend)
+        ids = remap_array(self.ctx, plan, per_rank(all_ids))
+        pos = remap_array(self.ctx, plan, per_rank(all_pos))
+        vel = remap_array(self.ctx, plan, per_rank(all_vel))
         del slot_of
         return [
             ParticleSet(ids=i, positions=x, velocities=v)
@@ -281,14 +281,13 @@ class ParallelDSMC:
         # move particles to the new owners of their cells (one message
         # set carries all three attributes)
         dest = self._dest_ranks(self.parts)
-        sched = build_lightweight_schedule(m, dest, category="remap")
+        sched = build_lightweight_schedule(self.ctx, dest, category="remap")
         ids, pos, vel = scatter_append_multi(
-            m, sched,
+            self.ctx, sched,
             [[ps.ids for ps in self.parts],
              [ps.positions for ps in self.parts],
              [ps.velocities for ps in self.parts]],
             category="remap",
-            backend=self.backend,
         )
         self.parts = [
             ParticleSet(ids=i, positions=x, velocities=v)

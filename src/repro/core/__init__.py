@@ -6,6 +6,7 @@ schedules (regular, merged, incremental, light-weight), data
 transportation primitives, remapping, and iteration partitioning.
 """
 
+from repro.core.context import ExecutionContext
 from repro.core.distribution import (
     BlockCyclicDistribution,
     BlockDistribution,
@@ -82,6 +83,7 @@ from repro.core.verify import (
 )
 
 __all__ = [
+    "ExecutionContext",
     "BlockCyclicDistribution",
     "BlockDistribution",
     "CyclicDistribution",

@@ -23,6 +23,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.context import (
+    _UNSET,
+    ExecutionContext,
+    _warn_legacy,
+    resolve_component,
+)
 from repro.core.distribution import (
     BlockDistribution,
     CyclicDistribution,
@@ -39,7 +45,6 @@ from repro.core.hashtable import IndexHashTable, StampExpr
 from repro.core.inspector import chaos_hash, clear_stamp, localize_only, make_hash_tables
 from repro.core.lightweight import build_lightweight_schedule, scatter_append
 from repro.core.remap import remap, remap_array
-from repro.core.reuse import ModificationRecord, ScheduleCache
 from repro.core.schedule import Schedule, build_schedule
 from repro.core.translation import TranslationTable
 from repro.sim.machine import Machine
@@ -103,13 +108,26 @@ class DistributedArray:
         return self.ttable.dist.local_sizes()
 
     def redistribute(self, new_ttable: TranslationTable,
-                     category: str = "remap",
-                     backend=None) -> "DistributedArray":
-        """Phase B: move to a new distribution (charged remap)."""
-        plan = remap(self.machine, self.ttable.dist, new_ttable.dist,
+                     category: str = "remap", ctx=None,
+                     backend=_UNSET) -> "DistributedArray":
+        """Phase B: move to a new distribution (charged remap).
+
+        ``ctx`` defaults to a context resolved from this array's machine;
+        the legacy ``backend`` keyword is deprecated.
+        """
+        if backend is not _UNSET:
+            _warn_legacy("DistributedArray.redistribute")
+            ctx = ExecutionContext.resolve(self.machine, backend)
+        elif ctx is None:
+            ctx = ExecutionContext.resolve(self.machine)
+        elif not isinstance(ctx, ExecutionContext):
+            # legacy positional call: the old third positional argument
+            # was the backend, which now lands in the ctx slot
+            _warn_legacy("DistributedArray.redistribute")
+            ctx = ExecutionContext.resolve(self.machine, ctx)
+        plan = remap(ctx, self.ttable.dist, new_ttable.dist,
                      category=category)
-        new_local = remap_array(self.machine, plan, self.local,
-                                category=category, backend=backend)
+        new_local = remap_array(ctx, plan, self.local, category=category)
         return DistributedArray(self.machine, new_ttable, new_local)
 
     def copy(self) -> "DistributedArray":
@@ -119,27 +137,40 @@ class DistributedArray:
 
 
 class ChaosRuntime:
-    """Convenience binding of a machine to the CHAOS primitives.
+    """Convenience binding of an execution context to the CHAOS primitives.
 
-    Owns one hash-table group and one schedule cache per translation
-    table, so adaptive applications get stamp reuse and schedule reuse
-    without extra bookkeeping.
+    Owns one hash-table group per translation table and exposes the
+    context's modification record + schedule cache, so adaptive
+    applications get stamp reuse and schedule reuse without extra
+    bookkeeping.
 
-    ``backend`` selects the backend for every phase run through this
-    runtime — index analysis, schedule generation, translation lookups,
-    and executor data transport (a name, a
-    :class:`~repro.core.backends.Backend` instance, or ``None`` to track
-    the process-wide default).  Hash tables are created with the
-    backend's key store, so serial vs vectorized is selectable
-    end-to-end.
+    Construct from an :class:`~repro.core.context.ExecutionContext`
+    (``ChaosRuntime(ExecutionContext.resolve(machine, "serial"))``) or
+    directly from a :class:`Machine`, in which case one context with the
+    default backend is resolved at init.  The context's backend runs
+    every phase — index analysis, schedule generation, translation
+    lookups, and executor data transport; hash tables are created with
+    its key store, so serial vs vectorized is selectable end-to-end.
+    The legacy ``backend`` keyword is a deprecated shim.
+
+    Note that the schedule cache is *per context*: two runtimes built
+    from the same context share it, so cache keys (caller-chosen loop
+    ids) must be distinct across them — pass ``ctx.fresh_services()`` to
+    a runtime that needs isolated caches.
     """
 
-    def __init__(self, machine: Machine, backend=None):
-        self.machine = machine
-        self.backend = backend
+    def __init__(self, ctx, backend=_UNSET):
+        ctx = resolve_component(ctx, backend, "ChaosRuntime")
+        self.ctx = ctx
+        self.machine = ctx.machine
         self._htables: dict[int, list[IndexHashTable]] = {}
-        self.modification_record = ModificationRecord()
-        self.schedule_cache = ScheduleCache(self.modification_record)
+        self.modification_record = ctx.record
+        self.schedule_cache = ctx.schedule_cache
+
+    @property
+    def backend(self):
+        """The resolved backend this runtime executes with."""
+        return self.ctx.backend
 
     # ---- Phase A: distributions/translation tables --------------------
     def block_table(self, n_global: int, storage: str = "replicated"
@@ -183,8 +214,7 @@ class ChaosRuntime:
     def hash_tables(self, ttable: TranslationTable) -> list[IndexHashTable]:
         key = id(ttable)
         if key not in self._htables:
-            self._htables[key] = make_hash_tables(self.machine, ttable,
-                                                  backend=self.backend)
+            self._htables[key] = make_hash_tables(self.ctx, ttable)
         return self._htables[key]
 
     def drop_hash_tables(self, ttable: TranslationTable) -> None:
@@ -197,24 +227,22 @@ class ChaosRuntime:
         stamp: str,
     ) -> list[np.ndarray]:
         """``CHAOS_hash``: hash + translate + localize one indirection array."""
-        return chaos_hash(self.machine, self.hash_tables(ttable), ttable,
-                          indices, stamp, backend=self.backend)
+        return chaos_hash(self.ctx, self.hash_tables(ttable), ttable,
+                          indices, stamp)
 
     def localize(self, ttable: TranslationTable,
                  indices: list[np.ndarray | None]) -> list[np.ndarray]:
-        return localize_only(self.machine, self.hash_tables(ttable), indices,
-                             backend=self.backend)
+        return localize_only(self.ctx, self.hash_tables(ttable), indices)
 
     def clear_stamp(self, ttable: TranslationTable, stamp: str,
                     release: bool = False) -> int:
-        return clear_stamp(self.machine, self.hash_tables(ttable), stamp,
+        return clear_stamp(self.ctx, self.hash_tables(ttable), stamp,
                            release=release)
 
     def build_schedule(self, ttable: TranslationTable,
                        expr: StampExpr | str) -> Schedule:
         """``CHAOS_schedule``: build from stamped hash-table entries."""
-        return build_schedule(self.machine, self.hash_tables(ttable), expr,
-                              backend=self.backend)
+        return build_schedule(self.ctx, self.hash_tables(ttable), expr)
 
     def stamp_expr(self, ttable: TranslationTable, *names: str) -> StampExpr:
         """Union stamp expression (merged schedules) by name."""
@@ -223,22 +251,19 @@ class ChaosRuntime:
     # ---- Phase F: executor ----------------------------------------------
     def gather(self, sched: Schedule, x: DistributedArray,
                ghosts: list[np.ndarray] | None = None) -> list[np.ndarray]:
-        return gather(self.machine, sched, x.local, ghosts,
-                      backend=self.backend)
+        return gather(self.ctx, sched, x.local, ghosts)
 
     def scatter(self, sched: Schedule, x: DistributedArray,
                 ghosts: list[np.ndarray]) -> None:
-        scatter(self.machine, sched, x.local, ghosts, backend=self.backend)
+        scatter(self.ctx, sched, x.local, ghosts)
 
     def scatter_add(self, sched: Schedule, x: DistributedArray,
                     ghosts: list[np.ndarray]) -> None:
-        scatter_op(self.machine, sched, x.local, ghosts, np.add,
-                   backend=self.backend)
+        scatter_op(self.ctx, sched, x.local, ghosts, np.add)
 
     def scatter_reduce(self, sched: Schedule, x: DistributedArray,
                        ghosts: list[np.ndarray], op) -> None:
-        scatter_op(self.machine, sched, x.local, ghosts, op,
-                   backend=self.backend)
+        scatter_op(self.ctx, sched, x.local, ghosts, op)
 
     def ghosts_for(self, sched: Schedule, x: DistributedArray
                    ) -> list[np.ndarray]:
@@ -246,12 +271,11 @@ class ChaosRuntime:
 
     # ---- light-weight path ----------------------------------------------
     def lightweight_schedule(self, dest_ranks: list[np.ndarray]):
-        return build_lightweight_schedule(self.machine, dest_ranks)
+        return build_lightweight_schedule(self.ctx, dest_ranks)
 
     def scatter_append(self, lw_sched, values: list[np.ndarray]
                        ) -> list[np.ndarray]:
-        return scatter_append(self.machine, lw_sched, values,
-                              backend=self.backend)
+        return scatter_append(self.ctx, lw_sched, values)
 
 
 class IrregularReduction:

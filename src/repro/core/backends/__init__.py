@@ -5,10 +5,12 @@ Importing this package registers the two built-in backends:
 * ``serial`` — reference pair-loop semantics,
 * ``vectorized`` — compiled flat plans (the default).
 
-Select per call (``gather(..., backend="serial")``), per component
-(``ChaosRuntime(machine, backend=...)``), process-wide
-(:func:`set_default_backend` / ``REPRO_BACKEND`` env var), or temporarily
-(:func:`use_backend`).
+Selection happens through the
+:class:`~repro.core.context.ExecutionContext` every primitive takes
+first: ``ExecutionContext.resolve(machine, "serial")`` for an explicit
+choice, or ``ExecutionContext.resolve(machine)`` to follow the
+process-wide default (:func:`set_default_backend` / ``REPRO_BACKEND``
+env var, temporarily overridable with :func:`use_backend`).
 """
 
 from repro.core.backends.base import (

@@ -12,9 +12,11 @@ pipeline, spanning both halves of the inspector/executor split:
 The module-level functions in :mod:`repro.core.inspector`,
 :mod:`repro.core.schedule`, :mod:`repro.core.translation`,
 :mod:`repro.core.executor`, :mod:`repro.core.lightweight` and
-:mod:`repro.core.remap` validate arguments and then dispatch to a
-backend, so every backend sees pre-validated inputs and only has to do
-the work and charge the machine.
+:mod:`repro.core.remap` validate arguments and then dispatch to the
+backend carried by their :class:`~repro.core.context.ExecutionContext`,
+so every backend sees pre-validated inputs and only has to do the work
+and charge the machine.  Backend methods receive that same context as
+their first argument (``ctx.machine`` is the machine to charge).
 
 Two implementations ship with the runtime:
 
@@ -51,10 +53,11 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 class Backend(ABC):
     """Inspector + executor execution strategy.
 
-    All methods receive pre-validated arguments (see the dispatching
-    wrappers in :mod:`repro.core.inspector`, :mod:`repro.core.executor`
-    et al.) and must charge the machine exactly as the serial reference
-    does.
+    All methods receive an :class:`~repro.core.context.ExecutionContext`
+    whose ``backend`` is this instance, plus pre-validated arguments
+    (see the dispatching wrappers in :mod:`repro.core.inspector`,
+    :mod:`repro.core.executor` et al.), and must charge ``ctx.machine``
+    exactly as the serial reference does.
     """
 
     #: registry key; subclasses override
@@ -69,14 +72,14 @@ class Backend(ABC):
         global-index → slot map this backend analyses indices with)."""
 
     @abstractmethod
-    def chaos_hash(self, machine, htables, ttable, idx, stamp,
+    def chaos_hash(self, ctx, htables, ttable, idx, stamp,
                    category: str):
         """Index analysis: enter one indirection array into the hash
         tables (translating only unseen indices), stamp every touched
         entry, return per-rank localized index arrays.  ``idx`` is
         pre-normalized to one int64 array per rank."""
 
-    def localize(self, machine, htables, idx, category: str):
+    def localize(self, ctx, htables, idx, category: str):
         """Pure-lookup localization of already-hashed indirection
         arrays (the unchanged-array fast path).
 
@@ -86,6 +89,7 @@ class Backend(ABC):
         """
         from repro.core.inspector import _PROBE_COST
 
+        machine = ctx.machine
         out = []
         for p in machine.ranks():
             arr = idx[p]
@@ -94,12 +98,12 @@ class Backend(ABC):
         return out
 
     @abstractmethod
-    def build_schedule(self, machine, htables, expr, category: str):
+    def build_schedule(self, ctx, htables, expr, category: str):
         """``CHAOS_schedule``: group stamped off-processor entries by
         owner and run the request exchange; returns a Schedule."""
 
     @abstractmethod
-    def translation_lookup(self, machine, ttable, qs, category: str
+    def translation_lookup(self, ctx, ttable, qs, category: str
                            ) -> None:
         """Charge the communication of a collective translation-table
         dereference under the table's storage policy (replicated /
@@ -109,27 +113,27 @@ class Backend(ABC):
     # executor phase
     # ------------------------------------------------------------------
     @abstractmethod
-    def gather(self, machine, sched, data, ghosts, category: str):
+    def gather(self, ctx, sched, data, ghosts, category: str):
         """Fill ``ghosts`` with off-processor elements; returns ``ghosts``."""
 
     @abstractmethod
-    def scatter(self, machine, sched, data, ghosts, op: Callable | None,
+    def scatter(self, ctx, sched, data, ghosts, op: Callable | None,
                 category: str) -> None:
         """Return ghost values to owners; ``op=None`` overwrites,
         otherwise ``op.at`` combines (source-rank-ascending order)."""
 
     @abstractmethod
-    def scatter_append(self, machine, sched, values, category: str):
+    def scatter_append(self, ctx, sched, values, category: str):
         """Move elements to destination ranks, appending kept-local first
         then arrivals by source rank; returns new per-rank arrays."""
 
     @abstractmethod
-    def scatter_append_multi(self, machine, sched, arrays, category: str):
+    def scatter_append_multi(self, ctx, sched, arrays, category: str):
         """Like :meth:`scatter_append` for several aligned attribute sets
         sharing one set of messages; returns ``out[k][p]``."""
 
     @abstractmethod
-    def remap_array(self, machine, plan, data, category: str):
+    def remap_array(self, ctx, plan, data, category: str):
         """Apply a remap plan to one per-rank array set; returns new
         arrays."""
 

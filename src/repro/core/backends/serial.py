@@ -6,11 +6,15 @@ lookups visit every communicating ``(p, q)`` rank pair with Python
 loops, and the executor packs one small numpy payload per pair through
 :meth:`Machine.alltoallv`.  It is deliberately unclever — the behaviour
 (results, traffic statistics, clock charges) of every other backend is
-defined as "whatever this one does".
+defined as "whatever this one does".  The *plans* it emits are still
+CSR-native: per-pair payloads are zero-copy views of the flat buffers,
+never nested Python lists.
 
-Like every backend, it receives pre-validated inputs: the dispatching
-wrappers in :mod:`repro.core.inspector`, :mod:`repro.core.executor` et
-al. perform the bounds and shape checks before any backend runs.
+Like every backend, it receives a pre-validated
+:class:`~repro.core.context.ExecutionContext` plus arguments: the
+dispatching wrappers in :mod:`repro.core.inspector`,
+:mod:`repro.core.executor` et al. perform the bounds and shape checks
+before any backend runs.
 """
 
 from __future__ import annotations
@@ -35,9 +39,10 @@ class SerialBackend(Backend):
     def make_key_store(self):
         return DictKeyStore()
 
-    def chaos_hash(self, machine, htables, ttable, idx, stamp, category):
+    def chaos_hash(self, ctx, htables, ttable, idx, stamp, category):
         from repro.core.inspector import _INSERT_COST, _PROBE_COST
 
+        machine = ctx.machine
         # Step 1: probe; find the uniques each rank has never seen.
         new_per_rank: list[np.ndarray] = []
         for p in machine.ranks():
@@ -46,9 +51,8 @@ class SerialBackend(Backend):
 
         # Step 2: translate only the new uniques (collective; the
         # expensive part the hash table amortizes away in adaptive runs).
-        owners, offsets = ttable.dereference(new_per_rank,
-                                             category=category,
-                                             backend=self)
+        owners, offsets = ttable.dereference(ctx, new_per_rank,
+                                             category=category)
 
         # Step 3: insert and stamp.
         localized: list[np.ndarray] = []
@@ -71,16 +75,22 @@ class SerialBackend(Backend):
     # ------------------------------------------------------------------
     # inspector phase: schedule generation
     # ------------------------------------------------------------------
-    def build_schedule(self, machine, htables, expr, category):
+    def build_schedule(self, ctx, htables, expr, category):
+        from repro.core.compiled import offsets_from_counts
         from repro.core.schedule import Schedule
 
+        machine = ctx.machine
         n = machine.n_ranks
         z = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
 
-        requests: list[list[np.ndarray]] = [[z() for _ in range(n)]
-                                            for _ in range(n)]
-        recv_slots: list[list[np.ndarray]] = [[z() for _ in range(n)]
-                                              for _ in range(n)]
+        # Per rank: select stamped off-processor entries, group by owner
+        # with a stable argsort, and keep the grouped stream *flat* — the
+        # owner-ascending request stream is already the CSR receive
+        # storage, so no per-pair list assembly happens here.
+        counts = np.zeros((n, n), dtype=np.int64)  # [p][q]: p requests of q
+        requests: list[np.ndarray] = []
+        recv_slots: list[np.ndarray] = []
+        recv_offsets: list[np.ndarray] = []
         ghost_size = [0] * n
 
         for p in machine.ranks():
@@ -93,54 +103,61 @@ class SerialBackend(Backend):
             machine.charge_memops(p, ht.n_entries + 2 * slots.size, category)
             ghost_size[p] = ht.ghost_capacity()
             if slots.size == 0:
+                requests.append(z())
+                recv_slots.append(z())
+                recv_offsets.append(offsets_from_counts(counts[p]))
                 continue
             owners = ht.proc[slots]
             order = np.argsort(owners, kind="stable")
             slots = slots[order]
-            owners = owners[order]
-            bounds = np.searchsorted(owners, np.arange(n + 1, dtype=np.int64))
-            for q in machine.ranks():
-                lo, hi = bounds[q], bounds[q + 1]
-                if lo == hi:
-                    continue
-                grp = slots[lo:hi]
-                requests[p][q] = ht.off[grp].astype(np.int64)
-                recv_slots[p][q] = ht.buf[grp].astype(np.int64)
+            counts[p] = np.bincount(owners[order], minlength=n)
+            requests.append(ht.off[slots].astype(np.int64))
+            recv_slots.append(ht.buf[slots].astype(np.int64))
+            recv_offsets.append(offsets_from_counts(counts[p]))
 
-        # Size exchange (schedule setup), then the request exchange:
-        lengths = [[requests[p][q].size for q in machine.ranks()]
-                   for p in machine.ranks()]
-        machine.alltoall_lengths(lengths, tag="sched_sizes",
+        # Size exchange (schedule setup), then the request exchange: the
+        # reference walks every (p, q) pair, but each payload is a
+        # zero-copy view of the flat request stream.
+        machine.alltoall_lengths(counts.tolist(), tag="sched_sizes",
                                  category=category)
         send_payload = [
-            [requests[p][q] if requests[p][q].size else None
+            [requests[p][recv_offsets[p][q]:recv_offsets[p][q + 1]]
+             if counts[p][q] else None
              for q in machine.ranks()]
             for p in machine.ranks()
         ]
         received = machine.alltoallv(send_payload, tag="sched_requests",
                                      category=category)
-        send_indices: list[list[np.ndarray]] = [[z() for _ in range(n)]
-                                                for _ in range(n)]
+        # Each receiver's flat send buffer is one concatenation of the
+        # request segments it was sent (sources ascending).
+        send_indices: list[np.ndarray] = []
+        send_offsets: list[np.ndarray] = []
         for q in machine.ranks():
-            for p in machine.ranks():
-                got = received[q][p]
-                if got is not None and np.size(got):
-                    send_indices[q][p] = np.asarray(got, dtype=np.int64)
-                    machine.charge_memops(q, np.size(got), category)
-        return Schedule.from_pair_lists(
+            send_offsets.append(offsets_from_counts(counts[:, q]))
+            parts = [np.asarray(received[q][p], dtype=np.int64)
+                     for p in machine.ranks()
+                     if received[q][p] is not None and np.size(received[q][p])]
+            if parts:
+                send_indices.append(np.concatenate(parts))
+                machine.charge_memops(q, int(counts[:, q].sum()), category)
+            else:
+                send_indices.append(z())
+        return Schedule(
             n_ranks=n,
             send_indices=send_indices,
+            send_offsets=send_offsets,
             recv_slots=recv_slots,
+            recv_offsets=recv_offsets,
             ghost_size=ghost_size,
         )
 
     # ------------------------------------------------------------------
     # inspector phase: translation-table lookups
     # ------------------------------------------------------------------
-    def translation_lookup(self, machine, ttable, qs, category):
+    def translation_lookup(self, ctx, ttable, qs, category):
         from repro.core.translation import _ENTRY_BYTES
 
-        m = machine
+        m = ctx.machine
         if ttable.storage == "replicated":
             for p in m.ranks():
                 m.charge_memops(p, qs[p].size, category)
@@ -195,7 +212,8 @@ class SerialBackend(Backend):
     # ------------------------------------------------------------------
     # regular schedules
     # ------------------------------------------------------------------
-    def gather(self, machine, sched, data, ghosts, category):
+    def gather(self, ctx, sched, data, ghosts, category):
+        machine = ctx.machine
         n = machine.n_ranks
         send = [[None] * n for _ in machine.ranks()]
         for p in machine.ranks():
@@ -216,8 +234,9 @@ class SerialBackend(Backend):
                     machine.charge_copyops(p, slots.size, category)
         return ghosts
 
-    def scatter(self, machine, sched, data, ghosts, op: Callable | None,
+    def scatter(self, ctx, sched, data, ghosts, op: Callable | None,
                 category) -> None:
+        machine = ctx.machine
         n = machine.n_ranks
         send = [[None] * n for _ in machine.ranks()]
         for p in machine.ranks():
@@ -243,7 +262,8 @@ class SerialBackend(Backend):
     # ------------------------------------------------------------------
     # light-weight schedules
     # ------------------------------------------------------------------
-    def scatter_append(self, machine, sched, values, category):
+    def scatter_append(self, ctx, sched, values, category):
+        machine = ctx.machine
         n = machine.n_ranks
         send = [[None] * n for _ in machine.ranks()]
         for p in machine.ranks():
@@ -275,7 +295,8 @@ class SerialBackend(Backend):
                 out.append(np.zeros((0,) + v.shape[1:], dtype=v.dtype))
         return out
 
-    def scatter_append_multi(self, machine, sched, arrays, category):
+    def scatter_append_multi(self, ctx, sched, arrays, category):
+        machine = ctx.machine
         n = machine.n_ranks
         n_attr = len(arrays)
         send = [[None] * n for _ in machine.ranks()]
@@ -316,7 +337,8 @@ class SerialBackend(Backend):
     # ------------------------------------------------------------------
     # remap plans
     # ------------------------------------------------------------------
-    def remap_array(self, machine, plan, data, category):
+    def remap_array(self, ctx, plan, data, category):
+        machine = ctx.machine
         n = machine.n_ranks
         send = [[None] * n for _ in machine.ranks()]
         for p in machine.ranks():

@@ -96,9 +96,10 @@ class VectorizedBackend(Backend):
     def make_key_store(self):
         return OpenAddressedKeyStore()
 
-    def chaos_hash(self, machine, htables, ttable, idx, stamp, category):
+    def chaos_hash(self, ctx, htables, ttable, idx, stamp, category):
         from repro.core.inspector import _INSERT_COST, _PROBE_COST
 
+        machine = ctx.machine
         # Step 1: probe; one unique pass per rank, inverse kept so the
         # final localization is a gather instead of a second probe.
         new_per_rank: list[np.ndarray] = []
@@ -112,9 +113,8 @@ class VectorizedBackend(Backend):
             new_per_rank.append(htables[p].store.missing(uniq))
 
         # Step 2: translate only the new uniques.
-        owners, offsets = ttable.dereference(new_per_rank,
-                                             category=category,
-                                             backend=self)
+        owners, offsets = ttable.dereference(ctx, new_per_rank,
+                                             category=category)
 
         # Step 3: insert, stamp, localize via the unique inverse.
         localized: list[np.ndarray] = []
@@ -142,9 +142,10 @@ class VectorizedBackend(Backend):
     # ------------------------------------------------------------------
     # inspector phase: schedule generation
     # ------------------------------------------------------------------
-    def build_schedule(self, machine, htables, expr, category):
+    def build_schedule(self, ctx, htables, expr, category):
         from repro.core.schedule import Schedule
 
+        machine = ctx.machine
         n = machine.n_ranks
 
         counts = np.zeros((n, n), dtype=np.int64)  # [p][q]: p requests of q
@@ -216,10 +217,10 @@ class VectorizedBackend(Backend):
     # ------------------------------------------------------------------
     # inspector phase: translation-table lookups
     # ------------------------------------------------------------------
-    def translation_lookup(self, machine, ttable, qs, category):
+    def translation_lookup(self, ctx, ttable, qs, category):
         from repro.core.translation import _ENTRY_BYTES
 
-        m = machine
+        m = ctx.machine
         if ttable.storage == "replicated":
             for p in m.ranks():
                 m.charge_memops(p, qs[p].size, category)
@@ -261,12 +262,13 @@ class VectorizedBackend(Backend):
     # ------------------------------------------------------------------
     # regular schedules
     # ------------------------------------------------------------------
-    def gather(self, machine, sched, data, ghosts, category):
+    def gather(self, ctx, sched, data, ghosts, category):
+        machine = ctx.machine
         plan = compile_schedule(sched)
         layout = _flat_layout(data)
         glayout = _flat_layout(ghosts)
         if layout is None or glayout is None or layout[1] != glayout[1]:
-            return _serial().gather(machine, sched, data, ghosts, category)
+            return _serial().gather(ctx, sched, data, ghosts, category)
         sizes, _, k = layout
         for p in machine.ranks():
             if plan.send_idx[p].size:
@@ -284,13 +286,14 @@ class VectorizedBackend(Backend):
                 machine.charge_copyops(p, plan.place_idx[p].size, category)
         return ghosts
 
-    def scatter(self, machine, sched, data, ghosts, op: Callable | None,
+    def scatter(self, ctx, sched, data, ghosts, op: Callable | None,
                 category) -> None:
+        machine = ctx.machine
         plan = compile_schedule(sched)
         layout = _flat_layout(data)
         glayout = _flat_layout(ghosts)
         if layout is None or glayout is None or layout[1] != glayout[1]:
-            return _serial().scatter(machine, sched, data, ghosts, op,
+            return _serial().scatter(ctx, sched, data, ghosts, op,
                                      category)
         gsizes, _, k = glayout
         for p in machine.ranks():
@@ -316,11 +319,12 @@ class VectorizedBackend(Backend):
     # ------------------------------------------------------------------
     # light-weight schedules
     # ------------------------------------------------------------------
-    def scatter_append(self, machine, sched, values, category):
+    def scatter_append(self, ctx, sched, values, category):
+        machine = ctx.machine
         plan = compile_lightweight_schedule(sched)
         layout = _flat_layout(values)
         if layout is None:
-            return _serial().scatter_append(machine, sched, values, category)
+            return _serial().scatter_append(ctx, sched, values, category)
         sizes, trailing, k = layout
         for p in machine.ranks():
             machine.charge_copyops(p, np.asarray(values[p]).shape[0],
@@ -344,11 +348,12 @@ class VectorizedBackend(Backend):
                 out.append(np.zeros((0,) + v.shape[1:], dtype=v.dtype))
         return out
 
-    def scatter_append_multi(self, machine, sched, arrays, category):
+    def scatter_append_multi(self, ctx, sched, arrays, category):
+        machine = ctx.machine
         plan = compile_lightweight_schedule(sched)
         layouts = [_flat_layout(values) for values in arrays]
         if any(layout is None for layout in layouts):
-            return _serial().scatter_append_multi(machine, sched, arrays,
+            return _serial().scatter_append_multi(ctx, sched, arrays,
                                                   category)
         n_attr = len(arrays)
         elem_bytes = np.zeros(machine.n_ranks, dtype=np.int64)
@@ -383,11 +388,12 @@ class VectorizedBackend(Backend):
     # ------------------------------------------------------------------
     # remap plans
     # ------------------------------------------------------------------
-    def remap_array(self, machine, plan, data, category):
+    def remap_array(self, ctx, plan, data, category):
+        machine = ctx.machine
         cp = compile_remap_plan(plan)
         layout = _flat_layout(data)
         if layout is None:
-            return _serial().remap_array(machine, plan, data, category)
+            return _serial().remap_array(ctx, plan, data, category)
         sizes, trailing, k = layout
         for p in machine.ranks():
             if cp.send_idx[p].size:

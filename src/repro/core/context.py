@@ -1,0 +1,228 @@
+"""The execution context: one carrier object for per-run runtime state.
+
+The CHAOS runtime of the paper is a *library* with ambient state: every
+primitive (hash, localize, schedule build, gather/scatter, remap) runs
+against the machine, its translation caches, and its traffic accounting.
+Earlier revisions of this reproduction threaded that state by hand — a
+loose ``(machine, ..., backend=)`` tail on every primitive, with each
+layer re-resolving defaults independently.  :class:`ExecutionContext`
+collapses the plumbing:
+
+* ``machine`` — the simulated distributed-memory machine (clocks,
+  traffic statistics, collectives);
+* ``backend`` — the *resolved* :class:`~repro.core.backends.Backend`
+  executing every pipeline phase (never ``None``, never a bare name);
+* per-run services — a :class:`~repro.core.reuse.ModificationRecord`,
+  the :class:`~repro.core.reuse.ScheduleCache` built over it, and the
+  run's RNG ``seed``.
+
+Default resolution happens in exactly one place,
+:meth:`ExecutionContext.resolve`: an explicit ``backend`` argument wins,
+then the process-wide runtime default
+(:func:`~repro.core.backends.set_default_backend`), then the
+``REPRO_BACKEND`` environment variable, then ``"vectorized"``.
+
+Every core primitive takes a context as its first argument::
+
+    ctx = ExecutionContext.resolve(machine)            # default backend
+    ctx = ExecutionContext.resolve(machine, "serial")  # explicit
+    ghosts = gather(ctx, sched, data)
+
+The old ``(machine, ..., backend=)`` signatures still work for one
+release through thin shims that emit :class:`DeprecationWarning`
+(:func:`ensure_context`); the test suite runs with
+``-W error::DeprecationWarning`` so no in-tree code regresses onto them.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.backends.base import Backend, resolve_backend
+from repro.core.reuse import ModificationRecord, ScheduleCache
+from repro.sim.machine import Machine
+
+#: sentinel distinguishing "keyword not passed" from an explicit ``None``
+#: in the deprecated compatibility shims
+_UNSET = object()
+
+
+@dataclass(frozen=True, eq=False)
+class ExecutionContext:
+    """Frozen bundle of machine + resolved backend + per-run services.
+
+    The carrier itself is immutable (fields cannot be rebound); the
+    services it carries — the machine's clocks/traffic, the modification
+    record, the schedule cache — are of course mutable objects.  Use
+    :meth:`with_backend` / :meth:`derive` to obtain variants sharing the
+    same machine and services.
+    """
+
+    machine: Machine
+    backend: Backend
+    seed: int = 0
+    record: ModificationRecord | None = None
+    schedule_cache: ScheduleCache | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.machine, Machine):
+            raise TypeError(
+                f"machine must be a Machine, got {self.machine!r}"
+            )
+        if not isinstance(self.backend, Backend):
+            raise TypeError(
+                f"backend must be a resolved Backend, got {self.backend!r}"
+                " (use ExecutionContext.resolve to accept names/None)"
+            )
+        if self.record is None:
+            object.__setattr__(self, "record", ModificationRecord())
+        if self.schedule_cache is None:
+            object.__setattr__(
+                self, "schedule_cache", ScheduleCache(self.record)
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def resolve(
+        cls,
+        machine: "Machine | ExecutionContext",
+        backend=None,
+        *,
+        seed: int | None = None,
+        record: ModificationRecord | None = None,
+        schedule_cache: ScheduleCache | None = None,
+    ) -> "ExecutionContext":
+        """The one place defaults are resolved.
+
+        ``machine`` may be a :class:`Machine` (a fresh context is built
+        for it) or an existing context (returned as-is, or re-targeted
+        with :meth:`with_backend` when ``backend`` names a different
+        one; combining a context with ``seed``/``record``/
+        ``schedule_cache`` is an error — use :meth:`derive`).
+        ``backend`` may be ``None``, a registered name, or a
+        :class:`Backend` instance; ``None`` falls through the default
+        chain — runtime default (:func:`set_default_backend`), then the
+        ``REPRO_BACKEND`` environment variable, then ``"vectorized"``.
+        """
+        if isinstance(machine, ExecutionContext):
+            if seed is not None or record is not None \
+                    or schedule_cache is not None:
+                raise TypeError(
+                    "resolve: cannot combine an existing ExecutionContext "
+                    "with seed/record/schedule_cache overrides; use "
+                    "ctx.derive(...) instead"
+                )
+            ctx = machine
+            if backend is None or resolve_backend(backend) is ctx.backend:
+                return ctx
+            return ctx.with_backend(backend)
+        return cls(
+            machine=machine,
+            backend=resolve_backend(backend),
+            seed=0 if seed is None else seed,
+            record=record,
+            schedule_cache=schedule_cache,
+        )
+
+    # ------------------------------------------------------------------
+    def with_backend(self, backend) -> "ExecutionContext":
+        """Variant running on ``backend``, sharing machine + services."""
+        return replace(self, backend=resolve_backend(backend))
+
+    def derive(self, **changes) -> "ExecutionContext":
+        """``dataclasses.replace`` with backend names resolved."""
+        if "backend" in changes:
+            changes["backend"] = resolve_backend(changes["backend"])
+        return replace(self, **changes)
+
+    def fresh_services(self) -> "ExecutionContext":
+        """Same machine/backend/seed, new modification record + cache."""
+        rec = ModificationRecord()
+        return replace(self, record=rec, schedule_cache=ScheduleCache(rec))
+
+    # ------------------------------------------------------------------
+    # machine conveniences
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        return self.machine.n_ranks
+
+    def ranks(self):
+        return self.machine.ranks()
+
+    @property
+    def clocks(self):
+        """The machine's per-rank virtual clocks (per-run accounting)."""
+        return self.machine.clocks
+
+    @property
+    def traffic(self):
+        """The machine's traffic statistics (per-run accounting)."""
+        return self.machine.traffic
+
+    def rng(self) -> np.random.Generator:
+        """Fresh deterministic generator from this context's seed."""
+        return np.random.default_rng(self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ExecutionContext(ranks={self.machine.n_ranks}, "
+            f"backend={self.backend.name!r}, seed={self.seed})"
+        )
+
+
+def _warn_legacy(who: str) -> None:
+    warnings.warn(
+        f"{who}(machine, ..., backend=...) is deprecated; pass an "
+        f"ExecutionContext as the first argument "
+        f"(ExecutionContext.resolve(machine, backend))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def resolve_component(ctx, backend=_UNSET, who: str = "this component"
+                      ) -> ExecutionContext:
+    """Constructor-side resolution for runtime components.
+
+    Components (:class:`ChaosRuntime`, ``ProgramInstance``,
+    ``ParallelMD``, ``ParallelDSMC``) accept an :class:`ExecutionContext`
+    (preferred) or a bare :class:`Machine` — constructing one context at
+    init is exactly their job, so no warning for the latter.  The legacy
+    ``backend`` keyword still works for one release but warns.
+    """
+    if backend is not _UNSET:
+        _warn_legacy(who)
+        return ExecutionContext.resolve(ctx, backend)
+    return ExecutionContext.resolve(ctx)
+
+
+def ensure_context(ctx, backend=_UNSET, who: str = "this primitive"
+                   ) -> ExecutionContext:
+    """Coerce a primitive's first argument to an :class:`ExecutionContext`.
+
+    New-style calls pass a context (returned unchanged; combining it
+    with a legacy ``backend=`` keyword is an error).  Old-style calls
+    pass a :class:`Machine` — still accepted for one release through
+    this shim, which emits a :class:`DeprecationWarning` and resolves a
+    context from the machine plus the legacy keyword.
+    """
+    if isinstance(ctx, ExecutionContext):
+        if backend is not _UNSET and backend is not None:
+            raise TypeError(
+                f"{who}: cannot combine an ExecutionContext with a legacy "
+                f"backend= keyword; use ctx.with_backend(...) instead"
+            )
+        return ctx
+    if isinstance(ctx, Machine):
+        _warn_legacy(who)
+        return ExecutionContext.resolve(
+            ctx, None if backend is _UNSET else backend
+        )
+    raise TypeError(
+        f"{who}: first argument must be an ExecutionContext (or, "
+        f"deprecated, a Machine), got {ctx!r}"
+    )

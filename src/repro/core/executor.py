@@ -12,12 +12,12 @@ can serve many schedules.
 ``scatter_op`` — ghost values return and are *combined* (np.add etc.),
                the irregular-reduction path for ``x(ia(i)) += ...``.
 
-The functions here validate arguments and dispatch to an executor
-*backend* (:mod:`repro.core.backends`): ``serial`` reproduces the
-historical pair-loop semantics, ``vectorized`` (the default) executes a
-compiled flat plan with fused numpy operations.  Pass ``backend=`` (a
-name, a :class:`~repro.core.backends.Backend`, or ``None`` for the
-process default) to choose per call.
+Every function takes an :class:`~repro.core.context.ExecutionContext`
+first; the context's *backend* (:mod:`repro.core.backends`) executes the
+transport: ``serial`` reproduces the historical pair-loop semantics,
+``vectorized`` (the default) executes a compiled flat plan with fused
+numpy operations.  The old machine-first signatures with a ``backend``
+keyword remain as deprecated shims.
 """
 
 from __future__ import annotations
@@ -26,10 +26,9 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.backends.base import resolve_backend
 from repro.core.compiled import compile_schedule
+from repro.core.context import _UNSET, ensure_context
 from repro.core.schedule import Schedule
-from repro.sim.machine import Machine
 
 
 def _ghost_like(local: np.ndarray, n_ghost: int) -> np.ndarray:
@@ -45,12 +44,12 @@ def allocate_ghosts(
 
 
 def gather(
-    machine: Machine,
+    ctx,
     sched: Schedule,
     data: list[np.ndarray],
     ghosts: list[np.ndarray] | None = None,
     category: str = "comm",
-    backend=None,
+    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Fetch off-processor elements into ghost buffers.
 
@@ -60,6 +59,8 @@ def gather(
     the inspector address it directly when local and ghost arrays are
     stacked (see :func:`stack_local_ghost`).
     """
+    ctx = ensure_context(ctx, backend, "gather")
+    machine = ctx.machine
     machine.check_per_rank(data, "data")
     if ghosts is None:
         ghosts = allocate_ghosts(sched, data)
@@ -77,17 +78,16 @@ def gather(
                 f"rank {p}: ghost buffer {g.shape[0]} < required "
                 f"{sched.ghost_size[p]}"
             )
-    return resolve_backend(backend).gather(machine, sched, data, ghosts,
-                                           category)
+    return ctx.backend.gather(ctx, sched, data, ghosts, category)
 
 
 def scatter(
-    machine: Machine,
+    ctx,
     sched: Schedule,
     data: list[np.ndarray],
     ghosts: list[np.ndarray],
     category: str = "comm",
-    backend=None,
+    backend=_UNSET,
 ) -> None:
     """Return ghost values to their owners, overwriting local elements.
 
@@ -95,20 +95,20 @@ def scatter(
     ``ghosts[p][sched.recv_view(p, q)]`` back to ``q``, which writes them
     at ``sched.send_view(q, p)``.
     """
-    machine.check_per_rank(data, "data")
-    machine.check_per_rank(ghosts, "ghosts")
-    resolve_backend(backend).scatter(machine, sched, data, ghosts, None,
-                                     category)
+    ctx = ensure_context(ctx, backend, "scatter")
+    ctx.machine.check_per_rank(data, "data")
+    ctx.machine.check_per_rank(ghosts, "ghosts")
+    ctx.backend.scatter(ctx, sched, data, ghosts, None, category)
 
 
 def scatter_op(
-    machine: Machine,
+    ctx,
     sched: Schedule,
     data: list[np.ndarray],
     ghosts: list[np.ndarray],
     op: Callable = np.add,
     category: str = "comm",
-    backend=None,
+    backend=_UNSET,
 ) -> None:
     """Return ghost contributions and combine with ``op`` at the owner.
 
@@ -118,12 +118,12 @@ def scatter_op(
     accumulates into its ghost copy during the executor loop, then one
     ``scatter_op(np.add)`` folds all contributions into the owners.
     """
+    ctx = ensure_context(ctx, backend, "scatter_op")
     if not hasattr(op, "at"):
         raise TypeError(f"op {op!r} must be a ufunc with an .at method")
-    machine.check_per_rank(data, "data")
-    machine.check_per_rank(ghosts, "ghosts")
-    resolve_backend(backend).scatter(machine, sched, data, ghosts, op,
-                                     category)
+    ctx.machine.check_per_rank(data, "data")
+    ctx.machine.check_per_rank(ghosts, "ghosts")
+    ctx.backend.scatter(ctx, sched, data, ghosts, op, category)
 
 
 def stack_local_ghost(

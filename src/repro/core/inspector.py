@@ -10,24 +10,24 @@ the indirection array rewritten to localized indices.
 The back half — schedule generation from stamped entries — lives in
 :mod:`repro.core.schedule`.
 
-The functions here validate arguments and dispatch to a *backend*
-(:mod:`repro.core.backends`): ``serial`` analyses indices one dict
-operation at a time (the reference semantics), ``vectorized`` (the
-default) probes and inserts whole arrays through a batched
-open-addressed key store.  Pass ``backend=`` (a name, a
-:class:`~repro.core.backends.Backend`, or ``None`` for the process
-default) to choose per call; the same backend also performs the
-translation-table lookups ``chaos_hash`` triggers.
+Every function takes an :class:`~repro.core.context.ExecutionContext`
+first: the context carries the machine and the resolved *backend*
+(:mod:`repro.core.backends`) executing the analysis — ``serial``
+analyses indices one dict operation at a time (the reference semantics),
+``vectorized`` (the default) probes and inserts whole arrays through a
+batched open-addressed key store.  The same backend also performs the
+translation-table lookups ``chaos_hash`` triggers.  The old
+machine-first signatures with a ``backend`` keyword remain as
+deprecated shims.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.backends.base import resolve_backend
+from repro.core.context import _UNSET, ensure_context
 from repro.core.hashtable import IndexHashTable, StampRegistry
 from repro.core.translation import TranslationTable
-from repro.sim.machine import Machine
 
 #: memops charged per hash probe / per new-entry insert
 _PROBE_COST = 1
@@ -35,25 +35,26 @@ _INSERT_COST = 3
 
 
 def make_hash_tables(
-    machine: Machine, ttable: TranslationTable, backend=None
+    ctx, ttable: TranslationTable, backend=_UNSET
 ) -> list[IndexHashTable]:
     """One hash table per rank for arrays distributed like ``ttable``.
 
     All tables share one :class:`StampRegistry` so stamp names mean the
-    same thing on every rank.  ``backend`` selects the key store backing
-    each table (dict reference vs batched open addressing); every store
-    assigns identical slots, so the choice only affects wall-clock speed.
+    same thing on every rank.  The context's backend selects the key
+    store backing each table (dict reference vs batched open
+    addressing); every store assigns identical slots, so the choice only
+    affects wall-clock speed.
     """
-    be = resolve_backend(backend)
+    ctx = ensure_context(ctx, backend, "make_hash_tables")
     registry = StampRegistry()
     return [
         IndexHashTable(
             rank=p,
             n_local=ttable.dist.local_size(p),
             registry=registry,
-            store=be.make_key_store(),
+            store=ctx.backend.make_key_store(),
         )
-        for p in machine.ranks()
+        for p in ctx.machine.ranks()
     ]
 
 
@@ -66,13 +67,13 @@ def _normalize(indices: list[np.ndarray | None]) -> list[np.ndarray]:
 
 
 def chaos_hash(
-    machine: Machine,
+    ctx,
     htables: list[IndexHashTable],
     ttable: TranslationTable,
     indices: list[np.ndarray | None],
     stamp: str,
     category: str = "inspector",
-    backend=None,
+    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Hash one indirection array into the tables; return localized copy.
 
@@ -84,16 +85,16 @@ def chaos_hash(
     Returns per-rank localized index arrays: owned references become local
     offsets, off-processor references become ``n_local + buffer_slot``.
     """
-    machine.check_per_rank(htables, "hash tables")
-    machine.check_per_rank(indices, "indices")
+    ctx = ensure_context(ctx, backend, "chaos_hash")
+    m = ctx.machine
+    m.check_per_rank(htables, "hash tables")
+    m.check_per_rank(indices, "indices")
     idx = _normalize(indices)
-    return resolve_backend(backend).chaos_hash(
-        machine, htables, ttable, idx, stamp, category
-    )
+    return ctx.backend.chaos_hash(ctx, htables, ttable, idx, stamp, category)
 
 
 def clear_stamp(
-    machine: Machine,
+    ctx,
     htables: list[IndexHashTable],
     stamp: str,
     release: bool = False,
@@ -104,11 +105,13 @@ def clear_stamp(
 
     Returns the total number of entries that carried the stamp.
     """
-    machine.check_per_rank(htables, "hash tables")
+    ctx = ensure_context(ctx, who="clear_stamp")
+    m = ctx.machine
+    m.check_per_rank(htables, "hash tables")
     total = 0
-    for p in machine.ranks():
+    for p in m.ranks():
         ht = htables[p]
-        machine.charge_memops(p, ht.n_entries, category)
+        m.charge_memops(p, ht.n_entries, category)
         if stamp in ht.registry:
             total += ht.clear_stamp(stamp, release=False)
     if release and htables and stamp in htables[0].registry:
@@ -117,18 +120,20 @@ def clear_stamp(
 
 
 def localize_only(
-    machine: Machine,
+    ctx,
     htables: list[IndexHashTable],
     indices: list[np.ndarray | None],
     category: str = "inspector",
-    backend=None,
+    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Localize indirection arrays already fully present in the tables.
 
     This is the fast path for *unchanged* indirection arrays: a pure
     lookup, no translation-table traffic at all.
     """
-    machine.check_per_rank(htables, "hash tables")
-    machine.check_per_rank(indices, "indices")
+    ctx = ensure_context(ctx, backend, "localize_only")
+    m = ctx.machine
+    m.check_per_rank(htables, "hash tables")
+    m.check_per_rank(indices, "indices")
     idx = _normalize(indices)
-    return resolve_backend(backend).localize(machine, htables, idx, category)
+    return ctx.backend.localize(ctx, htables, idx, category)

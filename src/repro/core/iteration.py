@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.context import _UNSET, ensure_context
 from repro.core.lightweight import (
     LightweightSchedule,
     build_lightweight_schedule,
@@ -43,17 +44,16 @@ class IterationAssignment:
     counts: np.ndarray
 
     def remap_iteration_data(
-        self, machine: Machine, arrays: list[np.ndarray],
-        category: str = "remap", backend=None,
+        self, ctx, arrays: list[np.ndarray],
+        category: str = "remap", backend=_UNSET,
     ) -> list[np.ndarray]:
         """Move one per-iteration array set to the executing ranks.
 
-        ``backend`` selects the data-transport strategy (a name, a
-        :class:`~repro.core.backends.Backend`, or ``None`` for the
-        process default), exactly as in :func:`scatter_append`.
+        The context's backend executes the data transport, exactly as in
+        :func:`scatter_append`.
         """
-        return scatter_append(machine, self.schedule, arrays,
-                              category=category, backend=backend)
+        ctx = ensure_context(ctx, backend, "remap_iteration_data")
+        return scatter_append(ctx, self.schedule, arrays, category=category)
 
 
 def _majority_vote(owner_rows: np.ndarray) -> np.ndarray:
@@ -76,12 +76,12 @@ def _majority_vote(owner_rows: np.ndarray) -> np.ndarray:
 
 
 def partition_iterations(
-    machine: Machine,
+    ctx,
     ttable: TranslationTable,
     accesses: list[list[np.ndarray]],
     rule: str = "almost-owner-computes",
     category: str = "partition",
-    backend=None,
+    backend=_UNSET,
 ) -> IterationAssignment:
     """Assign loop iterations to ranks and build the Phase-D move plan.
 
@@ -97,11 +97,11 @@ def partition_iterations(
         taken to be the left-hand-side reference.
     rule:
         ``"almost-owner-computes"`` (majority) or ``"owner-computes"``.
-    backend:
-        Strategy for the translation-table dereference (a name, a
-        :class:`~repro.core.backends.Backend`, or ``None`` for the
-        process default).
+
+    The context's backend performs the translation-table dereference.
     """
+    ctx = ensure_context(ctx, backend, "partition_iterations")
+    machine = ctx.machine
     if rule not in ("almost-owner-computes", "owner-computes"):
         raise ValueError(f"unknown iteration-partitioning rule {rule!r}")
     machine.check_per_rank(accesses, "accesses")
@@ -123,8 +123,7 @@ def partition_iterations(
         flat_queries.append(
             np.concatenate([np.asarray(a, dtype=np.int64) for a in arrays])
         )
-    owners_flat, _ = ttable.dereference(flat_queries, category=category,
-                                        backend=backend)
+    owners_flat, _ = ttable.dereference(ctx, flat_queries, category=category)
 
     dest: list[np.ndarray] = []
     for p in machine.ranks():
@@ -141,7 +140,7 @@ def partition_iterations(
         else:
             dest.append(_majority_vote(owner_rows))
 
-    schedule = build_lightweight_schedule(machine, dest, category=category)
+    schedule = build_lightweight_schedule(ctx, dest, category=category)
     counts = np.array(
         [schedule.recv_total(p) for p in machine.ranks()], dtype=np.int64
     )

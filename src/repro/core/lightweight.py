@@ -17,11 +17,11 @@ list assembly happens at all.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.backends.base import resolve_backend
 from repro.core.compiled import (
     compile_lightweight_schedule,
     concat_csr,
@@ -30,7 +30,7 @@ from repro.core.compiled import (
     offsets_from_counts,
     split_csr,
 )
-from repro.sim.machine import Machine
+from repro.core.context import _UNSET, ensure_context
 
 
 @dataclass
@@ -75,6 +75,11 @@ class LightweightSchedule:
     def send_pairs(self) -> list[list[np.ndarray]]:
         """Nested ``[p][q]`` selection views (deprecated legacy accessor,
         see :meth:`repro.core.schedule.Schedule.send_pairs`)."""
+        warnings.warn(
+            "LightweightSchedule.send_pairs() is deprecated; consume the "
+            "flat CSR buffers or send_view(rank, dest)",
+            DeprecationWarning, stacklevel=2,
+        )
         return [split_csr(self.send_sel[p], self.send_offsets[p])
                 for p in range(self.n_ranks)]
 
@@ -112,7 +117,7 @@ class LightweightSchedule:
 
 
 def build_lightweight_schedule(
-    machine: Machine,
+    ctx,
     dest_ranks: list[np.ndarray],
     category: str = "inspector",
 ) -> LightweightSchedule:
@@ -124,6 +129,8 @@ def build_lightweight_schedule(
     table, no permutation list.  The stable bucketing argsort is emitted
     directly as the CSR selection vector.
     """
+    ctx = ensure_context(ctx, who="build_lightweight_schedule")
+    machine = ctx.machine
     machine.check_per_rank(dest_ranks, "dest_ranks")
     n = machine.n_ranks
     counts = np.zeros((n, n), dtype=np.int64)
@@ -158,11 +165,11 @@ def build_lightweight_schedule(
 
 
 def scatter_append(
-    machine: Machine,
+    ctx,
     sched: LightweightSchedule,
     values: list[np.ndarray],
     category: str = "comm",
-    backend=None,
+    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Move elements to their destinations, appending in arrival order.
 
@@ -176,6 +183,8 @@ def scatter_append(
     the same schedule by calling this once per array — the schedule is the
     expensive part, reusing it is free.
     """
+    ctx = ensure_context(ctx, backend, "scatter_append")
+    machine = ctx.machine
     machine.check_per_rank(values, "values")
     plan = compile_lightweight_schedule(sched)
     for p in machine.ranks():
@@ -186,16 +195,15 @@ def scatter_append(
                 f"rank {p}: values has {v.shape[0]} elements, schedule "
                 f"covers {expected}"
             )
-    return resolve_backend(backend).scatter_append(machine, sched, values,
-                                                   category)
+    return ctx.backend.scatter_append(ctx, sched, values, category)
 
 
 def scatter_append_multi(
-    machine: Machine,
+    ctx,
     sched: LightweightSchedule,
     arrays: list[list[np.ndarray]],
     category: str = "comm",
-    backend=None,
+    backend=_UNSET,
 ) -> list[list[np.ndarray]]:
     """Move several aligned array sets with ONE set of messages.
 
@@ -206,6 +214,8 @@ def scatter_append_multi(
     molecule records.  Returns ``out[k][p]`` with the same arrival order
     as :func:`scatter_append`.
     """
+    ctx = ensure_context(ctx, backend, "scatter_append_multi")
+    machine = ctx.machine
     if not arrays:
         return []
     for k, vs in enumerate(arrays):
@@ -220,5 +230,4 @@ def scatter_append_multi(
                     f"rank {p}, attribute {k}: {v.shape[0]} elements, "
                     f"schedule covers {expected}"
                 )
-    return resolve_backend(backend).scatter_append_multi(machine, sched,
-                                                         arrays, category)
+    return ctx.backend.scatter_append_multi(ctx, sched, arrays, category)

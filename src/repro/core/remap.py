@@ -15,11 +15,11 @@ sender-major placement stream receiver-major
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.backends.base import resolve_backend
 from repro.core.compiled import (
     compile_remap_plan,
     concat_csr,
@@ -29,8 +29,8 @@ from repro.core.compiled import (
     split_csr,
     stream_perm,
 )
+from repro.core.context import _UNSET, ensure_context
 from repro.core.distribution import Distribution
-from repro.sim.machine import Machine
 
 
 @dataclass
@@ -83,11 +83,21 @@ class RemapPlan:
     def send_pairs(self) -> list[list[np.ndarray]]:
         """Nested ``[p][q]`` selection views (deprecated legacy accessor,
         see :meth:`repro.core.schedule.Schedule.send_pairs`)."""
+        warnings.warn(
+            "RemapPlan.send_pairs() is deprecated; consume the flat CSR "
+            "buffers or send_view(rank, dest)",
+            DeprecationWarning, stacklevel=2,
+        )
         return [split_csr(self.send_sel[p], self.send_offsets[p])
                 for p in range(self.n_ranks)]
 
     def place_pairs(self) -> list[list[np.ndarray]]:
         """Nested ``[p][q]`` placement views (deprecated legacy accessor)."""
+        warnings.warn(
+            "RemapPlan.place_pairs() is deprecated; consume the flat CSR "
+            "buffers or place_view(rank, src)",
+            DeprecationWarning, stacklevel=2,
+        )
         return [split_csr(self.place_sel[p], self.place_offsets[p])
                 for p in range(self.n_ranks)]
 
@@ -121,7 +131,7 @@ class RemapPlan:
 
 
 def remap(
-    machine: Machine,
+    ctx,
     old_dist: Distribution,
     new_dist: Distribution,
     category: str = "remap",
@@ -132,6 +142,8 @@ def remap(
     machine.  Cost: one pass over owned elements per rank plus a
     message-size exchange.
     """
+    ctx = ensure_context(ctx, who="remap")
+    machine = ctx.machine
     if old_dist.n_global != new_dist.n_global:
         raise ValueError(
             f"distributions disagree on size: {old_dist.n_global} vs "
@@ -183,11 +195,11 @@ def remap(
 
 
 def remap_array(
-    machine: Machine,
+    ctx,
     plan: RemapPlan,
     data: list[np.ndarray],
     category: str = "remap",
-    backend=None,
+    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Apply a remap plan to one per-rank array set; returns new arrays.
 
@@ -195,6 +207,8 @@ def remap_array(
     be reused for every array aligned with the remapped distribution —
     the paper remaps all atom-associated arrays with one plan.
     """
+    ctx = ensure_context(ctx, backend, "remap_array")
+    machine = ctx.machine
     machine.check_per_rank(data, "data")
     cp = compile_remap_plan(plan)
     for p in machine.ranks():
@@ -203,19 +217,18 @@ def remap_array(
                 f"rank {p}: remap plan wants element {int(cp.send_max[p])}"
                 f" but local array has {np.asarray(data[p]).shape[0]} rows"
             )
-    return resolve_backend(backend).remap_array(machine, plan, data,
-                                                category)
+    return ctx.backend.remap_array(ctx, plan, data, category)
 
 
 def remap_global_values(
-    machine: Machine,
+    ctx,
     old_dist: Distribution,
     new_dist: Distribution,
     data: list[np.ndarray],
     category: str = "remap",
-    backend=None,
+    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Convenience: build a plan and move one array set in one call."""
-    plan = remap(machine, old_dist, new_dist, category=category)
-    return remap_array(machine, plan, data, category=category,
-                       backend=backend)
+    ctx = ensure_context(ctx, backend, "remap_global_values")
+    plan = remap(ctx, old_dist, new_dist, category=category)
+    return remap_array(ctx, plan, data, category=category)

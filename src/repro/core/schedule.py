@@ -24,29 +24,29 @@ and a request exchange tells every owner which of its local elements other
 ranks need.  Merged and incremental schedules fall out of the stamp
 algebra for free.
 
-:func:`build_schedule` validates and dispatches to a *backend*
-(:mod:`repro.core.backends`): ``serial`` walks every rank pair in Python
-(the reference), ``vectorized`` (the default) groups by owner with
-argsort/bincount and emits the flat CSR buffers directly — zero per-pair
-list assembly.  Both produce bitwise-identical schedules and traffic
-statistics.
+:func:`build_schedule` validates and dispatches to the backend carried
+by its :class:`~repro.core.context.ExecutionContext`: ``serial`` walks
+the stamped entries per rank in Python (the reference), ``vectorized``
+(the default) groups by owner with argsort/bincount; both emit the flat
+CSR buffers directly — zero per-pair list assembly — and produce
+bitwise-identical schedules and traffic statistics.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.backends.base import resolve_backend
 from repro.core.compiled import (
     concat_csr,
     normalize_csr,
     split_csr,
     zero_csr,
 )
+from repro.core.context import _UNSET, ensure_context
 from repro.core.hashtable import IndexHashTable, StampExpr
-from repro.sim.machine import Machine
 
 
 @dataclass
@@ -111,11 +111,16 @@ class Schedule:
     def send_pairs(self) -> list[list[np.ndarray]]:
         """Nested ``[p][q]`` views of the send segments.
 
-        .. deprecated:: PR 3
-           Legacy accessor for code written against the nested-list
-           layout; built lazily (views, not copies) and cached.  New code
-           should consume the flat CSR buffers or :meth:`send_view`.
+        .. deprecated:: PR 4
+           Test-only legacy accessor for code written against the
+           nested-list layout; emits :class:`DeprecationWarning`.  New
+           code must consume the flat CSR buffers or :meth:`send_view`.
         """
+        warnings.warn(
+            "Schedule.send_pairs() is deprecated; consume the flat CSR "
+            "buffers or send_view(rank, dest)",
+            DeprecationWarning, stacklevel=2,
+        )
         if self._send_pairs is None:
             self._send_pairs = [
                 split_csr(self.send_indices[p], self.send_offsets[p])
@@ -126,6 +131,11 @@ class Schedule:
     def recv_pairs(self) -> list[list[np.ndarray]]:
         """Nested ``[p][q]`` views of the receive segments (deprecated,
         see :meth:`send_pairs`)."""
+        warnings.warn(
+            "Schedule.recv_pairs() is deprecated; consume the flat CSR "
+            "buffers or recv_view(rank, src)",
+            DeprecationWarning, stacklevel=2,
+        )
         if self._recv_pairs is None:
             self._recv_pairs = [
                 split_csr(self.recv_slots[p], self.recv_offsets[p])
@@ -204,27 +214,26 @@ class Schedule:
 
 
 def build_schedule(
-    machine: Machine,
+    ctx,
     htables: list[IndexHashTable],
     expr: StampExpr | str,
     category: str = "inspector",
-    backend=None,
+    backend=_UNSET,
 ) -> Schedule:
     """Construct a communication schedule from stamped hash tables.
 
     ``expr`` selects which entries participate: a stamp name for a plain
     schedule, or a :class:`StampExpr` for merged (``a | b``) and
     incremental (``b - a``) schedules.  This is the paper's
-    ``CHAOS_schedule`` primitive (Figure 6).  ``backend`` selects the
-    schedule-generation strategy (see module docstring).
+    ``CHAOS_schedule`` primitive (Figure 6).  The context's backend
+    selects the schedule-generation strategy (see module docstring).
     """
-    machine.check_per_rank(htables, "hash tables")
-    return resolve_backend(backend).build_schedule(
-        machine, htables, expr, category
-    )
+    ctx = ensure_context(ctx, backend, "build_schedule")
+    ctx.machine.check_per_rank(htables, "hash tables")
+    return ctx.backend.build_schedule(ctx, htables, expr, category)
 
 
-def merge_schedules(machine: Machine, scheds: list[Schedule],
+def merge_schedules(ctx, scheds: list[Schedule],
                     category: str = "inspector") -> Schedule:
     """Merge already-built schedules into one (duplicates NOT removed).
 
@@ -233,6 +242,8 @@ def merge_schedules(machine: Machine, scheds: list[Schedule],
     whose hash tables are gone, and for testing the difference between
     the two approaches.
     """
+    ctx = ensure_context(ctx, who="merge_schedules")
+    machine = ctx.machine
     if not scheds:
         raise ValueError("need at least one schedule to merge")
     n = scheds[0].n_ranks

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.backends.base import resolve_backend
+from repro.core.context import _UNSET, ExecutionContext, _warn_legacy
 from repro.core.distribution import (
     BlockDistribution,
     Distribution,
@@ -176,27 +176,54 @@ class TranslationTable:
     # ------------------------------------------------------------------
     def dereference(
         self,
-        queries: list[np.ndarray | None],
+        ctx,
+        queries: list[np.ndarray | None] = None,
         category: str = "inspector",
-        backend=None,
+        backend=_UNSET,
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """Collective lookup: each rank presents global indices, receives
         (owner, offset) arrays aligned with its query order.
 
         ``queries[p]`` may be ``None`` (no lookups on rank ``p``).  The
         lookup cost under this table's storage policy is charged by the
-        selected *backend* (:mod:`repro.core.backends`): serial walks
+        context's *backend* (:mod:`repro.core.backends`): serial walks
         rank pairs and pages in Python, vectorized (the default) builds
         bincount request matrices; both charge identical traffic.
+
+        The pre-context queries-first signature with a ``backend``
+        keyword remains as a deprecated shim.
         """
+        if not isinstance(ctx, ExecutionContext):
+            # deprecated (queries[, category[, backend]]) signature: the
+            # old positionals shift one slot right under the new binding
+            _warn_legacy("TranslationTable.dereference")
+            legacy_backend = None if backend is _UNSET else backend
+            if isinstance(queries, str):
+                # old category passed positionally; anything after it in
+                # the category slot was the old positional backend
+                if category != "inspector":
+                    legacy_backend = category
+                category = queries
+            queries, ctx = ctx, ExecutionContext.resolve(
+                self.machine, legacy_backend
+            )
+        elif backend is not _UNSET and backend is not None:
+            raise TypeError(
+                "TranslationTable.dereference: cannot combine an "
+                "ExecutionContext with a legacy backend keyword"
+            )
         m = self.machine
+        if ctx.machine is not m:
+            raise ValueError(
+                "context machine differs from the table's machine"
+            )
         m.check_per_rank(queries, "queries")
         qs = [
             np.zeros(0, dtype=np.int64) if q is None
             else self.dist.check_indices(q)
             for q in queries
         ]
-        resolve_backend(backend).translation_lookup(m, self, qs, category)
+        ctx.backend.translation_lookup(ctx, self, qs, category)
         owners = [self._owners[q] for q in qs]
         offsets = [self._offsets[q] for q in qs]
         return owners, offsets

@@ -3,13 +3,16 @@
 Debugging aids a runtime-library user reaches for when a parallel loop
 produces wrong answers: each function checks the internal invariants of
 one artifact and returns a list of human-readable problems (empty = OK).
-They are pure inspections — no communication is charged.
+They are pure inspections — no communication is charged — and they walk
+the plans' native flat CSR buffers directly (offset-vector arithmetic
+and ``np.unique``), never the deprecated nested per-pair views.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.compiled import csr_counts
 from repro.core.distribution import Distribution
 from repro.core.hashtable import IndexHashTable
 from repro.core.lightweight import LightweightSchedule
@@ -58,28 +61,31 @@ def check_schedule(sched: Schedule, dist: Distribution | None = None
     """Send/recv symmetry, slot uniqueness, ghost bounds, index ranges."""
     problems: list[str] = []
     n = sched.n_ranks
+    send_counts = csr_counts(sched.send_offsets)
+    recv_counts = csr_counts(sched.recv_offsets)
+    for p, q in np.argwhere(send_counts != recv_counts.T):
+        problems.append(
+            f"{p}->{q}: sends {send_counts[p, q]} but receiver expects "
+            f"{recv_counts[q, p]}"
+        )
     for p in range(n):
-        seen_slots: set[int] = set()
-        for q in range(n):
-            ns = sched.send_view(p, q).size
-            nr = sched.recv_view(q, p).size
-            if ns != nr:
+        slots = sched.recv_slots[p]
+        if slots.size:
+            if slots.min() < 0 or slots.max() >= sched.ghost_size[p]:
+                problems.append(f"rank {p}: ghost slot out of range")
+            # a slot may legally repeat *within* one source's segment
+            # (merged schedules keep duplicates), but never across two
+            # sources: encode (slot, src), dedup, then count per slot
+            src_of = np.repeat(np.arange(n, dtype=np.int64),
+                               recv_counts[p])
+            key = np.unique(slots * np.int64(n) + src_of)
+            slot_of_key, per_slot = np.unique(key // n, return_counts=True)
+            dup = slot_of_key[per_slot > 1]
+            if dup.size:
                 problems.append(
-                    f"{p}->{q}: sends {ns} but receiver expects {nr}"
+                    f"rank {p}: ghost slots reused across sources: "
+                    f"{dup[:5].tolist()}"
                 )
-            slots = sched.recv_view(p, q)
-            if slots.size:
-                if slots.min() < 0 or slots.max() >= sched.ghost_size[p]:
-                    problems.append(
-                        f"rank {p}: ghost slot out of range from {q}"
-                    )
-                dup = set(slots.tolist()) & seen_slots
-                if dup:
-                    problems.append(
-                        f"rank {p}: ghost slots reused across sources: "
-                        f"{sorted(dup)[:5]}"
-                    )
-                seen_slots.update(slots.tolist())
         sel = sched.send_indices[p]
         if dist is not None and sel.size:
             if sel.min() < 0 or sel.max() >= dist.local_size(p):
@@ -103,13 +109,14 @@ def check_schedule_against_hash_tables(
                 f"rank {p}: schedule ghost size {sched.ghost_size[p]} "
                 f"exceeds hash-table capacity {cap}"
             )
-        filled = set(sched.recv_slots[p].tolist())
-        valid = set(ht.buf[: ht.n_entries][ht.buf[: ht.n_entries] >= 0].tolist())
-        orphan = filled - valid
-        if orphan:
+        filled = np.unique(sched.recv_slots[p])
+        valid = ht.buf[: ht.n_entries]
+        valid = valid[valid >= 0]
+        orphan = filled[~np.isin(filled, valid)]
+        if orphan.size:
             problems.append(
                 f"rank {p}: schedule fills slots no entry references: "
-                f"{sorted(orphan)[:5]}"
+                f"{orphan[:5].tolist()}"
             )
     return problems
 
@@ -118,25 +125,28 @@ def check_lightweight(sched: LightweightSchedule) -> list[str]:
     """Counts symmetric; selections disjoint and covering."""
     problems: list[str] = []
     n = sched.n_ranks
+    send_counts = csr_counts(sched.send_offsets)
+    for p, q in np.argwhere(send_counts != sched.recv_counts.T):
+        problems.append(f"{p}->{q}: count mismatch")
     for p in range(n):
-        total = int(sched.send_sizes(p).sum())
-        seen: set[int] = set()
-        for q in range(n):
-            sel = sched.send_view(p, q)
-            if sel.size:
-                if sel.min() < 0 or sel.max() >= total:
-                    problems.append(f"rank {p}: selection out of range")
-                dup = set(sel.tolist()) & seen
-                if dup:
-                    problems.append(
-                        f"rank {p}: element sent to multiple destinations"
-                    )
-                seen.update(sel.tolist())
-            if sel.size != sched.recv_counts[q][p]:
-                problems.append(f"{p}->{q}: count mismatch")
-        if len(seen) != total:
+        total = int(send_counts[p].sum())
+        sel = sched.send_sel[p]
+        if sel.size != total:
             problems.append(
-                f"rank {p}: {total - len(seen)} elements have no destination"
+                f"rank {p}: count mismatch — selection holds {sel.size} "
+                f"elements, offsets delimit {total}"
+            )
+        covered = np.unique(sel).size
+        if sel.size:
+            if sel.min() < 0 or sel.max() >= total:
+                problems.append(f"rank {p}: selection out of range")
+            if covered != sel.size:
+                problems.append(
+                    f"rank {p}: element sent to multiple destinations"
+                )
+        if covered != total:
+            problems.append(
+                f"rank {p}: {total - covered} elements have no destination"
             )
     return problems
 
@@ -145,19 +155,19 @@ def check_remap_plan(plan: RemapPlan) -> list[str]:
     """Every new slot filled exactly once; no slot out of range."""
     problems: list[str] = []
     n = plan.n_ranks
+    send_counts = csr_counts(plan.send_offsets)
+    place_counts = csr_counts(plan.place_offsets)
+    for p, q in np.argwhere(send_counts != place_counts.T):
+        problems.append(f"{p}->{q}: plan asymmetry")
     for p in range(n):
-        for q in range(n):
-            if plan.send_view(p, q).size != plan.place_view(q, p).size:
-                problems.append(f"{p}->{q}: plan asymmetry")
-        filled = plan.place_sel[p].tolist()
-        if filled:
-            sel = plan.place_sel[p]
+        sel = plan.place_sel[p]
+        if sel.size:
             if sel.min() < 0 or sel.max() >= plan.new_sizes[p]:
                 problems.append(f"rank {p}: placement out of range")
-        if len(filled) != plan.new_sizes[p] or \
-                len(set(filled)) != plan.new_sizes[p]:
+        distinct = np.unique(sel).size
+        if sel.size != plan.new_sizes[p] or distinct != plan.new_sizes[p]:
             problems.append(
-                f"rank {p}: {len(set(filled))} distinct slots filled, "
+                f"rank {p}: {distinct} distinct slots filled, "
                 f"need {plan.new_sizes[p]}"
             )
     return problems

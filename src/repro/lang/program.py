@@ -20,11 +20,13 @@ compiler-generated code has:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
+from repro.core.context import _UNSET, resolve_component
 from repro.core.distribution import (
     BlockDistribution,
     CyclicDistribution,
@@ -36,7 +38,6 @@ from repro.core.inspector import chaos_hash, clear_stamp, make_hash_tables
 from repro.core.iteration import partition_iterations, split_by_block
 from repro.core.lightweight import build_lightweight_schedule, scatter_append
 from repro.core.remap import remap, remap_array
-from repro.core.reuse import ModificationRecord, ScheduleCache
 from repro.core.schedule import build_schedule
 from repro.core.translation import TranslationTable
 from repro.lang.analysis import Analyzer, analyze
@@ -62,7 +63,9 @@ from repro.lang.codegen import lower_program
 from repro.lang.errors import ExecutionError
 from repro.lang.parser import parse_program
 from repro.lang.plans import AppendPlan, LocalPlan, ReductionPlan
-from repro.sim.machine import Machine
+
+#: monotonically increasing ProgramInstance ids for cache scoping
+_PROGRAM_COUNTER = itertools.count()
 
 _REDUCE_OPS = {
     "SUM": (np.add, 0.0),
@@ -124,18 +127,19 @@ class ProgramInstance:
     def __init__(
         self,
         compiled: CompiledProgram,
-        machine: Machine,
+        ctx,
         bindings: dict[str, Any] | None = None,
         ttable_storage: str = "replicated",
-        backend=None,
+        backend=_UNSET,
     ):
+        ctx = resolve_component(ctx, backend, "ProgramInstance")
         self.compiled = compiled
-        self.machine = machine
+        #: the one execution context generated code runs against — its
+        #: backend covers index analysis, schedule generation and
+        #: executor data transport; its record/cache drive §5.3.1 reuse
+        self.ctx = ctx
+        self.machine = ctx.machine
         self.ttable_storage = ttable_storage
-        #: backend for every phase of generated code — index analysis,
-        #: schedule generation and executor data transport (name,
-        #: Backend instance, or None for the process-wide default)
-        self.backend = backend
         self.symbols = compiled.analyzer.symbols
         self.host: dict[str, Any] = {}
         self.local: dict[str, list[np.ndarray]] = {}   # distributed 1-D
@@ -144,8 +148,13 @@ class ProgramInstance:
             name: _DecompState(size=d.size)
             for name, d in self.symbols.decomps.items()
         }
-        self.record = ModificationRecord()
-        self.cache = ScheduleCache(self.record)
+        self.record = ctx.record
+        self.cache = ctx.schedule_cache
+        #: unique cache namespace: loop ids are program-relative, so two
+        #: instances sharing one context (and hence one ScheduleCache)
+        #: must not collide on "loop1"-style keys; a process-wide counter
+        #: (never recycled, unlike id()) keeps scopes distinct
+        self._cache_scope = f"prog{next(_PROGRAM_COUNTER)}"
         if bindings:
             for k, v in bindings.items():
                 self.host[k] = v
@@ -179,8 +188,7 @@ class ProgramInstance:
     def _htables(self, decomp: str):
         st = self.decomps[decomp]
         if st.htables is None:
-            st.htables = make_hash_tables(self.machine, st.ttable,
-                                          backend=self.backend)
+            st.htables = make_hash_tables(self.ctx, st.ttable)
         return st.htables
 
     def _aligned_arrays(self, decomp: str) -> list[str]:
@@ -317,15 +325,14 @@ class ProgramInstance:
                 self._distribute_array(name, dist)
         else:
             # redistribution: one remap plan moves every aligned array
-            plan = remap(m, old.dist, dist, category="remap")
+            plan = remap(self.ctx, old.dist, dist, category="remap")
             for name in self._aligned_arrays(stmt.target):
                 info = self.symbols.array(name)
                 if info.ragged:
                     self._set_ragged(name, self.host.get(name, []))
                 elif name in self.local:
                     self.local[name] = remap_array(
-                        m, plan, self.local[name], category="remap",
-                        backend=self.backend,
+                        self.ctx, plan, self.local[name], category="remap",
                     )
 
     def _distribute_array(self, name: str, dist: Distribution) -> None:
@@ -513,13 +520,13 @@ class ProgramInstance:
                 for p in m.ranks()
             ]
             assign = partition_iterations(
-                m, tt, accesses, rule="almost-owner-computes",
-                category="inspector", backend=self.backend,
+                self.ctx, tt, accesses, rule="almost-owner-computes",
+                category="inspector",
             )
             for k in keys:
                 gidx[k] = assign.remap_iteration_data(
-                    m, split_by_block(ind_values[k], m),
-                    category="inspector", backend=self.backend,
+                    self.ctx, split_by_block(ind_values[k], m),
+                    category="inspector",
                 )
             n_iter = [gidx[keys[0]][p].size for p in m.ranks()] if keys \
                 else [0] * m.n_ranks
@@ -532,7 +539,6 @@ class ProgramInstance:
         deps = plan.dependency_names() + (f"__decomp__:{decomp}",)
 
         def build():
-            m = self.machine
             tt = self._ttable(decomp)
             hts = self._htables(decomp)
             space = self._iteration_space(plan)
@@ -540,15 +546,15 @@ class ProgramInstance:
             for pat in plan.index_patterns:
                 stamp = plan.stamp_for(pat)
                 if stamp in hts[0].registry:
-                    clear_stamp(m, hts, stamp, category="inspector")
+                    clear_stamp(self.ctx, hts, stamp, category="inspector")
                 loc[pat.key()] = chaos_hash(
-                    m, hts, tt, space["gidx"][pat.key()], stamp,
-                    category="inspector", backend=self.backend,
+                    self.ctx, hts, tt, space["gidx"][pat.key()], stamp,
+                    category="inspector",
                 )
             expr = hts[0].expr(*[plan.stamp_for(p)
                                  for p in plan.index_patterns])
-            sched = build_schedule(m, hts, expr, category="inspector",
-                                   backend=self.backend)
+            sched = build_schedule(self.ctx, hts, expr,
+                                   category="inspector")
             return {
                 "schedule": sched,
                 "loc": loc,
@@ -556,8 +562,19 @@ class ProgramInstance:
                 "n_iter": space["n_iter"],
             }
 
-        value, _rebuilt = self.cache.get_or_build(plan.loop_id, deps, build)
+        value, _rebuilt = self.cache.get_or_build(
+            self.cache_key(plan.loop_id), deps, build
+        )
         return value
+
+    def cache_key(self, loop_id: str) -> str:
+        """This instance's ScheduleCache key for one of its loops (the
+        cache is per context and shared, so keys are instance-scoped)."""
+        return f"{self._cache_scope}:{loop_id}"
+
+    def cache_stats(self, loop_id: str) -> tuple[int, int]:
+        """(hits, builds) of this instance's cached value for a loop."""
+        return self.cache.stats(self.cache_key(loop_id))
 
     # ---- expression evaluation ------------------------------------------
     def _eval(self, expr: Expr, env: dict[str, Any], rank: int):
@@ -647,8 +664,7 @@ class ProgramInstance:
             if name not in self.local:
                 raise ExecutionError(f"array {name!r} not distributed yet",
                                      nest.outer.line)
-            g = gather(m, sched, self.local[name], category="comm",
-                       backend=self.backend)
+            g = gather(self.ctx, sched, self.local[name], category="comm")
             ghosts_of[name] = g
             stacked[name] = stack_local_ghost(self.local[name], g)
 
@@ -725,8 +741,8 @@ class ProgramInstance:
                 ghost_acc.append(acc[name][p][n_local:].astype(
                     self.local[name][p].dtype, copy=False
                 ))
-            scatter_op(m, sched, self.local[name], ghost_acc, ufunc,
-                       category="comm", backend=self.backend)
+            scatter_op(self.ctx, sched, self.local[name], ghost_acc, ufunc,
+                       category="comm")
         m.barrier()
 
     # ---- local loops ------------------------------------------------------
@@ -807,12 +823,12 @@ class ProgramInstance:
 
         dest_rank = [tt.owner_local(d) if d.size else d
                      for d in dest_cell_per]
-        sched = build_lightweight_schedule(m, dest_rank, category="inspector")
-        arrived_vals = scatter_append(m, sched, values_per, category="comm",
-                                      backend=self.backend)
-        arrived_cells = scatter_append(m, sched, dest_cell_per,
-                                       category="comm",
-                                       backend=self.backend)
+        sched = build_lightweight_schedule(self.ctx, dest_rank,
+                                           category="inspector")
+        arrived_vals = scatter_append(self.ctx, sched, values_per,
+                                      category="comm")
+        arrived_cells = scatter_append(self.ctx, sched, dest_cell_per,
+                                       category="comm")
         # regroup arrivals into ragged rows of the target
         new_rows_global: list[np.ndarray | None] = [None] * dist.n_global
         for p in m.ranks():

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core import ExecutionContext
 from repro.sim import Machine
 
 
@@ -19,6 +20,21 @@ def machine8() -> Machine:
 @pytest.fixture
 def machine1() -> Machine:
     return Machine(1)
+
+
+@pytest.fixture
+def ctx4(machine4) -> ExecutionContext:
+    return ExecutionContext.resolve(machine4)
+
+
+@pytest.fixture
+def ctx8(machine8) -> ExecutionContext:
+    return ExecutionContext.resolve(machine8)
+
+
+@pytest.fixture
+def ctx1(machine1) -> ExecutionContext:
+    return ExecutionContext.resolve(machine1)
 
 
 @pytest.fixture

@@ -19,6 +19,7 @@ from hypothesis import strategies as st
 
 from repro.core import (
     ChaosRuntime,
+    ExecutionContext,
     IrregularDistribution,
     available_backends,
     build_lightweight_schedule,
@@ -81,13 +82,13 @@ def test_gather_scatter_equivalence(seed, n_ranks, n, n_ref, trailing):
     results = {}
     for backend in BACKENDS:
         m, x, sched, rng = _schedule_env(seed, n_ranks, n, n_ref, trailing)
-        ghosts = gather(m, sched, x.local, backend=backend)
+        ctx = ExecutionContext.resolve(m, backend)
+        ghosts = gather(ctx, sched, x.local)
         contrib = [1.5 * g + 0.25 for g in ghosts]
-        scatter_op(m, sched, x.local, contrib, np.add, backend=backend)
-        scatter_op(m, sched, x.local, [2.0 * g for g in ghosts],
-                   np.maximum, backend=backend)
-        scatter(m, sched, x.local, [0.5 * g for g in ghosts],
-                backend=backend)
+        scatter_op(ctx, sched, x.local, contrib, np.add)
+        scatter_op(ctx, sched, x.local, [2.0 * g for g in ghosts],
+                   np.maximum)
+        scatter(ctx, sched, x.local, [0.5 * g for g in ghosts])
         results[backend] = (
             ghosts,
             [a.copy() for a in x.local],
@@ -118,16 +119,16 @@ def test_scatter_append_equivalence(seed, n_ranks, max_per_rank, trailing):
     for backend in BACKENDS:
         rng = np.random.default_rng(seed + 1)
         m = Machine(n_ranks, record_messages=True)
+        ctx = ExecutionContext.resolve(m, backend)
         dest = [rng.integers(0, n_ranks, c) for c in n_per]
-        sched = build_lightweight_schedule(m, dest)
+        sched = build_lightweight_schedule(ctx, dest)
         m.reset_clocks()
         m.reset_traffic()
         vals = [rng.standard_normal((c,) + trailing) for c in n_per]
         ids = [np.arange(c, dtype=np.int64) + 1000 * p
                for p, c in enumerate(n_per)]
-        out = scatter_append(m, sched, vals, backend=backend)
-        out_multi = scatter_append_multi(m, sched, [ids, vals],
-                                         backend=backend)
+        out = scatter_append(ctx, sched, vals)
+        out_multi = scatter_append_multi(ctx, sched, [ids, vals])
         results[backend] = (out, out_multi, m.traffic.snapshot(),
                             _clock_snapshots(m))
     a, b = results["serial"], results["vectorized"]
@@ -155,12 +156,13 @@ def test_remap_equivalence(seed, n_ranks, n, trailing):
         m = Machine(n_ranks, record_messages=True)
         old = IrregularDistribution(rng.integers(0, n_ranks, n), n_ranks)
         new = IrregularDistribution(rng.integers(0, n_ranks, n), n_ranks)
-        plan = remap(m, old, new)
+        ctx = ExecutionContext.resolve(m, backend)
+        plan = remap(ctx, old, new)
         data = [rng.standard_normal((old.local_size(p),) + trailing)
                 for p in range(n_ranks)]
         m.reset_clocks()
         m.reset_traffic()
-        out = remap_array(m, plan, data, backend=backend)
+        out = remap_array(ctx, plan, data)
         results[backend] = (out, m.traffic.snapshot(), _clock_snapshots(m))
     a, b = results["serial"], results["vectorized"]
     for p in range(n_ranks):
@@ -179,8 +181,8 @@ def test_noncontiguous_inputs_fall_back_and_match(rng):
     strided = [a[:, ::2] for a in x.local]
     rt.hash_indirection(tt, split_by_block(rng.integers(0, 30, 60), m), "s")
     sched = rt.build_schedule(tt, "s")
-    g_serial = gather(m, sched, strided, backend="serial")
-    g_vec = gather(m, sched, strided, backend="vectorized")
+    g_serial = gather(ExecutionContext.resolve(m, "serial"), sched, strided)
+    g_vec = gather(ExecutionContext.resolve(m, "vectorized"), sched, strided)
     for p in range(4):
         assert np.array_equal(g_serial[p], g_vec[p])
 
@@ -190,7 +192,7 @@ def test_integer_data_equivalence(rng):
     out = {}
     for backend, m in (("serial", m_s), ("vectorized", m_v)):
         rng2 = np.random.default_rng(3)
-        rt = ChaosRuntime(m, backend=backend)
+        rt = ChaosRuntime(ExecutionContext.resolve(m, backend))
         tt = rt.irregular_table(rng2.integers(0, 4, 25))
         x = rt.distribute(rng2.integers(0, 1000, 25).astype(np.int32), tt)
         rt.hash_indirection(tt, split_by_block(rng2.integers(0, 25, 40), m),

@@ -1,0 +1,362 @@
+"""ExecutionContext: resolution order, immutability, shims, seam gate.
+
+The context is the one carrier object for per-run state; these tests pin
+down its contract:
+
+* :meth:`ExecutionContext.resolve` default chain — explicit argument >
+  process-wide runtime default > ``REPRO_BACKEND`` env > ``vectorized``;
+* the carrier is frozen (fields cannot be rebound) while the services it
+  carries stay shared across derived variants;
+* the deprecated machine-first / ``backend``-keyword shims warn, and
+  mixing a context with the legacy keyword is an error;
+* serial and vectorized contexts stay *bitwise equal* end-to-end on the
+  CHARMM and DSMC pipelines (results and traffic);
+* no kwarg threading or nested-accessor call site survives under
+  ``src/repro/{core,lang,apps}`` (the same scan the CI lint gate runs).
+"""
+
+import dataclasses
+import importlib.util
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps.charmm import ParallelMD, build_small_system
+from repro.apps.dsmc import CartesianGrid, DSMCConfig, ParallelDSMC
+from repro.core import (
+    ChaosRuntime,
+    ExecutionContext,
+    build_lightweight_schedule,
+    gather,
+    get_backend,
+    split_by_block,
+    use_backend,
+)
+from repro.core.context import ensure_context
+from repro.sim import Machine
+
+
+# ---------------------------------------------------------------------
+# resolution order
+# ---------------------------------------------------------------------
+class TestResolutionOrder:
+    def test_explicit_argument_wins(self, machine4):
+        with use_backend("serial"):
+            ctx = ExecutionContext.resolve(machine4, "vectorized")
+        assert ctx.backend.name == "vectorized"
+
+    def test_runtime_default_beats_env(self, machine4, monkeypatch):
+        import repro.core.backends.base as base
+        monkeypatch.setenv(base.BACKEND_ENV_VAR, "vectorized")
+        with use_backend("serial"):
+            ctx = ExecutionContext.resolve(machine4)
+        assert ctx.backend.name == "serial"
+
+    def test_env_beats_builtin_default(self, machine4, monkeypatch):
+        import repro.core.backends.base as base
+        monkeypatch.setattr(base, "_default_name", None)
+        monkeypatch.setenv(base.BACKEND_ENV_VAR, "serial")
+        ctx = ExecutionContext.resolve(machine4)
+        assert ctx.backend.name == "serial"
+
+    def test_vectorized_is_final_fallback(self, machine4, monkeypatch):
+        import repro.core.backends.base as base
+        monkeypatch.setattr(base, "_default_name", None)
+        monkeypatch.delenv(base.BACKEND_ENV_VAR, raising=False)
+        ctx = ExecutionContext.resolve(machine4)
+        assert ctx.backend.name == "vectorized"
+
+    def test_backend_instance_accepted(self, machine4):
+        be = get_backend("serial")
+        assert ExecutionContext.resolve(machine4, be).backend is be
+
+    def test_context_passthrough(self, ctx4):
+        assert ExecutionContext.resolve(ctx4) is ctx4
+        assert ExecutionContext.resolve(ctx4, ctx4.backend.name) is ctx4
+
+    def test_context_retarget_shares_services(self, ctx4):
+        # pick whichever backend the fixture did NOT resolve to
+        target = "serial" if ctx4.backend.name != "serial" else "vectorized"
+        other = ExecutionContext.resolve(ctx4, target)
+        assert other is not ctx4
+        assert other.backend.name == target
+        assert other.machine is ctx4.machine
+        assert other.record is ctx4.record
+        assert other.schedule_cache is ctx4.schedule_cache
+
+    def test_unresolved_backend_rejected(self, machine4):
+        with pytest.raises(KeyError):
+            ExecutionContext.resolve(machine4, "quantum")
+        with pytest.raises(TypeError):
+            ExecutionContext.resolve(machine4, 42)
+        with pytest.raises(TypeError):
+            ExecutionContext.resolve("not a machine")
+
+    def test_context_plus_service_overrides_rejected(self, ctx4):
+        # silently dropping the overrides would be worse than an error
+        with pytest.raises(TypeError, match="derive"):
+            ExecutionContext.resolve(ctx4, seed=42)
+        with pytest.raises(TypeError, match="derive"):
+            ExecutionContext.resolve(ctx4, record=ctx4.record)
+        with pytest.raises(TypeError, match="derive"):
+            ExecutionContext.resolve(ctx4, schedule_cache=ctx4.schedule_cache)
+
+
+# ---------------------------------------------------------------------
+# immutability + services
+# ---------------------------------------------------------------------
+class TestCarrier:
+    def test_frozen(self, ctx4):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ctx4.backend = get_backend("serial")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ctx4.seed = 99
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            del ctx4.machine
+
+    def test_requires_resolved_backend(self, machine4):
+        with pytest.raises(TypeError):
+            ExecutionContext(machine=machine4, backend="serial")
+
+    def test_services_constructed_and_linked(self, ctx4):
+        assert ctx4.schedule_cache.record is ctx4.record
+        assert ctx4.seed == 0
+
+    def test_with_backend_and_derive(self, machine4):
+        ctx = ExecutionContext.resolve(machine4, seed=7)
+        serial = ctx.with_backend("serial")
+        assert serial.backend.name == "serial"
+        assert serial.seed == 7
+        assert serial.record is ctx.record
+        reseeded = ctx.derive(seed=11)
+        assert reseeded.seed == 11
+        assert reseeded.backend is ctx.backend
+
+    def test_fresh_services(self, ctx4):
+        fresh = ctx4.fresh_services()
+        assert fresh.record is not ctx4.record
+        assert fresh.schedule_cache is not ctx4.schedule_cache
+        assert fresh.schedule_cache.record is fresh.record
+
+    def test_machine_conveniences(self, ctx4, machine4):
+        assert ctx4.n_ranks == 4
+        assert list(ctx4.ranks()) == list(machine4.ranks())
+        assert ctx4.clocks is machine4.clocks
+        assert ctx4.traffic is machine4.traffic
+        rng1 = ExecutionContext.resolve(machine4, seed=5).rng()
+        rng2 = ExecutionContext.resolve(machine4, seed=5).rng()
+        assert rng1.integers(0, 1 << 30) == rng2.integers(0, 1 << 30)
+
+    def test_runtime_exposes_context_services(self, ctx4):
+        rt = ChaosRuntime(ctx4)
+        assert rt.ctx is ctx4
+        assert rt.machine is ctx4.machine
+        assert rt.backend is ctx4.backend
+        assert rt.schedule_cache is ctx4.schedule_cache
+        assert rt.modification_record is ctx4.record
+
+
+# ---------------------------------------------------------------------
+# deprecated shims
+# ---------------------------------------------------------------------
+class TestDeprecatedShims:
+    def test_machine_first_primitive_warns(self, machine4, rng):
+        dest = [rng.integers(0, 4, 6) for _ in range(4)]
+        with pytest.warns(DeprecationWarning, match="ExecutionContext"):
+            build_lightweight_schedule(machine4, dest)
+
+    def test_legacy_backend_kwarg_warns_and_selects(self, machine4, rng):
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 12))
+        rt.hash_indirection(tt, split_by_block(rng.integers(0, 12, 20),
+                                               machine4), "s")
+        sched = rt.build_schedule(tt, "s")
+        x = rt.distribute(rng.standard_normal(12), tt)
+        with pytest.warns(DeprecationWarning):
+            g = gather(machine4, sched, x.local, backend="serial")
+        assert len(g) == 4
+
+    def test_constructor_backend_kwarg_warns(self, machine4):
+        with pytest.warns(DeprecationWarning):
+            rt = ChaosRuntime(machine4, backend="serial")
+        assert rt.backend.name == "serial"
+
+    def test_context_plus_backend_kwarg_rejected(self, ctx4, rng):
+        rt = ChaosRuntime(ctx4)
+        tt = rt.irregular_table(rng.integers(0, 4, 8))
+        rt.hash_indirection(tt, split_by_block(rng.integers(0, 8, 10),
+                                               ctx4.machine), "s")
+        sched = rt.build_schedule(tt, "s")
+        x = rt.distribute(rng.standard_normal(8), tt)
+        with pytest.raises(TypeError, match="with_backend"):
+            gather(ctx4, sched, x.local, backend="serial")
+
+    def test_ensure_context_rejects_junk(self):
+        with pytest.raises(TypeError, match="first argument"):
+            ensure_context([1, 2, 3], who="gather")
+
+    def test_legacy_dereference_warns(self, machine4, rng):
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 10))
+        with pytest.warns(DeprecationWarning):
+            owners, offsets = tt.dereference([np.array([1, 2])] + [None] * 3)
+        assert owners[0].size == 2
+
+    def test_legacy_dereference_positional_category(self, machine4, rng):
+        # the old signature was (queries, category=..., ...); a positional
+        # category must still land in the right clock bucket
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 10))
+        before = machine4.clocks.mean_category("remap")
+        with pytest.warns(DeprecationWarning):
+            tt.dereference([np.arange(4)] * 4, "remap")
+        assert machine4.clocks.mean_category("remap") > before
+
+    def test_legacy_dereference_positional_backend(self, machine4, rng):
+        # old fully-positional call (queries, category, backend): the
+        # requested backend must actually run the lookup
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 10))
+        captured = []
+        serial = get_backend("serial")
+        orig = type(serial).translation_lookup
+
+        def spy(self, ctx, ttable, qs, category):
+            captured.append((self.name, category))
+            return orig(self, ctx, ttable, qs, category)
+
+        type(serial).translation_lookup = spy
+        try:
+            with pytest.warns(DeprecationWarning):
+                tt.dereference([np.arange(4)] * 4, "remap", serial)
+        finally:
+            type(serial).translation_lookup = orig
+        assert captured == [("serial", "remap")]
+
+    def test_legacy_redistribute_positional_backend(self, ctx4, rng):
+        rt = ChaosRuntime(ctx4)
+        tt = rt.irregular_table(rng.integers(0, 4, 12))
+        x = rt.distribute(rng.standard_normal(12), tt)
+        tt2 = rt.block_table(12)
+        with pytest.warns(DeprecationWarning):
+            moved = x.redistribute(tt2, "remap", "serial")
+        assert np.array_equal(moved.to_global(), x.to_global())
+
+    def test_program_instances_sharing_ctx_do_not_cross_hit(self, ctx4):
+        # two different programs on ONE context: loop ids are
+        # program-relative, so the shared ScheduleCache must be scoped
+        # per instance or instance B would reuse A's schedules
+        from repro.lang.program import ProgramInstance, compile_program
+
+        src_a = """
+        DECOMPOSITION reg(8)
+        REAL x(8), y(8)
+        INTEGER ia(8)
+        ALIGN x, y WITH reg
+        DISTRIBUTE reg(BLOCK)
+        FORALL i = 1, 8
+          REDUCE(SUM, x(ia(i)), y(i))
+        END FORALL
+        """
+        src_b = src_a.replace("reg(8)", "reg(16)") \
+                     .replace("x(8), y(8)", "x(16), y(16)") \
+                     .replace("ia(8)", "ia(16)") \
+                     .replace("i = 1, 8", "i = 1, 16")
+        ia_a = np.arange(8, dtype=np.int64)[::-1] + 1
+        ia_b = np.arange(16, dtype=np.int64)[::-1] + 1
+        a = ProgramInstance(compile_program(src_a), ctx4,
+                            dict(ia=ia_a, y=np.ones(8)))
+        b = ProgramInstance(compile_program(src_b), ctx4,
+                            dict(ia=ia_b, y=np.ones(16)))
+        a.execute()
+        b.execute()
+        # rerun A's loop directly: with unscoped keys this would hit B's
+        # cached 16-element schedule and fail (or silently corrupt)
+        a.run_loop(a.compiled.loop_ids()[0])
+        assert np.allclose(a.get_array("x"), 2 * np.ones(8))
+        assert np.allclose(b.get_array("x"), np.ones(16))
+
+    def test_dereference_foreign_machine_rejected(self, machine4, rng):
+        rt = ChaosRuntime(machine4)
+        tt = rt.irregular_table(rng.integers(0, 4, 10))
+        foreign = ExecutionContext.resolve(Machine(4))
+        with pytest.raises(ValueError, match="machine"):
+            tt.dereference(foreign, [None] * 4)
+
+    def test_nested_pair_accessors_warn(self, ctx4, rng):
+        rt = ChaosRuntime(ctx4)
+        tt = rt.irregular_table(rng.integers(0, 4, 16))
+        rt.hash_indirection(tt, split_by_block(rng.integers(0, 16, 30),
+                                               ctx4.machine), "s")
+        sched = rt.build_schedule(tt, "s")
+        with pytest.warns(DeprecationWarning):
+            sched.send_pairs()
+        with pytest.warns(DeprecationWarning):
+            sched.recv_pairs()
+        from repro.core import BlockDistribution, remap
+        plan = remap(ctx4, BlockDistribution(8, 4), BlockDistribution(8, 4))
+        with pytest.warns(DeprecationWarning):
+            plan.send_pairs()
+        with pytest.warns(DeprecationWarning):
+            plan.place_pairs()
+        dest = [rng.integers(0, 4, 5) for _ in range(4)]
+        lw = build_lightweight_schedule(ctx4, dest)
+        with pytest.warns(DeprecationWarning):
+            lw.send_pairs()
+
+
+# ---------------------------------------------------------------------
+# serial / vectorized contexts bitwise-equal end-to-end
+# ---------------------------------------------------------------------
+class TestEndToEndEquivalence:
+    def _charmm(self, backend):
+        system = build_small_system(120, seed=3)
+        m = Machine(4, record_messages=True)
+        ctx = ExecutionContext.resolve(m, backend)
+        md = ParallelMD(system, ctx, dt=0.002, update_every=3)
+        md.run(6)
+        return md, m
+
+    def test_charmm_pipeline_bitwise(self):
+        md_s, m_s = self._charmm("serial")
+        md_v, m_v = self._charmm("vectorized")
+        assert np.array_equal(md_s.global_positions(),
+                              md_v.global_positions())
+        assert np.array_equal(md_s.global_velocities(),
+                              md_v.global_velocities())
+        assert m_s.traffic.snapshot() == m_v.traffic.snapshot()
+        assert m_s.traffic.messages == m_v.traffic.messages
+
+    def _dsmc(self, backend):
+        grid = CartesianGrid((8, 8))
+        cfg = DSMCConfig(n_initial=400, inflow_rate=20, dt=0.4)
+        m = Machine(4, record_messages=True)
+        ctx = ExecutionContext.resolve(m, backend)
+        par = ParallelDSMC(grid, ctx, cfg)
+        par.run(8)
+        return par, m
+
+    def test_dsmc_pipeline_bitwise(self):
+        par_s, m_s = self._dsmc("serial")
+        par_v, m_v = self._dsmc("vectorized")
+        a, b = par_s.canonical_state(), par_v.canonical_state()
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+        assert m_s.traffic.snapshot() == m_v.traffic.snapshot()
+        assert m_s.traffic.messages == m_v.traffic.messages
+
+
+# ---------------------------------------------------------------------
+# seam gate: zero legacy call sites under src/
+# ---------------------------------------------------------------------
+def test_no_legacy_call_sites_under_src():
+    """The acceptance grep, executable: no ``backend=`` threading outside
+    the context shim module, no nested pair-accessor call site outside
+    the three plan modules that define them."""
+    tools = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "tools", "check_context_seam.py")
+    spec = importlib.util.spec_from_file_location("check_context_seam", tools)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    assert mod.scan() == []

@@ -43,7 +43,7 @@ class TestGather:
     def test_gather_into_provided_buffers(self, rng):
         m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
         ghosts = allocate_ghosts(sched, x.local)
-        out = gather(m, sched, x.local, ghosts)
+        out = gather(rt.ctx, sched, x.local, ghosts)
         assert out is ghosts
 
     def test_small_ghost_buffer_rejected(self, rng):
@@ -51,7 +51,7 @@ class TestGather:
         bad = [np.zeros(max(0, g - 1)) for g in sched.ghost_size]
         if any(g > 0 for g in sched.ghost_size):
             with pytest.raises(ValueError):
-                gather(m, sched, x.local, bad)
+                gather(rt.ctx, sched, x.local, bad)
 
     def test_gather_2d_rows(self, rng):
         m = Machine(4)
@@ -74,7 +74,7 @@ class TestGather:
         short = [a[:1] for a in x.local]
         if sched.total_elements():
             with pytest.raises(IndexError):
-                gather(m, sched, short)
+                gather(rt.ctx, sched, short)
 
     def test_gather_charges_comm(self, rng):
         m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
@@ -89,7 +89,7 @@ class TestScatter:
         ghosts = rt.gather(sched, x)
         # perturb owners, then scatter ghost copies back: owners restored
         modified = [a * 0 for a in x.local]
-        scatter(m, sched, modified, ghosts)
+        scatter(rt.ctx, sched, modified, ghosts)
         # every element that was fetched by someone is restored
         for p in m.ranks():
             sent = sched.send_list(p)
@@ -112,7 +112,7 @@ class TestScatter:
             n_local = acc.local[p].shape[0]
             acc.local[p][...] = stacked[p][:n_local]
             ghosts[p][...] = stacked[p][n_local:]
-        scatter_op(m, sched, acc.local, ghosts, np.add)
+        scatter_op(rt.ctx, sched, acc.local, ghosts, np.add)
         expected = np.zeros_like(x_g)
         np.add.at(expected, idx_g, contrib_g)
         assert np.allclose(acc.to_global(), expected)
@@ -135,7 +135,7 @@ class TestScatter:
             n_local = acc.local[p].shape[0]
             acc.local[p][...] = stacked[p][:n_local]
             ghosts[p][...] = stacked[p][n_local:]
-        scatter_op(m, sched, acc.local, ghosts, np.maximum)
+        scatter_op(rt.ctx, sched, acc.local, ghosts, np.maximum)
         expected = np.full_like(x_g, -np.inf)
         np.maximum.at(expected, idx_g, vals_g)
         assert np.allclose(acc.to_global(), expected)
@@ -144,7 +144,7 @@ class TestScatter:
         m, rt, tt, x, x_g, idx_g, loc, sched = env(rng)
         ghosts = allocate_ghosts(sched, x.local)
         with pytest.raises(TypeError):
-            scatter_op(m, sched, x.local, ghosts, lambda a, b: a + b)
+            scatter_op(rt.ctx, sched, x.local, ghosts, lambda a, b: a + b)
 
 
 class TestStacking:

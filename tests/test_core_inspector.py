@@ -18,7 +18,7 @@ def env(rng, n=30, p=4):
     m = Machine(p)
     rt = ChaosRuntime(m)
     tt = rt.irregular_table(rng.integers(0, p, n))
-    hts = make_hash_tables(m, tt)
+    hts = make_hash_tables(rt.ctx, tt)
     return m, rt, tt, hts
 
 
@@ -26,7 +26,7 @@ class TestChaosHash:
     def test_localized_indices_resolve_correctly(self, rng):
         m, rt, tt, hts = env(rng)
         idx_g = rng.integers(0, 30, 80)
-        loc = chaos_hash(m, hts, tt, split_by_block(idx_g, m), "s")
+        loc = chaos_hash(rt.ctx, hts, tt, split_by_block(idx_g, m), "s")
         # owned references point at local offsets; ghost refs past n_local
         for p in m.ranks():
             part = split_by_block(idx_g, m)[p]
@@ -39,7 +39,7 @@ class TestChaosHash:
 
     def test_shared_registry_across_ranks(self, rng):
         m, rt, tt, hts = env(rng)
-        chaos_hash(m, hts, tt, [np.array([1])] + [None] * 3, "s")
+        chaos_hash(rt.ctx, hts, tt, [np.array([1])] + [None] * 3, "s")
         # stamp exists on every rank's registry even if it hashed nothing
         for ht in hts:
             assert "s" in ht.registry
@@ -48,23 +48,23 @@ class TestChaosHash:
         """Second hash of the same indices does no translation traffic."""
         m, rt, tt, hts = env(rng)
         idx = split_by_block(rng.integers(0, 30, 60), m)
-        chaos_hash(m, hts, tt, idx, "a")
+        chaos_hash(rt.ctx, hts, tt, idx, "a")
         m.reset_traffic()
-        chaos_hash(m, hts, tt, idx, "b")  # same indices, new stamp
+        chaos_hash(rt.ctx, hts, tt, idx, "b")  # same indices, new stamp
         # replicated table: no traffic either way; but no new entries:
         assert all(ht.n_entries == len({int(g) for g in part})
                    for ht, part in zip(hts, idx))
 
     def test_none_indices_allowed(self, rng):
         m, rt, tt, hts = env(rng)
-        loc = chaos_hash(m, hts, tt, [None] * 4, "s")
+        loc = chaos_hash(rt.ctx, hts, tt, [None] * 4, "s")
         assert all(a.size == 0 for a in loc)
 
     def test_partial_overlap_inserts_only_new(self, rng):
         m, rt, tt, hts = env(rng)
-        chaos_hash(m, hts, tt, [np.array([0, 1, 2]), None, None, None], "a")
+        chaos_hash(rt.ctx, hts, tt, [np.array([0, 1, 2]), None, None, None], "a")
         before = hts[0].n_entries
-        chaos_hash(m, hts, tt, [np.array([1, 2, 3]), None, None, None], "b")
+        chaos_hash(rt.ctx, hts, tt, [np.array([1, 2, 3]), None, None, None], "b")
         assert hts[0].n_entries == before + 1
 
 
@@ -72,30 +72,30 @@ class TestLocalizeOnly:
     def test_matches_chaos_hash(self, rng):
         m, rt, tt, hts = env(rng)
         idx = split_by_block(rng.integers(0, 30, 40), m)
-        loc1 = chaos_hash(m, hts, tt, idx, "s")
-        loc2 = localize_only(m, hts, idx)
+        loc1 = chaos_hash(rt.ctx, hts, tt, idx, "s")
+        loc2 = localize_only(rt.ctx, hts, idx)
         for a, b in zip(loc1, loc2):
             assert np.array_equal(a, b)
 
     def test_unhashed_rejected(self, rng):
         m, rt, tt, hts = env(rng)
         with pytest.raises(KeyError):
-            localize_only(m, hts, [np.array([5])] + [None] * 3)
+            localize_only(rt.ctx, hts, [np.array([5])] + [None] * 3)
 
 
 class TestClearStamp:
     def test_counts_cleared_entries(self, rng):
         m, rt, tt, hts = env(rng)
         idx = split_by_block(rng.integers(0, 30, 40), m)
-        chaos_hash(m, hts, tt, idx, "nb")
-        total = clear_stamp(m, hts, "nb")
+        chaos_hash(rt.ctx, hts, tt, idx, "nb")
+        total = clear_stamp(rt.ctx, hts, "nb")
         uniq = sum(len({int(g) for g in part}) for part in idx)
         assert total == uniq
 
     def test_release_once_globally(self, rng):
         m, rt, tt, hts = env(rng)
-        chaos_hash(m, hts, tt, [np.array([1])] + [None] * 3, "s")
-        clear_stamp(m, hts, "s", release=True)
+        chaos_hash(rt.ctx, hts, tt, [np.array([1])] + [None] * 3, "s")
+        clear_stamp(rt.ctx, hts, "s", release=True)
         assert "s" not in hts[0].registry
 
     def test_clear_then_rehash_reuses_entries(self, rng):
@@ -103,10 +103,10 @@ class TestClearStamp:
         mostly-overlapping list touches no new table entries."""
         m, rt, tt, hts = env(rng)
         idx1 = rng.integers(0, 30, 50)
-        chaos_hash(m, hts, tt, split_by_block(idx1, m), "nb")
+        chaos_hash(rt.ctx, hts, tt, split_by_block(idx1, m), "nb")
         entries_before = [ht.n_entries for ht in hts]
-        clear_stamp(m, hts, "nb")
-        chaos_hash(m, hts, tt, split_by_block(idx1, m), "nb")
+        clear_stamp(rt.ctx, hts, "nb")
+        chaos_hash(rt.ctx, hts, tt, split_by_block(idx1, m), "nb")
         assert [ht.n_entries for ht in hts] == entries_before
 
 

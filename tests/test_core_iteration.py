@@ -43,7 +43,7 @@ class TestOwnerComputes:
             [a, b] for a, b in zip(split_by_block(ia_g, m),
                                    split_by_block(ib_g, m))
         ]
-        assign = partition_iterations(m, tt, accesses, rule="owner-computes")
+        assign = partition_iterations(rt.ctx, tt, accesses, rule="owner-computes")
         owners_ia = tt.owner_local(ia_g)
         flat_dest = np.concatenate(assign.dest)
         assert np.array_equal(flat_dest, owners_ia)
@@ -52,7 +52,7 @@ class TestOwnerComputes:
         m, rt, tt = env(rng)
         ia_g = rng.integers(0, 24, 40)
         accesses = [[a] for a in split_by_block(ia_g, m)]
-        assign = partition_iterations(m, tt, accesses, rule="owner-computes")
+        assign = partition_iterations(rt.ctx, tt, accesses, rule="owner-computes")
         assert assign.counts.sum() == 40
 
 
@@ -67,7 +67,7 @@ class TestAlmostOwnerComputes:
             [np.array([0]), np.array([2]), np.array([3])],
             [np.zeros(0, np.int64)] * 3,
         ]
-        assign = partition_iterations(m, tt, accesses,
+        assign = partition_iterations(rt.ctx, tt, accesses,
                                       rule="almost-owner-computes")
         assert assign.dest[0][0] == 1
 
@@ -80,7 +80,7 @@ class TestAlmostOwnerComputes:
             [np.array([3]), np.array([0])],
             [np.zeros(0, np.int64)] * 2,
         ]
-        assign = partition_iterations(m, tt, accesses,
+        assign = partition_iterations(rt.ctx, tt, accesses,
                                       rule="almost-owner-computes")
         assert assign.dest[0][0] == 1
 
@@ -89,9 +89,9 @@ class TestAlmostOwnerComputes:
         ia_g = rng.integers(0, 24, 30)
         payload_g = rng.standard_normal(30)
         accesses = [[a] for a in split_by_block(ia_g, m)]
-        assign = partition_iterations(m, tt, accesses)
-        new_ia = assign.remap_iteration_data(m, split_by_block(ia_g, m))
-        new_pay = assign.remap_iteration_data(m, split_by_block(payload_g, m))
+        assign = partition_iterations(rt.ctx, tt, accesses)
+        new_ia = assign.remap_iteration_data(rt.ctx, split_by_block(ia_g, m))
+        new_pay = assign.remap_iteration_data(rt.ctx, split_by_block(payload_g, m))
         # multiset preserved and alignment kept
         assert sorted(np.concatenate(new_ia).tolist()) == sorted(ia_g.tolist())
         pair_map = dict()
@@ -111,9 +111,9 @@ class TestAlmostOwnerComputes:
             [a, b] for a, b in zip(split_by_block(ia_g, m),
                                    split_by_block(ib_g, m))
         ]
-        assign = partition_iterations(m, tt, accesses)
-        new_ia = assign.remap_iteration_data(m, split_by_block(ia_g, m))
-        new_ib = assign.remap_iteration_data(m, split_by_block(ib_g, m))
+        assign = partition_iterations(rt.ctx, tt, accesses)
+        new_ia = assign.remap_iteration_data(rt.ctx, split_by_block(ia_g, m))
+        new_ib = assign.remap_iteration_data(rt.ctx, split_by_block(ib_g, m))
 
         def offproc(parts_a, parts_b):
             total = 0
@@ -131,16 +131,16 @@ class TestValidation:
     def test_bad_rule_rejected(self, rng):
         m, rt, tt = env(rng)
         with pytest.raises(ValueError):
-            partition_iterations(m, tt, [[np.zeros(0, np.int64)]] * 4,
+            partition_iterations(rt.ctx, tt, [[np.zeros(0, np.int64)]] * 4,
                                  rule="magic")
 
     def test_mismatched_lengths_rejected(self, rng):
         m, rt, tt = env(rng)
         bad = [[np.array([0, 1]), np.array([0])]] + [[np.zeros(0, np.int64)] * 2] * 3
         with pytest.raises(ValueError):
-            partition_iterations(m, tt, bad)
+            partition_iterations(rt.ctx, tt, bad)
 
     def test_empty_everywhere(self, rng):
         m, rt, tt = env(rng)
-        assign = partition_iterations(m, tt, [[] for _ in range(4)])
+        assign = partition_iterations(rt.ctx, tt, [[] for _ in range(4)])
         assert assign.counts.sum() == 0

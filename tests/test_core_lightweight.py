@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    ExecutionContext,
     LightweightSchedule,
     build_lightweight_schedule,
     scatter_append,
@@ -12,24 +13,24 @@ from repro.sim import Machine
 
 
 class TestBuild:
-    def test_basic_routing(self, machine4, rng):
+    def test_basic_routing(self, ctx4, rng):
         dest = [rng.integers(0, 4, 20) for _ in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
+        sched = build_lightweight_schedule(ctx4, dest)
         for p in range(4):
             assert sched.send_sizes(p).sum() == 20
             got = sched.recv_total(p)
             expected = sum(int(np.count_nonzero(d == p)) for d in dest)
             assert got == expected
 
-    def test_out_of_range_dest_rejected(self, machine4):
+    def test_out_of_range_dest_rejected(self, ctx4):
         dest = [np.array([0]), np.array([4]), np.zeros(0, np.int64),
                 np.zeros(0, np.int64)]
         with pytest.raises(ValueError):
-            build_lightweight_schedule(machine4, dest)
+            build_lightweight_schedule(ctx4, dest)
 
-    def test_empty_ranks_ok(self, machine4):
+    def test_empty_ranks_ok(self, ctx4):
         dest = [np.zeros(0, dtype=np.int64)] * 4
-        sched = build_lightweight_schedule(machine4, dest)
+        sched = build_lightweight_schedule(ctx4, dest)
         assert sched.total_messages() == 0
         assert sched.total_moved() == 0
 
@@ -50,7 +51,8 @@ class TestBuild:
         n, p = 400, 4
         dest_g = rng.integers(0, p, n)
         m1 = Machine(p)
-        build_lightweight_schedule(m1, split_by_block(dest_g, m1))
+        ctx1 = ExecutionContext.resolve(m1)
+        build_lightweight_schedule(ctx1, split_by_block(dest_g, m1))
         lw_time = m1.execution_time()
 
         m2 = Machine(p)
@@ -65,42 +67,42 @@ class TestBuild:
 
 
 class TestScatterAppend:
-    def test_multiset_preserved(self, machine4, rng):
+    def test_multiset_preserved(self, ctx4, rng):
         values = [rng.standard_normal(15) for _ in range(4)]
         dest = [rng.integers(0, 4, 15) for _ in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
-        out = scatter_append(machine4, sched, values)
+        sched = build_lightweight_schedule(ctx4, dest)
+        out = scatter_append(ctx4, sched, values)
         all_in = np.sort(np.concatenate(values))
         all_out = np.sort(np.concatenate(out))
         assert np.allclose(all_in, all_out)
 
-    def test_elements_reach_destination(self, machine4):
+    def test_elements_reach_destination(self, ctx4):
         values = [np.array([100.0 + i]) for i in range(4)]
         dest = [np.array([(p + 1) % 4]) for p in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
-        out = scatter_append(machine4, sched, values)
+        sched = build_lightweight_schedule(ctx4, dest)
+        out = scatter_append(ctx4, sched, values)
         for p in range(4):
             src = (p - 1) % 4
             assert np.allclose(out[p], [100.0 + src])
 
-    def test_2d_rows_move_together(self, machine4, rng):
+    def test_2d_rows_move_together(self, ctx4, rng):
         values = [rng.standard_normal((10, 3)) for _ in range(4)]
         dest = [rng.integers(0, 4, 10) for _ in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
-        out = scatter_append(machine4, sched, values)
+        sched = build_lightweight_schedule(ctx4, dest)
+        out = scatter_append(ctx4, sched, values)
         total_rows = sum(o.shape[0] for o in out)
         assert total_rows == 40
         src_set = {tuple(r) for v in values for r in v}
         dst_set = {tuple(r) for o in out for r in o}
         assert src_set == dst_set
 
-    def test_same_schedule_reused_for_aligned_arrays(self, machine4, rng):
+    def test_same_schedule_reused_for_aligned_arrays(self, ctx4, rng):
         ids = [np.arange(8) + 100 * p for p in range(4)]
         vel = [rng.standard_normal(8) for _ in range(4)]
         dest = [rng.integers(0, 4, 8) for _ in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
-        out_ids = scatter_append(machine4, sched, ids)
-        out_vel = scatter_append(machine4, sched, vel)
+        sched = build_lightweight_schedule(ctx4, dest)
+        out_ids = scatter_append(ctx4, sched, ids)
+        out_vel = scatter_append(ctx4, sched, vel)
         # alignment: element k of out_ids corresponds to element k of out_vel
         for p in range(4):
             assert out_ids[p].shape[0] == out_vel[p].shape[0]
@@ -115,24 +117,24 @@ class TestScatterAppend:
                     out_vel[p][i]
                 )
 
-    def test_wrong_length_rejected(self, machine4, rng):
+    def test_wrong_length_rejected(self, ctx4, rng):
         dest = [rng.integers(0, 4, 5) for _ in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
+        sched = build_lightweight_schedule(ctx4, dest)
         bad = [rng.standard_normal(4) for _ in range(4)]
         with pytest.raises(ValueError):
-            scatter_append(machine4, sched, bad)
+            scatter_append(ctx4, sched, bad)
 
-    def test_deterministic_order(self, machine4, rng):
+    def test_deterministic_order(self, ctx4, rng):
         values = [rng.standard_normal(12) for _ in range(4)]
         dest = [rng.integers(0, 4, 12) for _ in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
-        out1 = scatter_append(machine4, sched, values)
-        out2 = scatter_append(machine4, sched, values)
+        sched = build_lightweight_schedule(ctx4, dest)
+        out1 = scatter_append(ctx4, sched, values)
+        out2 = scatter_append(ctx4, sched, values)
         for a, b in zip(out1, out2):
             assert np.array_equal(a, b)
 
-    def test_empty_everything(self, machine4):
+    def test_empty_everything(self, ctx4):
         dest = [np.zeros(0, dtype=np.int64)] * 4
-        sched = build_lightweight_schedule(machine4, dest)
-        out = scatter_append(machine4, sched, [np.zeros(0)] * 4)
+        sched = build_lightweight_schedule(ctx4, dest)
+        out = scatter_append(ctx4, sched, [np.zeros(0)] * 4)
         assert all(o.size == 0 for o in out)

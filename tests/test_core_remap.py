@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import (
     BlockDistribution,
+    ExecutionContext,
     CyclicDistribution,
     IrregularDistribution,
     remap,
@@ -15,87 +16,88 @@ from repro.sim import Machine
 
 
 class TestRemapPlan:
-    def test_block_to_cyclic_roundtrip(self, machine4, rng):
+    def test_block_to_cyclic_roundtrip(self, ctx4, rng):
         n = 23
         old = BlockDistribution(n, 4)
         new = CyclicDistribution(n, 4)
         x_g = rng.standard_normal(n)
         data = [x_g[old.global_indices(p)] for p in range(4)]
-        plan = remap(machine4, old, new)
-        out = remap_array(machine4, plan, data)
+        plan = remap(ctx4, old, new)
+        out = remap_array(ctx4, plan, data)
         for p in range(4):
             assert np.array_equal(out[p], x_g[new.global_indices(p)])
 
-    def test_random_to_random(self, machine4, rng):
+    def test_random_to_random(self, ctx4, rng):
         n = 50
         old = IrregularDistribution(rng.integers(0, 4, n), 4)
         new = IrregularDistribution(rng.integers(0, 4, n), 4)
         x_g = rng.standard_normal(n)
         data = [x_g[old.global_indices(p)] for p in range(4)]
-        out = remap_global_values(machine4, old, new, data)
+        out = remap_global_values(ctx4, old, new, data)
         for p in range(4):
             assert np.array_equal(out[p], x_g[new.global_indices(p)])
 
-    def test_identity_remap_moves_nothing(self, machine4, rng):
+    def test_identity_remap_moves_nothing(self, ctx4, rng):
         n = 20
         d = BlockDistribution(n, 4)
-        plan = remap(machine4, d, d)
+        plan = remap(ctx4, d, d)
         assert plan.elements_moved() == 0
         assert plan.total_messages() == 0
 
-    def test_2d_rows(self, machine4, rng):
+    def test_2d_rows(self, ctx4, rng):
         n = 30
         old = BlockDistribution(n, 4)
         new = IrregularDistribution(rng.integers(0, 4, n), 4)
         pos_g = rng.standard_normal((n, 3))
         data = [pos_g[old.global_indices(p)] for p in range(4)]
-        plan = remap(machine4, old, new)
-        out = remap_array(machine4, plan, data)
+        plan = remap(ctx4, old, new)
+        out = remap_array(ctx4, plan, data)
         for p in range(4):
             assert np.array_equal(out[p], pos_g[new.global_indices(p)])
 
-    def test_plan_reused_for_multiple_arrays(self, machine4, rng):
+    def test_plan_reused_for_multiple_arrays(self, ctx4, rng):
         n = 25
         old = BlockDistribution(n, 4)
         new = CyclicDistribution(n, 4)
-        plan = remap(machine4, old, new)
+        plan = remap(ctx4, old, new)
         for _ in range(3):
             x_g = rng.standard_normal(n)
             data = [x_g[old.global_indices(p)] for p in range(4)]
-            out = remap_array(machine4, plan, data)
+            out = remap_array(ctx4, plan, data)
             for p in range(4):
                 assert np.array_equal(out[p], x_g[new.global_indices(p)])
 
-    def test_size_mismatch_rejected(self, machine4):
+    def test_size_mismatch_rejected(self, ctx4):
         with pytest.raises(ValueError):
-            remap(machine4, BlockDistribution(10, 4), BlockDistribution(11, 4))
+            remap(ctx4, BlockDistribution(10, 4), BlockDistribution(11, 4))
 
-    def test_machine_mismatch_rejected(self, machine4):
+    def test_machine_mismatch_rejected(self, ctx4):
         with pytest.raises(ValueError):
-            remap(machine4, BlockDistribution(10, 2), BlockDistribution(10, 2))
+            remap(ctx4, BlockDistribution(10, 2), BlockDistribution(10, 2))
 
-    def test_wrong_local_size_rejected(self, machine4, rng):
+    def test_wrong_local_size_rejected(self, ctx4, rng):
         n = 20
         old = BlockDistribution(n, 4)
         new = CyclicDistribution(n, 4)
-        plan = remap(machine4, old, new)
+        plan = remap(ctx4, old, new)
         bad = [np.zeros(1) for _ in range(4)]
         with pytest.raises(IndexError):
-            remap_array(machine4, plan, bad)
+            remap_array(ctx4, plan, bad)
 
     def test_charges_remap_category(self, rng):
         m = Machine(4)
+        ctx = ExecutionContext.resolve(m)
         n = 40
         old = BlockDistribution(n, 4)
         new = IrregularDistribution(rng.integers(0, 4, n), 4)
         x_g = rng.standard_normal(n)
         data = [x_g[old.global_indices(p)] for p in range(4)]
-        remap_global_values(m, old, new, data)
+        remap_global_values(ctx, old, new, data)
         assert m.clocks.mean_category("remap") > 0
 
-    def test_elements_moved_counts_cross_rank_only(self, machine4):
+    def test_elements_moved_counts_cross_rank_only(self, ctx4):
         old = BlockDistribution(8, 4)
         # swap halves of each pair of ranks
         new = IrregularDistribution([1, 1, 0, 0, 3, 3, 2, 2], 4)
-        plan = remap(machine4, old, new)
+        plan = remap(ctx4, old, new)
         assert plan.elements_moved() == 8

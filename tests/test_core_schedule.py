@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import (
     ChaosRuntime,
+    ExecutionContext,
     Schedule,
     build_schedule,
     merge_schedules,
@@ -131,7 +132,7 @@ class TestBuildSchedule:
     def test_string_expr_accepted(self):
         m, rt, tt = make_env()
         rt.hash_indirection(tt, [np.array([9]), None], "s")
-        sched = build_schedule(m, rt.hash_tables(tt), "s")
+        sched = build_schedule(rt.ctx, rt.hash_tables(tt), "s")
         assert sched.total_elements() == 1
 
 
@@ -142,14 +143,15 @@ class TestMergeSchedules:
         rt.hash_indirection(tt, [np.array([9]), None], "b")
         s1 = rt.build_schedule(tt, "a")
         s2 = rt.build_schedule(tt, "b")
-        merged = merge_schedules(m, [s1, s2])
+        merged = merge_schedules(rt.ctx, [s1, s2])
         assert merged.total_elements() == 2
         assert merged.ghost_size[0] == 2
 
     def test_empty_list_rejected(self):
         with pytest.raises(ValueError):
-            merge_schedules(Machine(2), [])
+            merge_schedules(ExecutionContext.resolve(Machine(2)), [])
 
     def test_mismatched_ranks_rejected(self):
         with pytest.raises(ValueError):
-            merge_schedules(Machine(2), [Schedule.empty(2), Schedule.empty(3)])
+            merge_schedules(ExecutionContext.resolve(Machine(2)),
+                            [Schedule.empty(2), Schedule.empty(3)])

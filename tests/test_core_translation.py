@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import BlockDistribution, TranslationTable
+from repro.core import BlockDistribution, ExecutionContext, TranslationTable
 from repro.sim import Machine
 
 
@@ -44,7 +44,7 @@ class TestDereference:
         m = Machine(4)
         tt = TranslationTable.from_map(m, maparr, storage=storage)
         queries = [np.array([0, 5, 63]), None, np.array([10]), np.zeros(0, np.int64)]
-        owners, offsets = tt.dereference(queries)
+        owners, offsets = tt.dereference(ExecutionContext.resolve(m), queries)
         assert np.array_equal(owners[0], maparr[[0, 5, 63]])
         assert owners[1].size == 0
         dist = tt.dist
@@ -54,29 +54,30 @@ class TestDereference:
         m = Machine(4)
         tt = TranslationTable.from_map(m, maparr, storage="replicated")
         m.reset_traffic()
-        tt.dereference([np.arange(10)] * 4)
+        tt.dereference(ExecutionContext.resolve(m), [np.arange(10)] * 4)
         assert m.traffic.n_messages == 0
 
     def test_distributed_lookup_communicates(self, maparr):
         m = Machine(4)
         tt = TranslationTable.from_map(m, maparr, storage="distributed")
         m.reset_traffic()
-        tt.dereference([np.arange(64)] * 4)
+        tt.dereference(ExecutionContext.resolve(m), [np.arange(64)] * 4)
         assert m.traffic.n_messages > 0
 
     def test_paged_caches_pages(self, maparr):
         m = Machine(4)
         tt = TranslationTable.from_map(m, maparr, storage="paged", page_size=16)
-        tt.dereference([np.arange(64)] + [None] * 3)
+        ctx = ExecutionContext.resolve(m)
+        tt.dereference(ctx, [np.arange(64)] + [None] * 3)
         m.reset_traffic()
         # repeat lookups hit the cache: no new traffic
-        tt.dereference([np.arange(64)] + [None] * 3)
+        tt.dereference(ctx, [np.arange(64)] + [None] * 3)
         assert m.traffic.n_messages == 0
 
     def test_paged_cache_clear(self, maparr):
         m = Machine(4)
         tt = TranslationTable.from_map(m, maparr, storage="paged", page_size=16)
-        tt.dereference([np.arange(16)] + [None] * 3)
+        tt.dereference(ExecutionContext.resolve(m), [np.arange(16)] + [None] * 3)
         assert len(tt._page_cache[0]) >= 1
         tt.clear_page_caches()
         assert len(tt._page_cache[0]) == 0
@@ -84,7 +85,8 @@ class TestDereference:
     def test_out_of_range_query_rejected(self, machine4, maparr):
         tt = TranslationTable.from_map(machine4, maparr)
         with pytest.raises(IndexError):
-            tt.dereference([np.array([64]), None, None, None])
+            tt.dereference(ExecutionContext.resolve(machine4),
+                           [np.array([64]), None, None, None])
 
 
 class TestMemory:
@@ -100,5 +102,5 @@ class TestMemory:
         m = Machine(4)
         tt = TranslationTable.from_map(m, maparr, storage="paged", page_size=16)
         before = tt.memory_per_rank(0)
-        tt.dereference([np.arange(64)] + [None] * 3)
+        tt.dereference(ExecutionContext.resolve(m), [np.arange(64)] + [None] * 3)
         assert tt.memory_per_rank(0) > before

@@ -32,8 +32,8 @@ class TestDistributionChecks:
         ) == []
         assert check_distribution(BlockDistribution(0, 3)) == []
 
-    def test_translation_table_passes(self, machine4, rng):
-        rt = ChaosRuntime(machine4)
+    def test_translation_table_passes(self, ctx4, rng):
+        rt = ChaosRuntime(ctx4)
         tt = rt.irregular_table(rng.integers(0, 4, 25))
         assert check_translation_table(tt) == []
 
@@ -83,25 +83,25 @@ class TestScheduleChecks:
 
 
 class TestLightweightChecks:
-    def test_built_passes(self, machine4, rng):
+    def test_built_passes(self, ctx4, rng):
         dest = [rng.integers(0, 4, 12) for _ in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
+        sched = build_lightweight_schedule(ctx4, dest)
         assert check_lightweight(sched) == []
 
-    def test_count_mismatch_detected(self, machine4, rng):
+    def test_count_mismatch_detected(self, ctx4, rng):
         dest = [rng.integers(0, 4, 12) for _ in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
+        sched = build_lightweight_schedule(ctx4, dest)
         # drop one element from the selection without fixing recv_counts
         # (the stale offsets make the last nonempty view come up short)
         sched.send_sel[0] = sched.send_sel[0][:-1]
         problems = check_lightweight(sched)
         assert problems  # count mismatch and/or undelivered element
 
-    def test_double_send_detected(self, machine4, rng):
+    def test_double_send_detected(self, ctx4, rng):
         from repro.core import LightweightSchedule
 
         dest = [rng.integers(0, 4, 12) for _ in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
+        sched = build_lightweight_schedule(ctx4, dest)
         # send element 0 of rank 0 to a second destination too
         pairs = [[sched.send_view(p, q).copy() for q in range(4)]
                  for p in range(4)]
@@ -119,16 +119,16 @@ class TestLightweightChecks:
 
 
 class TestRemapChecks:
-    def test_built_plan_passes(self, machine4, rng):
+    def test_built_plan_passes(self, ctx4, rng):
         old = BlockDistribution(30, 4)
         new = IrregularDistribution(rng.integers(0, 4, 30), 4)
-        plan = remap(machine4, old, new)
+        plan = remap(ctx4, old, new)
         assert check_remap_plan(plan) == []
 
-    def test_unfilled_slot_detected(self, machine4, rng):
+    def test_unfilled_slot_detected(self, ctx4, rng):
         old = BlockDistribution(30, 4)
         new = IrregularDistribution(rng.integers(0, 4, 30), 4)
-        plan = remap(machine4, old, new)
+        plan = remap(ctx4, old, new)
         # pretend a rank expects one more element than it is sent
         plan.new_sizes[0] += 1
         problems = check_remap_plan(plan)

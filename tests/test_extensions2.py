@@ -5,6 +5,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    ExecutionContext,
     build_lightweight_schedule,
     scatter_append,
     scatter_append_multi,
@@ -89,14 +90,14 @@ class TestMortonPartitioner:
 
 
 class TestScatterAppendMulti:
-    def test_matches_separate_appends(self, machine4, rng):
+    def test_matches_separate_appends(self, ctx4, rng):
         dest = [rng.integers(0, 4, 10) for _ in range(4)]
         ids = [np.arange(10) + 50 * p for p in range(4)]
         vel = [rng.standard_normal((10, 2)) for _ in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
-        ref_ids = scatter_append(machine4, sched, ids)
-        ref_vel = scatter_append(machine4, sched, vel)
-        out = scatter_append_multi(machine4, sched, [ids, vel])
+        sched = build_lightweight_schedule(ctx4, dest)
+        ref_ids = scatter_append(ctx4, sched, ids)
+        ref_vel = scatter_append(ctx4, sched, vel)
+        out = scatter_append_multi(ctx4, sched, [ids, vel])
         for p in range(4):
             assert np.array_equal(out[0][p], ref_ids[p])
             assert np.array_equal(out[1][p], ref_vel[p])
@@ -106,29 +107,31 @@ class TestScatterAppendMulti:
         arrays = [[rng.standard_normal(20) for _ in range(4)]
                   for _ in range(3)]
         m1 = Machine(4)
-        s1 = build_lightweight_schedule(m1, dest)
+        c1 = ExecutionContext.resolve(m1)
+        s1 = build_lightweight_schedule(c1, dest)
         m1.reset_traffic()
-        scatter_append_multi(m1, s1, arrays)
+        scatter_append_multi(c1, s1, arrays)
         m2 = Machine(4)
-        s2 = build_lightweight_schedule(m2, dest)
+        c2 = ExecutionContext.resolve(m2)
+        s2 = build_lightweight_schedule(c2, dest)
         m2.reset_traffic()
         for a in arrays:
-            scatter_append(m2, s2, a)
+            scatter_append(c2, s2, a)
         assert m1.traffic.n_messages * 3 == m2.traffic.n_messages
         # same bytes on the wire either way (payloads identical)
         assert m1.traffic.total_bytes == m2.traffic.total_bytes
 
-    def test_empty_attr_list(self, machine4):
+    def test_empty_attr_list(self, ctx4):
         dest = [np.zeros(0, dtype=np.int64)] * 4
-        sched = build_lightweight_schedule(machine4, dest)
-        assert scatter_append_multi(machine4, sched, []) == []
+        sched = build_lightweight_schedule(ctx4, dest)
+        assert scatter_append_multi(ctx4, sched, []) == []
 
-    def test_length_mismatch_rejected(self, machine4, rng):
+    def test_length_mismatch_rejected(self, ctx4, rng):
         dest = [rng.integers(0, 4, 5) for _ in range(4)]
-        sched = build_lightweight_schedule(machine4, dest)
+        sched = build_lightweight_schedule(ctx4, dest)
         bad = [[rng.standard_normal(4) for _ in range(4)]]
         with pytest.raises(ValueError):
-            scatter_append_multi(machine4, sched, bad)
+            scatter_append_multi(ctx4, sched, bad)
 
 
 class TestIntrinsics:

@@ -23,6 +23,7 @@ from hypothesis import strategies as st
 
 from repro.core import (
     DictKeyStore,
+    ExecutionContext,
     OpenAddressedKeyStore,
     StampRegistry,
     TranslationTable,
@@ -84,22 +85,23 @@ def _run_pipeline(backend, seed, n_ranks, n, n_ref, storage):
     tt = TranslationTable.from_map(
         m, rng.integers(0, n_ranks, n), storage=storage, page_size=16
     )
-    hts = make_hash_tables(m, tt, backend=backend)
+    ctx = ExecutionContext.resolve(m, backend)
+    hts = make_hash_tables(ctx, tt)
     idx_a = split_by_block(rng.integers(0, n, n_ref), m)
     idx_b = split_by_block(rng.integers(0, n, max(0, n_ref // 2)), m)
-    loc_a = chaos_hash(m, hts, tt, idx_a, "a", backend=backend)
-    loc_b = chaos_hash(m, hts, tt, idx_b, "b", backend=backend)
-    sched_a = build_schedule(m, hts, "a", backend=backend)
-    merged = build_schedule(m, hts, hts[0].expr("a", "b"), backend=backend)
+    loc_a = chaos_hash(ctx, hts, tt, idx_a, "a")
+    loc_b = chaos_hash(ctx, hts, tt, idx_b, "b")
+    sched_a = build_schedule(ctx, hts, "a")
+    merged = build_schedule(ctx, hts, hts[0].expr("a", "b"))
     incremental = build_schedule(
-        m, hts, hts[0].expr("b") - hts[0].expr("a"), backend=backend
+        ctx, hts, hts[0].expr("b") - hts[0].expr("a")
     )
     # adaptive step: array b changes, stamp cleared and re-hashed
-    clear_stamp(m, hts, "b")
+    clear_stamp(ctx, hts, "b")
     idx_b2 = split_by_block(rng.integers(0, n, max(0, n_ref // 3)), m)
-    loc_b2 = chaos_hash(m, hts, tt, idx_b2, "b", backend=backend)
-    merged2 = build_schedule(m, hts, hts[0].expr("a", "b"), backend=backend)
-    loc_again = localize_only(m, hts, idx_a, backend=backend)
+    loc_b2 = chaos_hash(ctx, hts, tt, idx_b2, "b")
+    merged2 = build_schedule(ctx, hts, hts[0].expr("a", "b"))
+    loc_again = localize_only(ctx, hts, idx_a)
     return {
         "loc": (loc_a, loc_b, loc_b2, loc_again),
         "tables": [_table_state(ht) for ht in hts],
@@ -153,22 +155,21 @@ def test_stamp_release_reacquire_cycles_agree(seed, n_ranks, n, rounds):
         rng = np.random.default_rng(seed)
         m = Machine(n_ranks, record_messages=True)
         tt = TranslationTable.from_map(m, rng.integers(0, n_ranks, n))
-        hts = make_hash_tables(m, tt, backend=backend)
+        ctx = ExecutionContext.resolve(m, backend)
+        hts = make_hash_tables(ctx, tt)
         base = split_by_block(rng.integers(0, n, 2 * n), m)
-        chaos_hash(m, hts, tt, base, "bonds", backend=backend)
+        chaos_hash(ctx, hts, tt, base, "bonds")
         per_round = []
         for _ in range(rounds):
             nb = split_by_block(rng.integers(0, n, 3 * n), m)
-            loc = chaos_hash(m, hts, tt, nb, "nb", backend=backend)
-            merged = build_schedule(m, hts, hts[0].expr("bonds", "nb"),
-                                    backend=backend)
+            loc = chaos_hash(ctx, hts, tt, nb, "nb")
+            merged = build_schedule(ctx, hts, hts[0].expr("bonds", "nb"))
             inc = build_schedule(
-                m, hts, hts[0].expr("nb") - hts[0].expr("bonds"),
-                backend=backend,
+                ctx, hts, hts[0].expr("nb") - hts[0].expr("bonds")
             )
             per_round.append((loc, _schedule_state(merged),
                               _schedule_state(inc)))
-            clear_stamp(m, hts, "nb", release=True)
+            clear_stamp(ctx, hts, "nb", release=True)
         results[backend] = (per_round, m.traffic.snapshot(),
                             _clock_snapshots(m))
     a, b = results["serial"], results["vectorized"]
@@ -264,8 +265,8 @@ class TestOpenAddressedKeyStore:
 def test_make_hash_tables_uses_backend_key_store():
     m = Machine(3)
     tt = TranslationTable.from_map(m, np.array([0, 1, 2, 0, 1, 2]))
-    serial = make_hash_tables(m, tt, backend="serial")
-    vec = make_hash_tables(m, tt, backend="vectorized")
+    serial = make_hash_tables(ExecutionContext.resolve(m, "serial"), tt)
+    vec = make_hash_tables(ExecutionContext.resolve(m, "vectorized"), tt)
     assert all(ht.store.kind == "dict" for ht in serial)
     assert all(ht.store.kind == "open-addressed" for ht in vec)
     # one shared registry per group, as before
@@ -332,7 +333,8 @@ class TestTranslationZeroSize:
         m = Machine(4, record_messages=True)
         tt = TranslationTable.from_map(m, np.arange(8) % 4, storage=storage)
         m.reset_traffic()
-        owners, offsets = tt.dereference([None] * 4, backend=backend)
+        owners, offsets = tt.dereference(ExecutionContext.resolve(m, backend),
+                                        [None] * 4)
         assert m.traffic.n_messages == 0
         assert all(o.size == 0 for o in owners)
         assert all(o.size == 0 for o in offsets)

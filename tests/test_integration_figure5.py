@@ -60,8 +60,8 @@ class TestTwoPhaseIncremental:
         phase1 = rt.build_schedule(tt, e("a", "b"))
         inc = rt.build_schedule(tt, e("c") - e("a") - e("b"))
         ghosts = [np.zeros(g) for g in phase1.ghost_size]
-        gather(m, phase1, y.local, ghosts)
-        gather(m, inc, y.local, ghosts)   # tops up only the new elements
+        gather(rt.ctx, phase1, y.local, ghosts)
+        gather(rt.ctx, inc, y.local, ghosts)   # tops up only the new elements
         stacked = stack_local_ghost(y.local, ghosts)
         for p, part in enumerate(split_by_block(ic, m)):
             assert np.array_equal(stacked[p][loc_c[p]], y_g[part])
@@ -77,10 +77,10 @@ class TestTwoPhaseIncremental:
         inc = rt.build_schedule(tt, e("c") - e("a") - e("b"))
         full_c = rt.build_schedule(tt, e("c"))
         before = m.traffic.copy()
-        gather(m, inc, y.local, allocate_ghosts(inc, y.local))
+        gather(rt.ctx, inc, y.local, allocate_ghosts(inc, y.local))
         inc_traffic = (m.traffic - before).total_bytes
         before = m.traffic.copy()
-        gather(m, full_c, y.local, allocate_ghosts(full_c, y.local))
+        gather(rt.ctx, full_c, y.local, allocate_ghosts(full_c, y.local))
         full_traffic = (m.traffic - before).total_bytes
         assert inc_traffic <= full_traffic
 

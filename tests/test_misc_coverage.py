@@ -22,7 +22,7 @@ class TestEmptySchedule:
         x = rt.distribute(rng.standard_normal(10), tt)
         sched = Schedule.empty(4)
         machine4.reset_traffic()
-        ghosts = gather(machine4, sched, x.local)
+        ghosts = gather(rt.ctx, sched, x.local)
         assert machine4.traffic.n_messages == 0
         assert all(g.size == 0 for g in ghosts)
 

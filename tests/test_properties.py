@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.core import (
+    ExecutionContext,
     BlockCyclicDistribution,
     BlockDistribution,
     ChaosRuntime,
@@ -87,10 +88,10 @@ def test_remap_roundtrip_property(n, p, seed):
     d2 = IrregularDistribution(rng.integers(0, p, n), p)
     x = rng.standard_normal(n)
     data = [x[d1.global_indices(q)] for q in range(p)]
-    plan = remap(m, d1, d2)
-    out = remap_array(m, plan, data)
-    plan_back = remap(m, d2, d1)
-    back = remap_array(m, plan_back, out)
+    plan = remap(ExecutionContext.resolve(m), d1, d2)
+    out = remap_array(ExecutionContext.resolve(m), plan, data)
+    plan_back = remap(ExecutionContext.resolve(m), d2, d1)
+    back = remap_array(ExecutionContext.resolve(m), plan_back, out)
     for q in range(p):
         assert np.array_equal(back[q], data[q])
 
@@ -202,8 +203,8 @@ def test_scatter_append_multiset_property(p, flat_sizes, seed):
     values_g = rng.standard_normal(n)
     dest = split_by_block(dest_g, m)
     values = split_by_block(values_g, m)
-    sched = build_lightweight_schedule(m, dest)
-    out = scatter_append(m, sched, values)
+    sched = build_lightweight_schedule(ExecutionContext.resolve(m), dest)
+    out = scatter_append(ExecutionContext.resolve(m), sched, values)
     assert np.allclose(np.sort(np.concatenate(out) if out else []),
                        np.sort(values_g))
     for q in range(p):
@@ -282,10 +283,10 @@ def test_built_artifacts_pass_validators(n, p, seed):
     assert check_schedule(sched, tt.dist) == []
     assert check_schedule_against_hash_tables(sched, rt.hash_tables(tt)) == []
     dest = split_by_block(rng.integers(0, p, n), m)
-    lw = build_lightweight_schedule(m, dest)
+    lw = build_lightweight_schedule(ExecutionContext.resolve(m), dest)
     assert check_lightweight(lw) == []
     new = ID(rng.integers(0, p, n), p)
-    plan = remap(m, tt.dist, new)
+    plan = remap(ExecutionContext.resolve(m), tt.dist, new)
     assert check_remap_plan(plan) == []
 
 
@@ -320,9 +321,10 @@ def test_scatter_append_multi_alignment(p, n_total, seed):
     dest_g = rng.integers(0, p, n_total)
     ids_g = np.arange(n_total, dtype=np.int64)
     val_g = rng.standard_normal(n_total)
-    sched = build_lightweight_schedule(m, split_by_block(dest_g, m))
+    ctx = ExecutionContext.resolve(m)
+    sched = build_lightweight_schedule(ctx, split_by_block(dest_g, m))
     out_ids, out_vals = scatter_append_multi(
-        m, sched, [split_by_block(ids_g, m), split_by_block(val_g, m)]
+        ctx, sched, [split_by_block(ids_g, m), split_by_block(val_g, m)]
     ) if n_total or p else ([], [])
     if n_total == 0:
         return

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro.core import (
     ChaosRuntime,
+    ExecutionContext,
     LightweightSchedule,
     RemapPlan,
     Schedule,
@@ -61,20 +62,23 @@ def _check_csr_invariants(sched: Schedule) -> None:
 def _pipeline(backend, n_ranks=4, n=64, n_ref=96, seed=0):
     rng = np.random.default_rng(seed)
     m = Machine(n_ranks)
+    ctx = ExecutionContext.resolve(m, backend)
     tt = TranslationTable.from_map(m, rng.integers(0, n_ranks, n))
-    hts = make_hash_tables(m, tt, backend=backend)
+    hts = make_hash_tables(ctx, tt)
     idx_a = split_by_block(rng.integers(0, n, n_ref), m)
     idx_b = split_by_block(rng.integers(0, n, n_ref // 2), m)
-    chaos_hash(m, hts, tt, idx_a, "a", backend=backend)
-    chaos_hash(m, hts, tt, idx_b, "b", backend=backend)
-    return m, tt, hts
+    chaos_hash(ctx, hts, tt, idx_a, "a")
+    chaos_hash(ctx, hts, tt, idx_b, "b")
+    return ctx, tt, hts
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
 class TestScheduleCSR:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_round_trip_through_pair_lists(self, backend):
-        m, tt, hts = _pipeline(backend)
-        sched = build_schedule(m, hts, "a", backend=backend)
+        # legacy nested-accessor round-trip: opts into the deprecation
+        ctx, tt, hts = _pipeline(backend)
+        sched = build_schedule(ctx, hts, "a")
         _check_csr_invariants(sched)
         rebuilt = Schedule.from_pair_lists(
             sched.n_ranks, sched.send_pairs(), sched.recv_pairs(),
@@ -83,8 +87,8 @@ class TestScheduleCSR:
         _assert_schedule_equal(sched, rebuilt)
 
     def test_views_are_zero_copy(self, backend):
-        m, tt, hts = _pipeline(backend)
-        sched = build_schedule(m, hts, "a", backend=backend)
+        ctx, tt, hts = _pipeline(backend)
+        sched = build_schedule(ctx, hts, "a")
         for p in range(sched.n_ranks):
             for q in range(sched.n_ranks):
                 view = sched.send_view(p, q)
@@ -94,60 +98,62 @@ class TestScheduleCSR:
                             or view.base is sched.send_indices[p].base)
 
     def test_merged_schedule_csr(self, backend):
-        m, tt, hts = _pipeline(backend)
+        ctx, tt, hts = _pipeline(backend)
         ht0 = hts[0]
-        merged = build_schedule(m, hts, ht0.expr("a", "b"), backend=backend)
+        merged = build_schedule(ctx, hts, ht0.expr("a", "b"))
         _check_csr_invariants(merged)
-        sa = build_schedule(m, hts, "a", backend=backend)
-        sb = build_schedule(m, hts, "b", backend=backend)
+        sa = build_schedule(ctx, hts, "a")
+        sb = build_schedule(ctx, hts, "b")
         # stamp-union semantics: per pair, merged fetch set == set union
-        for p in range(m.n_ranks):
-            for q in range(m.n_ranks):
+        for p in range(ctx.n_ranks):
+            for q in range(ctx.n_ranks):
                 got = set(merged.send_view(p, q).tolist())
                 want = (set(sa.send_view(p, q).tolist())
                         | set(sb.send_view(p, q).tolist()))
                 assert got == want
 
     def test_incremental_schedule_csr(self, backend):
-        m, tt, hts = _pipeline(backend)
+        ctx, tt, hts = _pipeline(backend)
         ht0 = hts[0]
-        inc = build_schedule(m, hts, ht0.expr("b") - ht0.expr("a"),
-                             backend=backend)
+        inc = build_schedule(ctx, hts, ht0.expr("b") - ht0.expr("a"))
         _check_csr_invariants(inc)
-        sa = build_schedule(m, hts, "a", backend=backend)
-        sb = build_schedule(m, hts, "b", backend=backend)
-        for p in range(m.n_ranks):
-            for q in range(m.n_ranks):
+        sa = build_schedule(ctx, hts, "a")
+        sb = build_schedule(ctx, hts, "b")
+        for p in range(ctx.n_ranks):
+            for q in range(ctx.n_ranks):
                 got = set(inc.send_view(p, q).tolist())
                 want = (set(sb.send_view(p, q).tolist())
                         - set(sa.send_view(p, q).tolist()))
                 assert got == want
 
     def test_concatenation_merge_csr(self, backend):
-        m, tt, hts = _pipeline(backend)
-        sa = build_schedule(m, hts, "a", backend=backend)
-        sb = build_schedule(m, hts, "b", backend=backend)
-        merged = merge_schedules(m, [sa, sb])
+        ctx, tt, hts = _pipeline(backend)
+        sa = build_schedule(ctx, hts, "a")
+        sb = build_schedule(ctx, hts, "b")
+        merged = merge_schedules(ctx, [sa, sb])
         _check_csr_invariants(merged)
         assert merged.total_elements() == (sa.total_elements()
                                            + sb.total_elements())
-        for p in range(m.n_ranks):
-            for q in range(m.n_ranks):
+        for p in range(ctx.n_ranks):
+            for q in range(ctx.n_ranks):
                 want = np.concatenate(
                     [sa.send_view(p, q), sb.send_view(p, q)]
                 )
                 assert np.array_equal(merged.send_view(p, q), want)
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_empty_rank_edges(self, backend):
         # all references live on rank 0's slice; ranks 2..3 hash nothing
+        # (uses the legacy nested accessors for the round-trip: opts in)
         m = Machine(4)
+        ctx = ExecutionContext.resolve(m, backend)
         tt = TranslationTable.from_map(m, np.zeros(16, dtype=np.int64))
-        hts = make_hash_tables(m, tt, backend=backend)
+        hts = make_hash_tables(ctx, tt)
         z = np.zeros(0, dtype=np.int64)
         idx = [np.arange(8, dtype=np.int64), np.arange(16, dtype=np.int64),
                z, z]
-        chaos_hash(m, hts, tt, idx, "s", backend=backend)
-        sched = build_schedule(m, hts, "s", backend=backend)
+        chaos_hash(ctx, hts, tt, idx, "s")
+        sched = build_schedule(ctx, hts, "s")
         _check_csr_invariants(sched)
         for p in (2, 3):
             assert sched.send_indices[p].size == 0
@@ -162,11 +168,12 @@ class TestScheduleCSR:
 
     def test_n_global_zero(self, backend):
         m = Machine(4)
+        ctx = ExecutionContext.resolve(m, backend)
         tt = TranslationTable.from_map(m, np.zeros(0, dtype=np.int64))
-        hts = make_hash_tables(m, tt, backend=backend)
+        hts = make_hash_tables(ctx, tt)
         z = np.zeros(0, dtype=np.int64)
-        chaos_hash(m, hts, tt, [z, z, z, z], "s", backend=backend)
-        sched = build_schedule(m, hts, "s", backend=backend)
+        chaos_hash(ctx, hts, tt, [z, z, z, z], "s")
+        sched = build_schedule(ctx, hts, "s")
         _check_csr_invariants(sched)
         assert sched.total_elements() == 0
         assert sched.total_messages() == 0
@@ -174,10 +181,11 @@ class TestScheduleCSR:
 
 
 class TestLightweightCSR:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_round_trip(self, rng):
         m = Machine(4)
         dest = [rng.integers(0, 4, 20) for _ in range(4)]
-        sched = build_lightweight_schedule(m, dest)
+        sched = build_lightweight_schedule(ExecutionContext.resolve(m), dest)
         rebuilt = LightweightSchedule.from_pair_lists(
             4, sched.send_pairs(), sched.recv_counts.copy()
         )
@@ -190,7 +198,7 @@ class TestLightweightCSR:
     def test_every_element_selected_once(self, rng):
         m = Machine(4)
         dest = [rng.integers(0, 4, 20) for _ in range(4)]
-        sched = build_lightweight_schedule(m, dest)
+        sched = build_lightweight_schedule(ExecutionContext.resolve(m), dest)
         for p in range(4):
             assert np.array_equal(np.sort(sched.send_sel[p]),
                                   np.arange(20, dtype=np.int64))
@@ -201,12 +209,13 @@ class TestLightweightCSR:
 
 
 class TestRemapCSR:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_round_trip(self, rng):
         m = Machine(4)
         n = 40
         old = BlockDistribution(n, 4)
         new = IrregularDistribution(rng.integers(0, 4, n), 4)
-        plan = remap(m, old, new)
+        plan = remap(ExecutionContext.resolve(m), old, new)
         rebuilt = RemapPlan.from_pair_lists(
             4, plan.send_pairs(), plan.place_pairs(), list(plan.new_sizes)
         )
@@ -223,7 +232,7 @@ class TestRemapCSR:
         n = 40
         old = BlockDistribution(n, 4)
         new = IrregularDistribution(rng.integers(0, 4, n), 4)
-        plan = remap(m, old, new)
+        plan = remap(ExecutionContext.resolve(m), old, new)
         for p in range(4):
             assert np.array_equal(np.sort(plan.place_sel[p]),
                                   np.arange(plan.new_sizes[p],
@@ -241,13 +250,14 @@ def test_backends_agree_on_csr_buffers(refs, seed):
     scheds = []
     for backend in BACKENDS:
         m = Machine(4)
+        ctx = ExecutionContext.resolve(m, backend)
         tt = TranslationTable.from_map(
             m, np.arange(16, dtype=np.int64) % 4
         )
-        hts = make_hash_tables(m, tt, backend=backend)
+        hts = make_hash_tables(ctx, tt)
         idx = split_by_block(np.asarray(refs, dtype=np.int64), m)
-        chaos_hash(m, hts, tt, idx, "s", backend=backend)
-        scheds.append(build_schedule(m, hts, "s", backend=backend))
+        chaos_hash(ctx, hts, tt, idx, "s")
+        scheds.append(build_schedule(ctx, hts, "s"))
     _assert_schedule_equal(scheds[0], scheds[1])
 
 

@@ -9,6 +9,7 @@ the legacy nested ``from_pair_lists`` constructors.
 """
 
 import numpy as np
+import pytest
 
 from repro.core import (
     LightweightSchedule,
@@ -61,7 +62,9 @@ def test_schedule_coerces_int32_csr_buffers():
     assert sched.counts().dtype == np.int64
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_pair_views_roundtrip():
+    # exercises the deprecated nested accessor deliberately: opts in
     sched = _sched_2ranks()
     assert np.array_equal(sched.send_view(0, 1), [0, 1])
     assert np.array_equal(sched.send_view(1, 0), [2])

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Lint gate: the ExecutionContext seam must not regress.
+
+Scans ``src/repro/{core,lang,apps}`` and fails when:
+
+* ``backend=`` keyword threading reappears anywhere outside the shim
+  module (``core/context.py``) — the only tolerated form elsewhere is
+  the shim parameter default ``backend=_UNSET``;
+* the deprecated nested pair accessors (``send_pairs(`` /
+  ``recv_pairs(`` / ``place_pairs(``) are *called* anywhere outside the
+  three plan modules that define them (``core/schedule.py``,
+  ``core/lightweight.py``, ``core/remap.py``).
+
+Run from the repository root (CI lint job)::
+
+    python tools/check_context_seam.py
+
+Exit status 0 = clean, 1 = violations (printed one per line).
+``tests/test_context.py`` runs the same scan, so a violation also fails
+tier-1.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: directory trees the seam covers
+SCAN_DIRS = ("src/repro/core", "src/repro/lang", "src/repro/apps")
+
+#: the one module allowed to spell ``backend=`` (defaults are resolved
+#: there and nowhere else)
+BACKEND_SHIM_MODULES = frozenset({"src/repro/core/context.py"})
+
+#: modules defining the deprecated nested accessors
+PAIR_SHIM_MODULES = frozenset({
+    "src/repro/core/schedule.py",
+    "src/repro/core/lightweight.py",
+    "src/repro/core/remap.py",
+})
+
+_BACKEND_KWARG = re.compile(r"backend=(?!_UNSET\b)")
+_PAIR_CALL = re.compile(r"\b(?:send_pairs|recv_pairs|place_pairs)\(")
+
+
+def scan(root: str = REPO_ROOT) -> list[str]:
+    problems: list[str] = []
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8") as fh:
+                    for lineno, line in enumerate(fh, 1):
+                        if (rel not in BACKEND_SHIM_MODULES
+                                and _BACKEND_KWARG.search(line)):
+                            problems.append(
+                                f"{rel}:{lineno}: backend= kwarg threading "
+                                f"outside the context shim module: "
+                                f"{line.strip()}"
+                            )
+                        if rel not in PAIR_SHIM_MODULES \
+                                and _PAIR_CALL.search(line):
+                            problems.append(
+                                f"{rel}:{lineno}: deprecated nested pair "
+                                f"accessor call site: {line.strip()}"
+                            )
+    return problems
+
+
+def main() -> int:
+    problems = scan()
+    if problems:
+        print("ExecutionContext seam violations:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"context seam clean across {', '.join(SCAN_DIRS)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
