@@ -18,6 +18,13 @@ erosions cannot ratchet itself into the baseline, one lucky fast run
 cannot pin the baseline out of reach, and an unchanged run produces no
 file diff (so CI's refresh commit is skipped).
 
+The gate degrades gracefully but never silently: a *missing* committed
+baseline is a clear skip message (first run on a fresh fork), a metric
+the current bench emits that the baseline predates (a newly registered
+backend) is reported as "no baseline yet" and skipped, and a baseline
+that exists but cannot be parsed fails the gate with a message — no
+case tracebacks.
+
 Usage::
 
     python benchmarks/check_regression.py --run      # run benches + gate
@@ -89,11 +96,28 @@ CHECKS = (
 )
 
 
-def _load(path: str) -> dict | None:
+#: sentinel for a file that exists but cannot be parsed — distinct from
+#: "absent", because a *corrupt tracked baseline* must fail the gate
+#: (silently skipping it would disable regression detection) while a
+#: merely missing one is first-run ergonomics
+_CORRUPT = object()
+
+
+def _load(path: str):
+    """Parse one result/baseline file.
+
+    Returns the payload dict, ``None`` when the file is absent, or
+    :data:`_CORRUPT` when it exists but cannot be read/parsed — never a
+    traceback.
+    """
     if not os.path.exists(path):
         return None
-    with open(path) as fh:
-        return json.load(fh)
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"warning: could not read {path}: {exc}", file=sys.stderr)
+        return _CORRUPT
 
 
 def _gated_mean(ratios: dict[str, float], gated: frozenset[str]) -> float:
@@ -107,8 +131,8 @@ def _gated_mean(ratios: dict[str, float], gated: frozenset[str]) -> float:
 DRIFT_TOLERANCE = 1.1
 
 
-def _maybe_update(baseline_path: str, result_path: str, extract,
-                  gated: frozenset[str]) -> None:
+def _maybe_update(baseline_path: str, current: dict, extract,
+                  gated: frozenset[str], result_path: str) -> None:
     """Refresh a baseline when gated ratios improved or merely drifted.
 
     Improvements always refresh.  Small declines (< ``DRIFT_TOLERANCE``)
@@ -121,9 +145,9 @@ def _maybe_update(baseline_path: str, result_path: str, extract,
     """
     name = os.path.basename(baseline_path)
     baseline = _load(baseline_path)
-    if baseline is not None:
+    if baseline is not None and baseline is not _CORRUPT:
         old = _gated_mean(extract(baseline), gated)
-        new = _gated_mean(extract(_load(result_path)), gated)
+        new = _gated_mean(extract(current), gated)
         if new < old and (new <= 0 or old / new > DRIFT_TOLERANCE):
             print(f"baseline kept: {name} (gated mean fell {old:.2f}x -> "
                   f"{new:.2f}x, beyond the {DRIFT_TOLERANCE}x drift "
@@ -141,19 +165,29 @@ def check(results_dir: str, baseline_dir: str, max_slowdown: float,
         baseline_path = os.path.join(baseline_dir, baseline_name)
         result_path = os.path.join(results_dir, result_name)
         current = _load(result_path)
-        if current is None:
+        if current is None or current is _CORRUPT:
             missing.append(
-                f"{result_path} missing — run the matching benchmark first"
+                f"{result_path} missing or unreadable — run the matching "
+                f"benchmark first"
             )
             continue
         if update:
-            _maybe_update(baseline_path, result_path, extract, gated)
+            _maybe_update(baseline_path, current, extract, gated,
+                          result_path)
             continue
         baseline = _load(baseline_path)
         if baseline is None:
-            missing.append(
-                f"{baseline_path} missing — run with --update on main to "
-                "create it"
+            # first-run ergonomics: no committed baseline is a skip, not
+            # a failure — nothing to regress against yet
+            print(f"skipping {baseline_name}: no committed baseline yet "
+                  f"(run with --update on main to create it)")
+            continue
+        if baseline is _CORRUPT:
+            # a baseline that exists but cannot be parsed means the gate
+            # cannot do its job — fail loudly instead of going green
+            failures.append(
+                f"{baseline_name}: committed baseline is unreadable — fix "
+                f"it or regenerate with --update on main"
             )
             continue
         base_ratios = extract(baseline)
@@ -166,6 +200,9 @@ def check(results_dir: str, baseline_dir: str, max_slowdown: float,
                 if key in gated:
                     failures.append(f"{baseline_name}: gated metric {key!r} "
                                     "vanished from current results")
+                else:
+                    print(f"  {key:28s} baseline {base_ratios[key]:6.2f}x  "
+                          f"[advisory metric missing from current results]")
                 continue
             base, cur = base_ratios[key], cur_ratios[key]
             slowdown = base / cur if cur > 0 else float("inf")
@@ -174,13 +211,20 @@ def check(results_dir: str, baseline_dir: str, max_slowdown: float,
                 status = "OK" if ok else "REGRESSION"
             else:
                 status = "advisory" if ok else "advisory-WARN"
-            print(f"  {key:20s} baseline {base:6.2f}x  current {cur:6.2f}x"
+            print(f"  {key:28s} baseline {base:6.2f}x  current {cur:6.2f}x"
                   f"  ratio {slowdown:5.2f}  [{status}]")
             if key in gated and not ok:
                 failures.append(
                     f"{baseline_name}: {key} speedup fell {slowdown:.2f}x "
                     f"({base:.2f}x -> {cur:.2f}x)"
                 )
+        # new-backend ergonomics: a metric the current bench emits but
+        # the committed baseline predates (e.g. a freshly registered
+        # backend's ratios) is reported and skipped, never a crash
+        for key in sorted(set(cur_ratios) - set(base_ratios)):
+            print(f"  {key:28s} current {cur_ratios[key]:6.2f}x  "
+                  f"[new metric — no baseline yet, skipped; refresh with "
+                  f"--update]")
     if missing:
         print("\n".join(missing), file=sys.stderr)
         return 2

@@ -36,7 +36,7 @@ from repro.apps.charmm.forces import (
 from repro.apps.charmm.neighbors import build_nonbonded_list, take_csr_rows
 from repro.apps.charmm.sequential import MDTrace
 from repro.apps.charmm.system import MolecularSystem
-from repro.core.context import _UNSET, resolve_component
+from repro.core.context import resolve_component
 from repro.core.distribution import BlockDistribution
 from repro.core.executor import allocate_ghosts, gather, scatter_op, stack_local_ghost
 from repro.core.inspector import chaos_hash, clear_stamp, make_hash_tables
@@ -81,9 +81,8 @@ class ParallelMD:
         ttable_storage: str = "replicated",
         thermostat_temperature: float | None = None,
         thermostat_tau: float = 0.1,
-        backend=_UNSET,
     ):
-        ctx = resolve_component(machine, backend, "ParallelMD")
+        ctx = resolve_component(machine, "ParallelMD")
         if schedule_mode not in ("merged", "multiple"):
             raise ValueError(f"unknown schedule_mode {schedule_mode!r}")
         if update_every < 1:
@@ -110,6 +109,19 @@ class ParallelMD:
         self.jnb: np.ndarray | None = None
 
         self._setup()
+
+    # ==================================================================
+    # lifecycle
+    # ==================================================================
+    def close(self) -> None:
+        """Tear down the context's backend resources (idempotent)."""
+        self.ctx.close()
+
+    def __enter__(self) -> "ParallelMD":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ==================================================================
     # setup: phases A-E

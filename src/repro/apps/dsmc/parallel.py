@@ -26,7 +26,7 @@ from repro.apps.dsmc.grid import CartesianGrid
 from repro.apps.dsmc.move import advance_positions, remove_outflow
 from repro.apps.dsmc.particles import ParticleSet, inflow_particles
 from repro.apps.dsmc.sequential import DSMCConfig, DSMCTrace, initial_population
-from repro.core.context import _UNSET, resolve_component
+from repro.core.context import resolve_component
 from repro.core.distribution import BlockDistribution, IrregularDistribution
 from repro.core.lightweight import (
     build_lightweight_schedule,
@@ -67,9 +67,8 @@ class ParallelDSMC:
         migration: str = "lightweight",
         partitioner: Partitioner | None = None,
         ttable_storage: str = "replicated",
-        backend=_UNSET,
     ):
-        ctx = resolve_component(machine, backend, "ParallelDSMC")
+        ctx = resolve_component(machine, "ParallelDSMC")
         if migration not in ("lightweight", "regular"):
             raise ValueError(f"unknown migration mode {migration!r}")
         self.grid = grid
@@ -99,6 +98,19 @@ class ParallelDSMC:
         self.parts: list[ParticleSet] = [
             init.select(owners == p) for p in m.ranks()
         ]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the context's backend resources (idempotent)."""
+        self.ctx.close()
+
+    def __enter__(self) -> "ParallelDSMC":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     @property

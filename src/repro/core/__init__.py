@@ -46,7 +46,9 @@ from repro.core.executor import (
 from repro.core.remap import RemapPlan, remap, remap_array, remap_global_values
 from repro.core.backends import (
     Backend,
+    BackendResources,
     SerialBackend,
+    ThreadedBackend,
     VectorizedBackend,
     available_backends,
     default_backend,
@@ -117,7 +119,9 @@ __all__ = [
     "remap_array",
     "remap_global_values",
     "Backend",
+    "BackendResources",
     "SerialBackend",
+    "ThreadedBackend",
     "VectorizedBackend",
     "available_backends",
     "default_backend",

@@ -23,12 +23,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.context import (
-    _UNSET,
-    ExecutionContext,
-    _warn_legacy,
-    resolve_component,
-)
+from repro.core.context import ExecutionContext, resolve_component
 from repro.core.distribution import (
     BlockDistribution,
     CyclicDistribution,
@@ -108,26 +103,31 @@ class DistributedArray:
         return self.ttable.dist.local_sizes()
 
     def redistribute(self, new_ttable: TranslationTable,
-                     category: str = "remap", ctx=None,
-                     backend=_UNSET) -> "DistributedArray":
+                     category: str = "remap", ctx=None
+                     ) -> "DistributedArray":
         """Phase B: move to a new distribution (charged remap).
 
-        ``ctx`` defaults to a context resolved from this array's machine;
-        the legacy ``backend`` keyword is deprecated.
+        ``ctx`` defaults to a context resolved from this array's
+        machine with the process default backend; a context created
+        here is also closed here, so the backend's per-context
+        resources cannot outlive the call.
         """
-        if backend is not _UNSET:
-            _warn_legacy("DistributedArray.redistribute")
-            ctx = ExecutionContext.resolve(self.machine, backend)
-        elif ctx is None:
+        owned = ctx is None
+        if owned:
             ctx = ExecutionContext.resolve(self.machine)
         elif not isinstance(ctx, ExecutionContext):
-            # legacy positional call: the old third positional argument
-            # was the backend, which now lands in the ctx slot
-            _warn_legacy("DistributedArray.redistribute")
-            ctx = ExecutionContext.resolve(self.machine, ctx)
-        plan = remap(ctx, self.ttable.dist, new_ttable.dist,
-                     category=category)
-        new_local = remap_array(ctx, plan, self.local, category=category)
+            raise TypeError(
+                f"redistribute: ctx must be an ExecutionContext, got "
+                f"{ctx!r}"
+            )
+        try:
+            plan = remap(ctx, self.ttable.dist, new_ttable.dist,
+                         category=category)
+            new_local = remap_array(ctx, plan, self.local,
+                                    category=category)
+        finally:
+            if owned:
+                ctx.close()
         return DistributedArray(self.machine, new_ttable, new_local)
 
     def copy(self) -> "DistributedArray":
@@ -150,8 +150,14 @@ class ChaosRuntime:
     default backend is resolved at init.  The context's backend runs
     every phase — index analysis, schedule generation, translation
     lookups, and executor data transport; hash tables are created with
-    its key store, so serial vs vectorized is selectable end-to-end.
-    The legacy ``backend`` keyword is a deprecated shim.
+    its key store, so serial vs vectorized vs threaded is selectable
+    end-to-end.
+
+    The runtime *owns the context's lifecycle*: :meth:`close` (or use
+    as a ``with`` block) tears down the backend's per-context resources
+    — the threaded backend's worker pool first of all.  Closing is
+    idempotent; runtimes sharing one context share its resources, so
+    whichever owner closes first closes for all.
 
     Note that the schedule cache is *per context*: two runtimes built
     from the same context share it, so cache keys (caller-chosen loop
@@ -159,8 +165,8 @@ class ChaosRuntime:
     a runtime that needs isolated caches.
     """
 
-    def __init__(self, ctx, backend=_UNSET):
-        ctx = resolve_component(ctx, backend, "ChaosRuntime")
+    def __init__(self, ctx):
+        ctx = resolve_component(ctx, "ChaosRuntime")
         self.ctx = ctx
         self.machine = ctx.machine
         self._htables: dict[int, list[IndexHashTable]] = {}
@@ -171,6 +177,26 @@ class ChaosRuntime:
     def backend(self):
         """The resolved backend this runtime executes with."""
         return self.ctx.backend
+
+    # ---- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Tear down the context's backend resources (idempotent)."""
+        self.ctx.close()
+
+    def __enter__(self) -> "ChaosRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def cache_stats(self, key: str) -> tuple[int, int]:
+        """(hits, builds) of the context's :class:`ScheduleCache` entry.
+
+        Mirrors :meth:`repro.lang.program.ProgramInstance.cache_stats`
+        so both entry points report schedule-reuse counters uniformly;
+        ``key`` is the caller-chosen loop id handed to the cache.
+        """
+        return self.schedule_cache.stats(key)
 
     # ---- Phase A: distributions/translation tables --------------------
     def block_table(self, n_global: int, storage: str = "replicated"

@@ -1,21 +1,26 @@
 """Pluggable executor backends.
 
-Importing this package registers the two built-in backends:
+Importing this package registers the three built-in backends:
 
 * ``serial`` — reference pair-loop semantics,
-* ``vectorized`` — compiled flat plans (the default).
+* ``vectorized`` — compiled flat plans (the default),
+* ``threaded`` — vectorized kernels with the rank loops fanned out over
+  a per-context worker pool.
 
 Selection happens through the
 :class:`~repro.core.context.ExecutionContext` every primitive takes
 first: ``ExecutionContext.resolve(machine, "serial")`` for an explicit
 choice, or ``ExecutionContext.resolve(machine)`` to follow the
 process-wide default (:func:`set_default_backend` / ``REPRO_BACKEND``
-env var, temporarily overridable with :func:`use_backend`).
+env var, temporarily overridable with :func:`use_backend`).  Backends
+own their per-context resources through :meth:`Backend.open` /
+:meth:`Backend.close`; the handle rides on ``ctx.resources``.
 """
 
 from repro.core.backends.base import (
     BACKEND_ENV_VAR,
     Backend,
+    BackendResources,
     available_backends,
     default_backend,
     get_backend,
@@ -25,12 +30,15 @@ from repro.core.backends.base import (
     use_backend,
 )
 from repro.core.backends.serial import SerialBackend
+from repro.core.backends.threaded import ThreadedBackend
 from repro.core.backends.vectorized import VectorizedBackend
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "Backend",
+    "BackendResources",
     "SerialBackend",
+    "ThreadedBackend",
     "VectorizedBackend",
     "available_backends",
     "default_backend",

@@ -18,23 +18,32 @@ so every backend sees pre-validated inputs and only has to do the work
 and charge the machine.  Backend methods receive that same context as
 their first argument (``ctx.machine`` is the machine to charge).
 
-Two implementations ship with the runtime:
+Three implementations ship with the runtime:
 
 * ``serial`` — the reference semantics: a Python dict operation per hash
   key, a Python loop per communicating ``(p, q)`` rank pair;
 * ``vectorized`` — the default: a batched open-addressed key store,
   argsort/bincount schedule grouping, count-matrix communication
   accounting (:meth:`Machine.exchange_compiled`), and compiled flat
-  executor plans (:mod:`repro.core.compiled`).
+  executor plans (:mod:`repro.core.compiled`);
+* ``threaded`` — the vectorized per-rank kernels with the rank loops of
+  the executor/lightweight/remap phases (and the owner-grouped schedule
+  build) fanned out over a per-context thread pool.
+
+Backends are also *resource owners*: :meth:`Backend.open` creates a
+per-context :class:`BackendResources` handle (thread pools, scratch
+buffers) when an :class:`~repro.core.context.ExecutionContext` is
+constructed, and :meth:`Backend.close` tears it down deterministically
+when the owning component closes the context.  The default handle owns
+nothing, so the serial and vectorized backends pay no lifecycle cost.
 
 Backends must be *observationally identical*: same results bitwise
 (localized indices, ghost-slot assignment, schedules, executor data),
 same traffic statistics message-for-message, same virtual-time totals
 (up to float summation order).  ``tests/test_backends.py`` and
 ``tests/test_inspector_backends.py`` enforce this on randomized
-workloads.  New execution strategies (threaded, sharded, alternative
-transports) plug in via :func:`register_backend` without touching
-applications.
+workloads.  New execution strategies (sharded, alternative transports)
+plug in via :func:`register_backend` without touching applications.
 """
 
 from __future__ import annotations
@@ -50,6 +59,44 @@ import numpy as np
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 
 
+class BackendResources:
+    """Per-context resource handle created by :meth:`Backend.open`.
+
+    One handle is opened when an
+    :class:`~repro.core.context.ExecutionContext` is constructed and
+    closed exactly once — by ``ctx.close()`` (usually via the owning
+    component's ``close()``), or as a garbage-collection safety net for
+    handles whose subclass registers a finalizer.  ``close()`` is
+    idempotent.  The base handle owns nothing; backends with real
+    resources (e.g. the threaded backend's worker pool) subclass it and
+    override :meth:`_release`.
+    """
+
+    __slots__ = ("backend", "_closed", "__weakref__")
+
+    def __init__(self, backend: "Backend"):
+        self.backend = backend
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release owned resources; safe to call more than once."""
+        if not self._closed:
+            self._closed = True
+            self._release()
+
+    def _release(self) -> None:
+        """Subclass hook: actually free the owned resources."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return (f"{type(self).__name__}(backend={self.backend.name!r}, "
+                f"{state})")
+
+
 class Backend(ABC):
     """Inspector + executor execution strategy.
 
@@ -62,6 +109,23 @@ class Backend(ABC):
 
     #: registry key; subclasses override
     name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def open(self, ctx) -> BackendResources:
+        """Create this backend's per-context resources.
+
+        Called once from :class:`ExecutionContext` construction; the
+        returned handle rides on ``ctx.resources`` and is torn down by
+        :meth:`close` when the owning component closes the context.
+        Default: an empty handle (no pools, no buffers).
+        """
+        return BackendResources(self)
+
+    def close(self, resources: BackendResources) -> None:
+        """Tear down a handle produced by :meth:`open` (idempotent)."""
+        resources.close()
 
     # ------------------------------------------------------------------
     # inspector phase

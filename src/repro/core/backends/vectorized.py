@@ -91,6 +91,23 @@ class VectorizedBackend(Backend):
     name = "vectorized"
 
     # ------------------------------------------------------------------
+    # rank-loop execution hook
+    # ------------------------------------------------------------------
+    def _run_ranks(self, ctx, fn) -> list:
+        """Run ``fn(p)`` for every rank; results in rank order.
+
+        Every embarrassingly-parallel per-rank loop below goes through
+        this hook so :class:`~repro.core.backends.threaded.ThreadedBackend`
+        can fan it out over the worker pool in ``ctx.resources``.  The
+        closures passed here are *pure rank kernels*: they read shared
+        inputs and write only rank-``p``-owned outputs (disjoint arrays
+        or preallocated CSR slices), and never touch ``ctx.machine`` —
+        all clock/traffic charging stays with the caller, in rank order,
+        so accounting is bitwise-identical however the loop executes.
+        """
+        return [fn(p) for p in ctx.machine.ranks()]
+
+    # ------------------------------------------------------------------
     # inspector phase: index analysis
     # ------------------------------------------------------------------
     def make_key_store(self):
@@ -148,26 +165,16 @@ class VectorizedBackend(Backend):
         machine = ctx.machine
         n = machine.n_ranks
 
-        counts = np.zeros((n, n), dtype=np.int64)  # [p][q]: p requests of q
-        requests: list[np.ndarray] = []   # flat, owner-ascending, per rank
-        recv_slots: list[np.ndarray] = []
-        recv_offsets: list[np.ndarray] = []
-        ghost_size = [0] * n
-
-        for p in machine.ranks():
+        def group_rank(p):
+            """Owner-grouped request stream for one rank (pure kernel)."""
             ht = htables[p]
-            if isinstance(expr, str):
-                sel_expr = ht.expr(expr)
-            else:
-                sel_expr = expr
+            sel_expr = ht.expr(expr) if isinstance(expr, str) else expr
             slots = ht.select(sel_expr, off_processor_only=True)
-            machine.charge_memops(p, ht.n_entries + 2 * slots.size, category)
-            ghost_size[p] = ht.ghost_capacity()
+            gs = ht.ghost_capacity()
             if slots.size == 0:
-                requests.append(np.zeros(0, dtype=np.int64))
-                recv_slots.append(np.zeros(0, dtype=np.int64))
-                recv_offsets.append(offsets_from_counts(counts[p]))
-                continue
+                z = np.zeros(0, dtype=np.int64)
+                crow = np.zeros(n, dtype=np.int64)
+                return ht.n_entries, 0, gs, crow, z, z
             owners = ht.proc[slots]
             # owners are ranks < n: a narrow dtype makes the stable radix
             # argsort several times cheaper than on int64
@@ -176,12 +183,27 @@ class VectorizedBackend(Backend):
             else:
                 order = np.argsort(owners, kind="stable")
             slots = slots[order]
-            counts[p] = np.bincount(owners[order], minlength=n)
+            crow = np.bincount(owners[order], minlength=n)
             # fancy indexing already yields fresh arrays; the schedule
             # constructor coerces dtype only if it is not int64 yet
-            requests.append(ht.off[slots])
-            recv_slots.append(ht.buf[slots])
-            recv_offsets.append(offsets_from_counts(counts[p]))
+            return (ht.n_entries, slots.size, gs, crow,
+                    ht.off[slots], ht.buf[slots])
+
+        grouped = self._run_ranks(ctx, group_rank)
+
+        counts = np.zeros((n, n), dtype=np.int64)  # [p][q]: p requests of q
+        requests: list[np.ndarray] = []   # flat, owner-ascending, per rank
+        recv_slots: list[np.ndarray] = []
+        recv_offsets: list[np.ndarray] = []
+        ghost_size = [0] * n
+        for p in machine.ranks():
+            n_entries, n_sel, gs, crow, req, buf = grouped[p]
+            machine.charge_memops(p, n_entries + 2 * n_sel, category)
+            ghost_size[p] = gs
+            counts[p] = crow
+            requests.append(req)
+            recv_slots.append(buf)
+            recv_offsets.append(offsets_from_counts(crow))
 
         # Size exchange (schedule setup), then the request exchange —
         # charged from count matrices; the request data itself becomes
@@ -193,18 +215,22 @@ class VectorizedBackend(Backend):
         machine.exchange_compiled(counts, 8, tag="sched_requests",
                                   category=category)
         recv_totals = counts.sum(axis=0)
-        send_indices = []
+
+        def concat_rank(q):
+            """One receiver's flat send buffer (pure kernel)."""
+            if recv_totals[q]:
+                return np.concatenate([
+                    requests[p][recv_offsets[p][q]:recv_offsets[p][q + 1]]
+                    for p in np.flatnonzero(counts[:, q])
+                ])
+            return np.zeros(0, dtype=np.int64)
+
+        send_indices = self._run_ranks(ctx, concat_rank)
         send_offsets = []
         for q in machine.ranks():
             send_offsets.append(offsets_from_counts(counts[:, q]))
             if recv_totals[q]:
-                send_indices.append(np.concatenate([
-                    requests[p][recv_offsets[p][q]:recv_offsets[p][q + 1]]
-                    for p in np.flatnonzero(counts[:, q])
-                ]))
                 machine.charge_memops(q, int(recv_totals[q]), category)
-            else:
-                send_indices.append(np.zeros(0, dtype=np.int64))
         return Schedule(
             n_ranks=n,
             send_indices=send_indices,
@@ -280,9 +306,14 @@ class VectorizedBackend(Backend):
         flat = np.concatenate(data, axis=0).reshape(-1)
         arrived = flat[plan.forward_flat(sizes, k)]
         place = plan.place_flat(k)
-        for p in machine.ranks():
+
+        def place_rank(p):
             if place[p].size:
                 ghosts[p].reshape(-1)[place[p]] = arrived[plan.recv_slice(p, k)]
+
+        self._run_ranks(ctx, place_rank)
+        for p in machine.ranks():
+            if place[p].size:
                 machine.charge_copyops(p, plan.place_idx[p].size, category)
         return ghosts
 
@@ -306,7 +337,8 @@ class VectorizedBackend(Backend):
         flat = np.concatenate(ghosts, axis=0).reshape(-1)
         outgoing = flat[plan.reverse_flat(gsizes, k)]
         send = plan.send_flat(k)
-        for p in machine.ranks():
+
+        def apply_rank(p):
             if send[p].size:
                 seg = outgoing[plan.send_slice(p, k)]
                 target = data[p].reshape(-1)
@@ -314,6 +346,10 @@ class VectorizedBackend(Backend):
                     target[send[p]] = seg
                 else:
                     op.at(target, send[p], seg)
+
+        self._run_ranks(ctx, apply_rank)
+        for p in machine.ranks():
+            if send[p].size:
                 machine.charge_copyops(p, plan.send_idx[p].size, category)
 
     # ------------------------------------------------------------------
@@ -335,17 +371,20 @@ class VectorizedBackend(Backend):
         )
         flat = np.concatenate(values, axis=0).reshape(-1)
         arrived = flat[plan.forward_flat(sizes, k)]
-        out: list[np.ndarray] = []
-        for p in machine.ranks():
+
+        def assemble_rank(p):
             seg = arrived[plan.recv_slice(p, k)].reshape((-1,) + trailing)
-            from_others = seg.shape[0] - int(plan.counts[p, p])
+            if seg.shape[0]:
+                return seg
+            v = np.asarray(values[p])
+            return np.zeros((0,) + v.shape[1:], dtype=v.dtype)
+
+        out = self._run_ranks(ctx, assemble_rank)
+        for p in machine.ranks():
+            arrived_n = int(plan.recv_base[p + 1] - plan.recv_base[p])
+            from_others = arrived_n - int(plan.counts[p, p])
             if from_others:
                 machine.charge_copyops(p, from_others, category)
-            if seg.shape[0]:
-                out.append(seg)
-            else:
-                v = np.asarray(values[p])
-                out.append(np.zeros((0,) + v.shape[1:], dtype=v.dtype))
         return out
 
     def scatter_append_multi(self, ctx, sched, arrays, category):
@@ -369,21 +408,28 @@ class VectorizedBackend(Backend):
         for values, (sizes, trailing, k) in zip(arrays, layouts):
             flat = np.concatenate(values, axis=0).reshape(-1)
             streams.append((flat[plan.forward_flat(sizes, k)], trailing, k))
-        out: list[list[np.ndarray]] = [[] for _ in range(n_attr)]
+
+        def assemble_rank(p):
+            arrived = int(plan.recv_base[p + 1] - plan.recv_base[p])
+            row = []
+            for k in range(n_attr):
+                stream, trailing, width = streams[k]
+                if arrived:
+                    seg = stream[plan.recv_slice(p, width)]
+                    row.append(seg.reshape((-1,) + trailing))
+                else:
+                    v = np.asarray(arrays[k][p])
+                    row.append(np.zeros((0,) + v.shape[1:], dtype=v.dtype))
+            return row
+
+        rows = self._run_ranks(ctx, assemble_rank)
         for p in machine.ranks():
             arrived = int(plan.recv_base[p + 1] - plan.recv_base[p])
             from_others = arrived - int(plan.counts[p, p])
             if from_others:
                 machine.charge_copyops(p, n_attr * from_others, category)
-            for k in range(n_attr):
-                stream, trailing, width = streams[k]
-                if arrived:
-                    seg = stream[plan.recv_slice(p, width)]
-                    out[k].append(seg.reshape((-1,) + trailing))
-                else:
-                    v = np.asarray(arrays[k][p])
-                    out[k].append(np.zeros((0,) + v.shape[1:], dtype=v.dtype))
-        return out
+        return [[rows[p][k] for p in machine.ranks()]
+                for k in range(n_attr)]
 
     # ------------------------------------------------------------------
     # remap plans
@@ -406,11 +452,15 @@ class VectorizedBackend(Backend):
         arrived = flat[cp.forward_flat(sizes, k)]
         place = cp.place_flat(k)
         dtype = np.asarray(data[0]).dtype
-        out: list[np.ndarray] = []
-        for p in machine.ranks():
+
+        def place_rank(p):
             new_local = np.zeros((plan.new_sizes[p],) + trailing, dtype=dtype)
             if place[p].size:
                 new_local.reshape(-1)[place[p]] = arrived[cp.recv_slice(p, k)]
+            return new_local
+
+        out = self._run_ranks(ctx, place_rank)
+        for p in machine.ranks():
+            if place[p].size:
                 machine.charge_copyops(p, cp.place_idx[p].size, category)
-            out.append(new_local)
         return out

@@ -12,6 +12,10 @@ collapses the plumbing:
   traffic statistics, collectives);
 * ``backend`` — the *resolved* :class:`~repro.core.backends.Backend`
   executing every pipeline phase (never ``None``, never a bare name);
+* ``resources`` — the backend's per-context
+  :class:`~repro.core.backends.base.BackendResources` handle (worker
+  pools, scratch buffers), opened once at context construction and torn
+  down deterministically by :meth:`ExecutionContext.close`;
 * per-run services — a :class:`~repro.core.reuse.ModificationRecord`,
   the :class:`~repro.core.reuse.ScheduleCache` built over it, and the
   run's RNG ``seed``.
@@ -28,26 +32,27 @@ Every core primitive takes a context as its first argument::
     ctx = ExecutionContext.resolve(machine, "serial")  # explicit
     ghosts = gather(ctx, sched, data)
 
-The old ``(machine, ..., backend=)`` signatures still work for one
-release through thin shims that emit :class:`DeprecationWarning`
-(:func:`ensure_context`); the test suite runs with
-``-W error::DeprecationWarning`` so no in-tree code regresses onto them.
+The runtime components (:class:`~repro.core.api.ChaosRuntime`,
+``ProgramInstance``, ``ParallelMD``, ``ParallelDSMC``) construct one
+context at init and *own its lifecycle*: their ``close()`` (or use as a
+``with`` block) releases the backend resources.  The pre-context
+machine-first signatures with a ``backend`` keyword, deprecated for one
+release, have been removed.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.backends.base import Backend, resolve_backend
+from repro.core.backends.base import (
+    Backend,
+    BackendResources,
+    resolve_backend,
+)
 from repro.core.reuse import ModificationRecord, ScheduleCache
 from repro.sim.machine import Machine
-
-#: sentinel distinguishing "keyword not passed" from an explicit ``None``
-#: in the deprecated compatibility shims
-_UNSET = object()
 
 
 @dataclass(frozen=True, eq=False)
@@ -56,9 +61,12 @@ class ExecutionContext:
 
     The carrier itself is immutable (fields cannot be rebound); the
     services it carries — the machine's clocks/traffic, the modification
-    record, the schedule cache — are of course mutable objects.  Use
-    :meth:`with_backend` / :meth:`derive` to obtain variants sharing the
-    same machine and services.
+    record, the schedule cache, the backend's resource handle — are of
+    course mutable objects.  Use :meth:`with_backend` / :meth:`derive`
+    to obtain variants sharing the same machine and services; variants
+    that keep the backend share its resource handle too, while
+    retargeting to a different backend opens a fresh handle (closing one
+    context never tears down a sibling running on another backend).
     """
 
     machine: Machine
@@ -66,6 +74,7 @@ class ExecutionContext:
     seed: int = 0
     record: ModificationRecord | None = None
     schedule_cache: ScheduleCache | None = None
+    resources: BackendResources | None = None
 
     def __post_init__(self):
         if not isinstance(self.machine, Machine):
@@ -83,6 +92,9 @@ class ExecutionContext:
             object.__setattr__(
                 self, "schedule_cache", ScheduleCache(self.record)
             )
+        if (self.resources is None
+                or self.resources.backend is not self.backend):
+            object.__setattr__(self, "resources", self.backend.open(self))
 
     # ------------------------------------------------------------------
     @classmethod
@@ -128,9 +140,40 @@ class ExecutionContext:
         )
 
     # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the backend's per-context resources (idempotent).
+
+        Derived variants sharing this context's backend share the handle
+        too, so closing any one of them closes it for all — deterministic
+        teardown belongs to whichever component owns the context.
+        """
+        self.backend.close(self.resources)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run on this context's resources."""
+        return self.resources.closed
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     def with_backend(self, backend) -> "ExecutionContext":
-        """Variant running on ``backend``, sharing machine + services."""
-        return replace(self, backend=resolve_backend(backend))
+        """Variant running on ``backend``, sharing machine + services.
+
+        Same backend returns ``self``; a different backend opens its own
+        fresh :class:`BackendResources` handle (``__post_init__`` sees
+        the stale handle's backend mismatch and re-opens).
+        """
+        be = resolve_backend(backend)
+        if be is self.backend:
+            return self
+        return replace(self, backend=be)
 
     def derive(self, **changes) -> "ExecutionContext":
         """``dataclasses.replace`` with backend names resolved."""
@@ -174,55 +217,36 @@ class ExecutionContext:
         )
 
 
-def _warn_legacy(who: str) -> None:
-    warnings.warn(
-        f"{who}(machine, ..., backend=...) is deprecated; pass an "
-        f"ExecutionContext as the first argument "
-        f"(ExecutionContext.resolve(machine, backend))",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def resolve_component(ctx, backend=_UNSET, who: str = "this component"
-                      ) -> ExecutionContext:
+def resolve_component(ctx, who: str = "this component") -> ExecutionContext:
     """Constructor-side resolution for runtime components.
 
     Components (:class:`ChaosRuntime`, ``ProgramInstance``,
     ``ParallelMD``, ``ParallelDSMC``) accept an :class:`ExecutionContext`
     (preferred) or a bare :class:`Machine` — constructing one context at
-    init is exactly their job, so no warning for the latter.  The legacy
-    ``backend`` keyword still works for one release but warns.
+    init is exactly their job.  Either way, the component owns the
+    resulting context's lifecycle (``component.close()`` closes it).
     """
-    if backend is not _UNSET:
-        _warn_legacy(who)
-        return ExecutionContext.resolve(ctx, backend)
-    return ExecutionContext.resolve(ctx)
+    if isinstance(ctx, (ExecutionContext, Machine)):
+        return ExecutionContext.resolve(ctx)
+    raise TypeError(
+        f"{who}: first argument must be an ExecutionContext or a Machine, "
+        f"got {ctx!r}"
+    )
 
 
-def ensure_context(ctx, backend=_UNSET, who: str = "this primitive"
-                   ) -> ExecutionContext:
-    """Coerce a primitive's first argument to an :class:`ExecutionContext`.
+def ensure_context(ctx, who: str = "this primitive") -> ExecutionContext:
+    """Require a primitive's first argument to be an :class:`ExecutionContext`.
 
-    New-style calls pass a context (returned unchanged; combining it
-    with a legacy ``backend=`` keyword is an error).  Old-style calls
-    pass a :class:`Machine` — still accepted for one release through
-    this shim, which emits a :class:`DeprecationWarning` and resolves a
-    context from the machine plus the legacy keyword.
+    The machine-first compatibility shims (and their ``backend=``
+    keyword) were removed after their one-release deprecation window;
+    passing a bare :class:`Machine` here is now a :class:`TypeError`
+    pointing at :meth:`ExecutionContext.resolve`.
     """
     if isinstance(ctx, ExecutionContext):
-        if backend is not _UNSET and backend is not None:
-            raise TypeError(
-                f"{who}: cannot combine an ExecutionContext with a legacy "
-                f"backend= keyword; use ctx.with_backend(...) instead"
-            )
         return ctx
-    if isinstance(ctx, Machine):
-        _warn_legacy(who)
-        return ExecutionContext.resolve(
-            ctx, None if backend is _UNSET else backend
-        )
     raise TypeError(
-        f"{who}: first argument must be an ExecutionContext (or, "
-        f"deprecated, a Machine), got {ctx!r}"
+        f"{who}: first argument must be an ExecutionContext "
+        f"(the deprecated machine-first signatures were removed; build "
+        f"one with ExecutionContext.resolve(machine[, backend])), "
+        f"got {ctx!r}"
     )

@@ -16,8 +16,8 @@ Every function takes an :class:`~repro.core.context.ExecutionContext`
 first; the context's *backend* (:mod:`repro.core.backends`) executes the
 transport: ``serial`` reproduces the historical pair-loop semantics,
 ``vectorized`` (the default) executes a compiled flat plan with fused
-numpy operations.  The old machine-first signatures with a ``backend``
-keyword remain as deprecated shims.
+numpy operations, ``threaded`` fans the per-rank loops out over the
+context's worker pool.
 """
 
 from __future__ import annotations
@@ -27,7 +27,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.compiled import compile_schedule
-from repro.core.context import _UNSET, ensure_context
+from repro.core.context import ensure_context
 from repro.core.schedule import Schedule
 
 
@@ -49,7 +49,6 @@ def gather(
     data: list[np.ndarray],
     ghosts: list[np.ndarray] | None = None,
     category: str = "comm",
-    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Fetch off-processor elements into ghost buffers.
 
@@ -59,7 +58,7 @@ def gather(
     the inspector address it directly when local and ghost arrays are
     stacked (see :func:`stack_local_ghost`).
     """
-    ctx = ensure_context(ctx, backend, "gather")
+    ctx = ensure_context(ctx, "gather")
     machine = ctx.machine
     machine.check_per_rank(data, "data")
     if ghosts is None:
@@ -87,7 +86,6 @@ def scatter(
     data: list[np.ndarray],
     ghosts: list[np.ndarray],
     category: str = "comm",
-    backend=_UNSET,
 ) -> None:
     """Return ghost values to their owners, overwriting local elements.
 
@@ -95,7 +93,7 @@ def scatter(
     ``ghosts[p][sched.recv_view(p, q)]`` back to ``q``, which writes them
     at ``sched.send_view(q, p)``.
     """
-    ctx = ensure_context(ctx, backend, "scatter")
+    ctx = ensure_context(ctx, "scatter")
     ctx.machine.check_per_rank(data, "data")
     ctx.machine.check_per_rank(ghosts, "ghosts")
     ctx.backend.scatter(ctx, sched, data, ghosts, None, category)
@@ -108,7 +106,6 @@ def scatter_op(
     ghosts: list[np.ndarray],
     op: Callable = np.add,
     category: str = "comm",
-    backend=_UNSET,
 ) -> None:
     """Return ghost contributions and combine with ``op`` at the owner.
 
@@ -118,7 +115,7 @@ def scatter_op(
     accumulates into its ghost copy during the executor loop, then one
     ``scatter_op(np.add)`` folds all contributions into the owners.
     """
-    ctx = ensure_context(ctx, backend, "scatter_op")
+    ctx = ensure_context(ctx, "scatter_op")
     if not hasattr(op, "at"):
         raise TypeError(f"op {op!r} must be a ufunc with an .at method")
     ctx.machine.check_per_rank(data, "data")

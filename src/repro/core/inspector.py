@@ -16,16 +16,14 @@ first: the context carries the machine and the resolved *backend*
 analyses indices one dict operation at a time (the reference semantics),
 ``vectorized`` (the default) probes and inserts whole arrays through a
 batched open-addressed key store.  The same backend also performs the
-translation-table lookups ``chaos_hash`` triggers.  The old
-machine-first signatures with a ``backend`` keyword remain as
-deprecated shims.
+translation-table lookups ``chaos_hash`` triggers.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.context import _UNSET, ensure_context
+from repro.core.context import ensure_context
 from repro.core.hashtable import IndexHashTable, StampRegistry
 from repro.core.translation import TranslationTable
 
@@ -35,7 +33,7 @@ _INSERT_COST = 3
 
 
 def make_hash_tables(
-    ctx, ttable: TranslationTable, backend=_UNSET
+    ctx, ttable: TranslationTable
 ) -> list[IndexHashTable]:
     """One hash table per rank for arrays distributed like ``ttable``.
 
@@ -45,7 +43,7 @@ def make_hash_tables(
     addressing); every store assigns identical slots, so the choice only
     affects wall-clock speed.
     """
-    ctx = ensure_context(ctx, backend, "make_hash_tables")
+    ctx = ensure_context(ctx, "make_hash_tables")
     registry = StampRegistry()
     return [
         IndexHashTable(
@@ -73,7 +71,6 @@ def chaos_hash(
     indices: list[np.ndarray | None],
     stamp: str,
     category: str = "inspector",
-    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Hash one indirection array into the tables; return localized copy.
 
@@ -85,7 +82,7 @@ def chaos_hash(
     Returns per-rank localized index arrays: owned references become local
     offsets, off-processor references become ``n_local + buffer_slot``.
     """
-    ctx = ensure_context(ctx, backend, "chaos_hash")
+    ctx = ensure_context(ctx, "chaos_hash")
     m = ctx.machine
     m.check_per_rank(htables, "hash tables")
     m.check_per_rank(indices, "indices")
@@ -105,7 +102,7 @@ def clear_stamp(
 
     Returns the total number of entries that carried the stamp.
     """
-    ctx = ensure_context(ctx, who="clear_stamp")
+    ctx = ensure_context(ctx, "clear_stamp")
     m = ctx.machine
     m.check_per_rank(htables, "hash tables")
     total = 0
@@ -124,14 +121,13 @@ def localize_only(
     htables: list[IndexHashTable],
     indices: list[np.ndarray | None],
     category: str = "inspector",
-    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Localize indirection arrays already fully present in the tables.
 
     This is the fast path for *unchanged* indirection arrays: a pure
     lookup, no translation-table traffic at all.
     """
-    ctx = ensure_context(ctx, backend, "localize_only")
+    ctx = ensure_context(ctx, "localize_only")
     m = ctx.machine
     m.check_per_rank(htables, "hash tables")
     m.check_per_rank(indices, "indices")

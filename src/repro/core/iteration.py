@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.context import _UNSET, ensure_context
+from repro.core.context import ensure_context
 from repro.core.lightweight import (
     LightweightSchedule,
     build_lightweight_schedule,
@@ -45,14 +45,14 @@ class IterationAssignment:
 
     def remap_iteration_data(
         self, ctx, arrays: list[np.ndarray],
-        category: str = "remap", backend=_UNSET,
+        category: str = "remap",
     ) -> list[np.ndarray]:
         """Move one per-iteration array set to the executing ranks.
 
         The context's backend executes the data transport, exactly as in
         :func:`scatter_append`.
         """
-        ctx = ensure_context(ctx, backend, "remap_iteration_data")
+        ctx = ensure_context(ctx, "remap_iteration_data")
         return scatter_append(ctx, self.schedule, arrays, category=category)
 
 
@@ -81,7 +81,6 @@ def partition_iterations(
     accesses: list[list[np.ndarray]],
     rule: str = "almost-owner-computes",
     category: str = "partition",
-    backend=_UNSET,
 ) -> IterationAssignment:
     """Assign loop iterations to ranks and build the Phase-D move plan.
 
@@ -100,7 +99,7 @@ def partition_iterations(
 
     The context's backend performs the translation-table dereference.
     """
-    ctx = ensure_context(ctx, backend, "partition_iterations")
+    ctx = ensure_context(ctx, "partition_iterations")
     machine = ctx.machine
     if rule not in ("almost-owner-computes", "owner-computes"):
         raise ValueError(f"unknown iteration-partitioning rule {rule!r}")

@@ -17,20 +17,17 @@ list assembly happens at all.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.compiled import (
     compile_lightweight_schedule,
-    concat_csr,
     csr_counts,
     normalize_csr,
     offsets_from_counts,
-    split_csr,
 )
-from repro.core.context import _UNSET, ensure_context
+from repro.core.context import ensure_context
 
 
 @dataclass
@@ -72,17 +69,6 @@ class LightweightSchedule:
         off = self.send_offsets[rank]
         return self.send_sel[rank][int(off[dest]):int(off[dest + 1])]
 
-    def send_pairs(self) -> list[list[np.ndarray]]:
-        """Nested ``[p][q]`` selection views (deprecated legacy accessor,
-        see :meth:`repro.core.schedule.Schedule.send_pairs`)."""
-        warnings.warn(
-            "LightweightSchedule.send_pairs() is deprecated; consume the "
-            "flat CSR buffers or send_view(rank, dest)",
-            DeprecationWarning, stacklevel=2,
-        )
-        return [split_csr(self.send_sel[p], self.send_offsets[p])
-                for p in range(self.n_ranks)]
-
     def recv_total(self, rank: int) -> int:
         """Total elements rank will hold after the move (incl. kept)."""
         return int(self.recv_counts[rank].sum())
@@ -101,20 +87,6 @@ class LightweightSchedule:
         np.fill_diagonal(off_diag, 0)
         return int(off_diag.sum())
 
-    @classmethod
-    def from_pair_lists(
-        cls,
-        n_ranks: int,
-        send_sel: list[list[np.ndarray]],
-        recv_counts: np.ndarray,
-    ) -> "LightweightSchedule":
-        """Build from legacy nested per-pair selection lists."""
-        if len(send_sel) != n_ranks:
-            raise ValueError("send_sel must have one row per rank")
-        flat, offs = zip(*(concat_csr(row) for row in send_sel))
-        return cls(n_ranks=n_ranks, send_sel=list(flat),
-                   send_offsets=list(offs), recv_counts=recv_counts)
-
 
 def build_lightweight_schedule(
     ctx,
@@ -129,7 +101,7 @@ def build_lightweight_schedule(
     table, no permutation list.  The stable bucketing argsort is emitted
     directly as the CSR selection vector.
     """
-    ctx = ensure_context(ctx, who="build_lightweight_schedule")
+    ctx = ensure_context(ctx, "build_lightweight_schedule")
     machine = ctx.machine
     machine.check_per_rank(dest_ranks, "dest_ranks")
     n = machine.n_ranks
@@ -169,7 +141,6 @@ def scatter_append(
     sched: LightweightSchedule,
     values: list[np.ndarray],
     category: str = "comm",
-    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Move elements to their destinations, appending in arrival order.
 
@@ -183,7 +154,7 @@ def scatter_append(
     the same schedule by calling this once per array — the schedule is the
     expensive part, reusing it is free.
     """
-    ctx = ensure_context(ctx, backend, "scatter_append")
+    ctx = ensure_context(ctx, "scatter_append")
     machine = ctx.machine
     machine.check_per_rank(values, "values")
     plan = compile_lightweight_schedule(sched)
@@ -203,7 +174,6 @@ def scatter_append_multi(
     sched: LightweightSchedule,
     arrays: list[list[np.ndarray]],
     category: str = "comm",
-    backend=_UNSET,
 ) -> list[list[np.ndarray]]:
     """Move several aligned array sets with ONE set of messages.
 
@@ -214,7 +184,7 @@ def scatter_append_multi(
     molecule records.  Returns ``out[k][p]`` with the same arrival order
     as :func:`scatter_append`.
     """
-    ctx = ensure_context(ctx, backend, "scatter_append_multi")
+    ctx = ensure_context(ctx, "scatter_append_multi")
     machine = ctx.machine
     if not arrays:
         return []

@@ -15,21 +15,18 @@ sender-major placement stream receiver-major
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.compiled import (
     compile_remap_plan,
-    concat_csr,
     csr_counts,
     normalize_csr,
     offsets_from_counts,
-    split_csr,
     stream_perm,
 )
-from repro.core.context import _UNSET, ensure_context
+from repro.core.context import ensure_context
 from repro.core.distribution import Distribution
 
 
@@ -80,27 +77,6 @@ class RemapPlan:
         off = self.place_offsets[rank]
         return self.place_sel[rank][int(off[src]):int(off[src + 1])]
 
-    def send_pairs(self) -> list[list[np.ndarray]]:
-        """Nested ``[p][q]`` selection views (deprecated legacy accessor,
-        see :meth:`repro.core.schedule.Schedule.send_pairs`)."""
-        warnings.warn(
-            "RemapPlan.send_pairs() is deprecated; consume the flat CSR "
-            "buffers or send_view(rank, dest)",
-            DeprecationWarning, stacklevel=2,
-        )
-        return [split_csr(self.send_sel[p], self.send_offsets[p])
-                for p in range(self.n_ranks)]
-
-    def place_pairs(self) -> list[list[np.ndarray]]:
-        """Nested ``[p][q]`` placement views (deprecated legacy accessor)."""
-        warnings.warn(
-            "RemapPlan.place_pairs() is deprecated; consume the flat CSR "
-            "buffers or place_view(rank, src)",
-            DeprecationWarning, stacklevel=2,
-        )
-        return [split_csr(self.place_sel[p], self.place_offsets[p])
-                for p in range(self.n_ranks)]
-
     def elements_moved(self) -> int:
         """Elements that change ranks (excludes stay-local)."""
         off_diag = csr_counts(self.send_offsets)
@@ -111,23 +87,6 @@ class RemapPlan:
         off_diag = csr_counts(self.send_offsets)
         np.fill_diagonal(off_diag, 0)
         return int(np.count_nonzero(off_diag))
-
-    @classmethod
-    def from_pair_lists(
-        cls,
-        n_ranks: int,
-        send_sel: list[list[np.ndarray]],
-        place_sel: list[list[np.ndarray]],
-        new_sizes: list[int],
-    ) -> "RemapPlan":
-        """Build from legacy nested per-pair selection/placement lists."""
-        if len(send_sel) != n_ranks or len(place_sel) != n_ranks:
-            raise ValueError("send_sel/place_sel must have one row per rank")
-        send, send_off = zip(*(concat_csr(row) for row in send_sel))
-        place, place_off = zip(*(concat_csr(row) for row in place_sel))
-        return cls(n_ranks=n_ranks, send_sel=list(send),
-                   send_offsets=list(send_off), place_sel=list(place),
-                   place_offsets=list(place_off), new_sizes=new_sizes)
 
 
 def remap(
@@ -142,7 +101,7 @@ def remap(
     machine.  Cost: one pass over owned elements per rank plus a
     message-size exchange.
     """
-    ctx = ensure_context(ctx, who="remap")
+    ctx = ensure_context(ctx, "remap")
     machine = ctx.machine
     if old_dist.n_global != new_dist.n_global:
         raise ValueError(
@@ -199,7 +158,6 @@ def remap_array(
     plan: RemapPlan,
     data: list[np.ndarray],
     category: str = "remap",
-    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Apply a remap plan to one per-rank array set; returns new arrays.
 
@@ -207,7 +165,7 @@ def remap_array(
     be reused for every array aligned with the remapped distribution —
     the paper remaps all atom-associated arrays with one plan.
     """
-    ctx = ensure_context(ctx, backend, "remap_array")
+    ctx = ensure_context(ctx, "remap_array")
     machine = ctx.machine
     machine.check_per_rank(data, "data")
     cp = compile_remap_plan(plan)
@@ -226,9 +184,8 @@ def remap_global_values(
     new_dist: Distribution,
     data: list[np.ndarray],
     category: str = "remap",
-    backend=_UNSET,
 ) -> list[np.ndarray]:
     """Convenience: build a plan and move one array set in one call."""
-    ctx = ensure_context(ctx, backend, "remap_global_values")
+    ctx = ensure_context(ctx, "remap_global_values")
     plan = remap(ctx, old_dist, new_dist, category=category)
     return remap_array(ctx, plan, data, category=category)

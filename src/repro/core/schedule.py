@@ -13,9 +13,8 @@ the same way: one concatenated int64 index vector per rank plus a
 ``(n_ranks + 1,)`` offset vector delimiting each partner's segment —
 no nested per-pair Python lists anywhere in the dataclass.  Per-pair
 views are available through :meth:`Schedule.send_view` /
-:meth:`Schedule.recv_view` (zero-copy slices) and the *deprecated*
-nested compatibility accessors :meth:`Schedule.send_pairs` /
-:meth:`Schedule.recv_pairs`.
+:meth:`Schedule.recv_view` (zero-copy slices); the kwarg-era nested
+accessors are gone.
 
 Schedules are built collectively from the stamped hash tables
 (:func:`build_schedule`): each rank selects the off-processor entries
@@ -34,7 +33,6 @@ bitwise-identical schedules and traffic statistics.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,10 +40,9 @@ import numpy as np
 from repro.core.compiled import (
     concat_csr,
     normalize_csr,
-    split_csr,
     zero_csr,
 )
-from repro.core.context import _UNSET, ensure_context
+from repro.core.context import ensure_context
 from repro.core.hashtable import IndexHashTable, StampExpr
 
 
@@ -88,8 +85,6 @@ class Schedule:
                 f"{q} but {q} expects {recv_counts[q, p]}"
             )
         self._counts = send_counts
-        self._send_pairs: list[list[np.ndarray]] | None = None
-        self._recv_pairs: list[list[np.ndarray]] | None = None
 
     # -- flat layout accessors ------------------------------------------
     def counts(self) -> np.ndarray:
@@ -106,42 +101,6 @@ class Schedule:
         """Zero-copy view of ``rank``'s ghost slots for data from ``src``."""
         off = self.recv_offsets[rank]
         return self.recv_slots[rank][int(off[src]):int(off[src + 1])]
-
-    # -- deprecated nested compatibility accessors ----------------------
-    def send_pairs(self) -> list[list[np.ndarray]]:
-        """Nested ``[p][q]`` views of the send segments.
-
-        .. deprecated:: PR 4
-           Test-only legacy accessor for code written against the
-           nested-list layout; emits :class:`DeprecationWarning`.  New
-           code must consume the flat CSR buffers or :meth:`send_view`.
-        """
-        warnings.warn(
-            "Schedule.send_pairs() is deprecated; consume the flat CSR "
-            "buffers or send_view(rank, dest)",
-            DeprecationWarning, stacklevel=2,
-        )
-        if self._send_pairs is None:
-            self._send_pairs = [
-                split_csr(self.send_indices[p], self.send_offsets[p])
-                for p in range(self.n_ranks)
-            ]
-        return self._send_pairs
-
-    def recv_pairs(self) -> list[list[np.ndarray]]:
-        """Nested ``[p][q]`` views of the receive segments (deprecated,
-        see :meth:`send_pairs`)."""
-        warnings.warn(
-            "Schedule.recv_pairs() is deprecated; consume the flat CSR "
-            "buffers or recv_view(rank, src)",
-            DeprecationWarning, stacklevel=2,
-        )
-        if self._recv_pairs is None:
-            self._recv_pairs = [
-                split_csr(self.recv_slots[p], self.recv_offsets[p])
-                for p in range(self.n_ranks)
-            ]
-        return self._recv_pairs
 
     # -- paper's four components, per rank ------------------------------
     def send_list(self, rank: int) -> np.ndarray:
@@ -183,42 +142,12 @@ class Schedule:
             ghost_size=[0] * n_ranks,
         )
 
-    @classmethod
-    def from_pair_lists(
-        cls,
-        n_ranks: int,
-        send_indices: list[list[np.ndarray]],
-        recv_slots: list[list[np.ndarray]],
-        ghost_size: list[int],
-    ) -> "Schedule":
-        """Build a schedule from legacy nested per-pair lists.
-
-        Compatibility constructor for callers (and the serial reference
-        backend) that still assemble one small array per ``(p, q)`` pair;
-        the rows are concatenated into the native CSR buffers.
-        """
-        if len(send_indices) != n_ranks:
-            raise ValueError("send_indices must have one row per rank")
-        if len(recv_slots) != n_ranks:
-            raise ValueError("recv_slots must have one row per rank")
-        send, send_off = zip(*(concat_csr(row) for row in send_indices))
-        recv, recv_off = zip(*(concat_csr(row) for row in recv_slots))
-        return cls(
-            n_ranks=n_ranks,
-            send_indices=list(send),
-            send_offsets=list(send_off),
-            recv_slots=list(recv),
-            recv_offsets=list(recv_off),
-            ghost_size=ghost_size,
-        )
-
 
 def build_schedule(
     ctx,
     htables: list[IndexHashTable],
     expr: StampExpr | str,
     category: str = "inspector",
-    backend=_UNSET,
 ) -> Schedule:
     """Construct a communication schedule from stamped hash tables.
 
@@ -228,7 +157,7 @@ def build_schedule(
     ``CHAOS_schedule`` primitive (Figure 6).  The context's backend
     selects the schedule-generation strategy (see module docstring).
     """
-    ctx = ensure_context(ctx, backend, "build_schedule")
+    ctx = ensure_context(ctx, "build_schedule")
     ctx.machine.check_per_rank(htables, "hash tables")
     return ctx.backend.build_schedule(ctx, htables, expr, category)
 
@@ -242,7 +171,7 @@ def merge_schedules(ctx, scheds: list[Schedule],
     whose hash tables are gone, and for testing the difference between
     the two approaches.
     """
-    ctx = ensure_context(ctx, who="merge_schedules")
+    ctx = ensure_context(ctx, "merge_schedules")
     machine = ctx.machine
     if not scheds:
         raise ValueError("need at least one schedule to merge")

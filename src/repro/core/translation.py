@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.context import _UNSET, ExecutionContext, _warn_legacy
+from repro.core.context import ensure_context
 from repro.core.distribution import (
     BlockDistribution,
     Distribution,
@@ -177,9 +177,8 @@ class TranslationTable:
     def dereference(
         self,
         ctx,
-        queries: list[np.ndarray | None] = None,
+        queries: list[np.ndarray | None],
         category: str = "inspector",
-        backend=_UNSET,
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """Collective lookup: each rank presents global indices, receives
         (owner, offset) arrays aligned with its query order.
@@ -189,29 +188,8 @@ class TranslationTable:
         context's *backend* (:mod:`repro.core.backends`): serial walks
         rank pairs and pages in Python, vectorized (the default) builds
         bincount request matrices; both charge identical traffic.
-
-        The pre-context queries-first signature with a ``backend``
-        keyword remains as a deprecated shim.
         """
-        if not isinstance(ctx, ExecutionContext):
-            # deprecated (queries[, category[, backend]]) signature: the
-            # old positionals shift one slot right under the new binding
-            _warn_legacy("TranslationTable.dereference")
-            legacy_backend = None if backend is _UNSET else backend
-            if isinstance(queries, str):
-                # old category passed positionally; anything after it in
-                # the category slot was the old positional backend
-                if category != "inspector":
-                    legacy_backend = category
-                category = queries
-            queries, ctx = ctx, ExecutionContext.resolve(
-                self.machine, legacy_backend
-            )
-        elif backend is not _UNSET and backend is not None:
-            raise TypeError(
-                "TranslationTable.dereference: cannot combine an "
-                "ExecutionContext with a legacy backend keyword"
-            )
+        ctx = ensure_context(ctx, "TranslationTable.dereference")
         m = self.machine
         if ctx.machine is not m:
             raise ValueError(

@@ -26,7 +26,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.context import _UNSET, resolve_component
+from repro.core.context import resolve_component
 from repro.core.distribution import (
     BlockDistribution,
     CyclicDistribution,
@@ -130,9 +130,8 @@ class ProgramInstance:
         ctx,
         bindings: dict[str, Any] | None = None,
         ttable_storage: str = "replicated",
-        backend=_UNSET,
     ):
-        ctx = resolve_component(ctx, backend, "ProgramInstance")
+        ctx = resolve_component(ctx, "ProgramInstance")
         self.compiled = compiled
         #: the one execution context generated code runs against — its
         #: backend covers index analysis, schedule generation and
@@ -167,6 +166,19 @@ class ProgramInstance:
                 )
                 dtype = np.float64 if info.dtype == "real" else np.int64
                 self.host[name] = np.zeros(shape, dtype=dtype)
+
+    # ==================================================================
+    # lifecycle
+    # ==================================================================
+    def close(self) -> None:
+        """Tear down the context's backend resources (idempotent)."""
+        self.ctx.close()
+
+    def __enter__(self) -> "ProgramInstance":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ==================================================================
     # helpers

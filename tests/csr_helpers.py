@@ -1,0 +1,86 @@
+"""Test-side nested-list helpers for CSR-native plans.
+
+The runtime stores every communication plan as flat CSR buffers; the
+kwarg-era nested constructors (``from_pair_lists``) and accessors
+(``send_pairs`` et al.) were deleted from ``src/`` in PR 5.  Tests that
+want to build a plan from one small array per ``(p, q)`` pair — or to
+compare the flat buffers against their nested presentation — use these
+helpers instead, which concatenate/split through the same public CSR
+layout functions the builders use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import LightweightSchedule, RemapPlan, Schedule
+from repro.core.compiled import concat_csr, split_csr
+
+
+def schedule_from_pairs(
+    n_ranks: int,
+    send_indices: list[list[np.ndarray]],
+    recv_slots: list[list[np.ndarray]],
+    ghost_size: list[int],
+) -> Schedule:
+    """Build a :class:`Schedule` from nested per-pair index lists."""
+    send, send_off = zip(*(concat_csr(row) for row in send_indices))
+    recv, recv_off = zip(*(concat_csr(row) for row in recv_slots))
+    return Schedule(
+        n_ranks=n_ranks,
+        send_indices=list(send),
+        send_offsets=list(send_off),
+        recv_slots=list(recv),
+        recv_offsets=list(recv_off),
+        ghost_size=ghost_size,
+    )
+
+
+def lightweight_from_pairs(
+    n_ranks: int,
+    send_sel: list[list[np.ndarray]],
+    recv_counts: np.ndarray,
+) -> LightweightSchedule:
+    """Build a :class:`LightweightSchedule` from nested selection lists."""
+    flat, offs = zip(*(concat_csr(row) for row in send_sel))
+    return LightweightSchedule(
+        n_ranks=n_ranks, send_sel=list(flat), send_offsets=list(offs),
+        recv_counts=recv_counts,
+    )
+
+
+def remap_from_pairs(
+    n_ranks: int,
+    send_sel: list[list[np.ndarray]],
+    place_sel: list[list[np.ndarray]],
+    new_sizes: list[int],
+) -> RemapPlan:
+    """Build a :class:`RemapPlan` from nested selection/placement lists."""
+    send, send_off = zip(*(concat_csr(row) for row in send_sel))
+    place, place_off = zip(*(concat_csr(row) for row in place_sel))
+    return RemapPlan(
+        n_ranks=n_ranks, send_sel=list(send), send_offsets=list(send_off),
+        place_sel=list(place), place_offsets=list(place_off),
+        new_sizes=new_sizes,
+    )
+
+
+def send_pair_views(plan) -> list[list[np.ndarray]]:
+    """Nested ``[p][q]`` views of a plan's send-side CSR buffers."""
+    flats = getattr(plan, "send_indices", None)
+    if flats is None:
+        flats = plan.send_sel
+    return [split_csr(flats[p], plan.send_offsets[p])
+            for p in range(plan.n_ranks)]
+
+
+def recv_pair_views(sched: Schedule) -> list[list[np.ndarray]]:
+    """Nested ``[p][q]`` views of a schedule's receive-side buffers."""
+    return [split_csr(sched.recv_slots[p], sched.recv_offsets[p])
+            for p in range(sched.n_ranks)]
+
+
+def place_pair_views(plan: RemapPlan) -> list[list[np.ndarray]]:
+    """Nested ``[p][q]`` views of a remap plan's placement buffers."""
+    return [split_csr(plan.place_sel[p], plan.place_offsets[p])
+            for p in range(plan.n_ranks)]

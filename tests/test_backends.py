@@ -1,7 +1,8 @@
-"""Backend equivalence: SerialBackend vs VectorizedBackend.
+"""Backend equivalence: SerialBackend vs Vectorized/ThreadedBackend.
 
 The serial pair loop defines the semantics; the vectorized compiled-plan
-path must be observationally identical on randomized schedules:
+path — and the threaded backend fanning its rank loops over a worker
+pool — must be observationally identical on randomized schedules:
 
 * bitwise-identical ghosts / local results for gather, scatter,
   scatter_op (add and maximum), scatter_append(_multi), remap_array,
@@ -40,7 +41,7 @@ from repro.core import (
 from repro.core.backends import Backend, SerialBackend, VectorizedBackend
 from repro.sim import Machine
 
-BACKENDS = ("serial", "vectorized")
+BACKENDS = ("serial", "vectorized", "threaded")
 
 
 def _clock_snapshots(machine):
@@ -96,13 +97,15 @@ def test_gather_scatter_equivalence(seed, n_ranks, n, n_ref, trailing):
             [msg for msg in m.traffic.messages],
             _clock_snapshots(m),
         )
-    a, b = results["serial"], results["vectorized"]
-    for p in range(len(a[0])):
-        assert np.array_equal(a[0][p], b[0][p])  # ghosts bitwise
-        assert np.array_equal(a[1][p], b[1][p])  # locals bitwise
-    assert a[2] == b[2]  # aggregate traffic exact
-    assert a[3] == b[3]  # individual messages, in order
-    _assert_clocks_match(a[4], b[4])
+    a = results["serial"]
+    for other in BACKENDS[1:]:
+        b = results[other]
+        for p in range(len(a[0])):
+            assert np.array_equal(a[0][p], b[0][p])  # ghosts bitwise
+            assert np.array_equal(a[1][p], b[1][p])  # locals bitwise
+        assert a[2] == b[2]  # aggregate traffic exact
+        assert a[3] == b[3]  # individual messages, in order
+        _assert_clocks_match(a[4], b[4])
 
 
 @settings(max_examples=25, deadline=None)
@@ -131,15 +134,17 @@ def test_scatter_append_equivalence(seed, n_ranks, max_per_rank, trailing):
         out_multi = scatter_append_multi(ctx, sched, [ids, vals])
         results[backend] = (out, out_multi, m.traffic.snapshot(),
                             _clock_snapshots(m))
-    a, b = results["serial"], results["vectorized"]
-    for p in range(n_ranks):
-        assert np.array_equal(a[0][p], b[0][p])
-        assert a[0][p].dtype == b[0][p].dtype
-        for k in range(2):
-            assert np.array_equal(a[1][k][p], b[1][k][p])
-            assert a[1][k][p].dtype == b[1][k][p].dtype
-    assert a[2] == b[2]
-    _assert_clocks_match(a[3], b[3])
+    a = results["serial"]
+    for other in BACKENDS[1:]:
+        b = results[other]
+        for p in range(n_ranks):
+            assert np.array_equal(a[0][p], b[0][p])
+            assert a[0][p].dtype == b[0][p].dtype
+            for k in range(2):
+                assert np.array_equal(a[1][k][p], b[1][k][p])
+                assert a[1][k][p].dtype == b[1][k][p].dtype
+        assert a[2] == b[2]
+        _assert_clocks_match(a[3], b[3])
 
 
 @settings(max_examples=25, deadline=None)
@@ -164,12 +169,14 @@ def test_remap_equivalence(seed, n_ranks, n, trailing):
         m.reset_traffic()
         out = remap_array(ctx, plan, data)
         results[backend] = (out, m.traffic.snapshot(), _clock_snapshots(m))
-    a, b = results["serial"], results["vectorized"]
-    for p in range(n_ranks):
-        assert np.array_equal(a[0][p], b[0][p])
-        assert a[0][p].dtype == b[0][p].dtype
-    assert a[1] == b[1]
-    _assert_clocks_match(a[2], b[2])
+    a = results["serial"]
+    for other in BACKENDS[1:]:
+        b = results[other]
+        for p in range(n_ranks):
+            assert np.array_equal(a[0][p], b[0][p])
+            assert a[0][p].dtype == b[0][p].dtype
+        assert a[1] == b[1]
+        _assert_clocks_match(a[2], b[2])
 
 
 def test_noncontiguous_inputs_fall_back_and_match(rng):
@@ -211,6 +218,7 @@ class TestRegistry:
     def test_builtins_registered(self):
         assert "serial" in available_backends()
         assert "vectorized" in available_backends()
+        assert "threaded" in available_backends()
 
     def test_get_backend_instances(self):
         assert isinstance(get_backend("serial"), SerialBackend)

@@ -1,4 +1,4 @@
-"""ExecutionContext: resolution order, immutability, shims, seam gate.
+"""ExecutionContext: resolution order, immutability, removal, seam gate.
 
 The context is the one carrier object for per-run state; these tests pin
 down its contract:
@@ -7,11 +7,13 @@ down its contract:
   process-wide runtime default > ``REPRO_BACKEND`` env > ``vectorized``;
 * the carrier is frozen (fields cannot be rebound) while the services it
   carries stay shared across derived variants;
-* the deprecated machine-first / ``backend``-keyword shims warn, and
-  mixing a context with the legacy keyword is an error;
+* the kwarg-era surface deprecated in PR 4 (machine-first signatures,
+  ``backend=`` keywords, nested pair accessors, ``from_pair_lists``)
+  is *gone* — the former shim call shapes now raise :class:`TypeError`;
 * serial and vectorized contexts stay *bitwise equal* end-to-end on the
-  CHARMM and DSMC pipelines (results and traffic);
-* no kwarg threading or nested-accessor call site survives under
+  CHARMM and DSMC pipelines (results and traffic; the threaded backend
+  joins the comparison in ``test_threaded_backend.py``);
+* no kwarg threading or resurrected deprecated call site survives under
   ``src/repro/{core,lang,apps}`` (the same scan the CI lint gate runs).
 """
 
@@ -158,90 +160,79 @@ class TestCarrier:
 
 
 # ---------------------------------------------------------------------
-# deprecated shims
+# the kwarg-era surface is gone
 # ---------------------------------------------------------------------
-class TestDeprecatedShims:
-    def test_machine_first_primitive_warns(self, machine4, rng):
+class TestRemovedLegacySurface:
+    def _small_schedule(self, rt, rng, n=12, refs=20):
+        tt = rt.irregular_table(rng.integers(0, 4, n))
+        rt.hash_indirection(tt, split_by_block(rng.integers(0, n, refs),
+                                               rt.machine), "s")
+        return tt, rt.build_schedule(tt, "s")
+
+    def test_machine_first_primitive_rejected(self, machine4, rng):
         dest = [rng.integers(0, 4, 6) for _ in range(4)]
-        with pytest.warns(DeprecationWarning, match="ExecutionContext"):
+        with pytest.raises(TypeError, match="ExecutionContext"):
             build_lightweight_schedule(machine4, dest)
 
-    def test_legacy_backend_kwarg_warns_and_selects(self, machine4, rng):
-        rt = ChaosRuntime(machine4)
-        tt = rt.irregular_table(rng.integers(0, 4, 12))
-        rt.hash_indirection(tt, split_by_block(rng.integers(0, 12, 20),
-                                               machine4), "s")
-        sched = rt.build_schedule(tt, "s")
-        x = rt.distribute(rng.standard_normal(12), tt)
-        with pytest.warns(DeprecationWarning):
-            g = gather(machine4, sched, x.local, backend="serial")
-        assert len(g) == 4
-
-    def test_constructor_backend_kwarg_warns(self, machine4):
-        with pytest.warns(DeprecationWarning):
-            rt = ChaosRuntime(machine4, backend="serial")
-        assert rt.backend.name == "serial"
-
-    def test_context_plus_backend_kwarg_rejected(self, ctx4, rng):
+    def test_backend_kwarg_rejected_on_primitives(self, ctx4, rng):
         rt = ChaosRuntime(ctx4)
-        tt = rt.irregular_table(rng.integers(0, 4, 8))
-        rt.hash_indirection(tt, split_by_block(rng.integers(0, 8, 10),
-                                               ctx4.machine), "s")
-        sched = rt.build_schedule(tt, "s")
-        x = rt.distribute(rng.standard_normal(8), tt)
-        with pytest.raises(TypeError, match="with_backend"):
+        tt, sched = self._small_schedule(rt, rng)
+        x = rt.distribute(rng.standard_normal(12), tt)
+        with pytest.raises(TypeError):
             gather(ctx4, sched, x.local, backend="serial")
+        with pytest.raises(TypeError):
+            gather(ctx4.machine, sched, x.local)
+
+    def test_constructor_backend_kwarg_rejected(self, machine4):
+        with pytest.raises(TypeError):
+            ChaosRuntime(machine4, backend="serial")
 
     def test_ensure_context_rejects_junk(self):
         with pytest.raises(TypeError, match="first argument"):
             ensure_context([1, 2, 3], who="gather")
 
-    def test_legacy_dereference_warns(self, machine4, rng):
+    def test_legacy_dereference_signatures_rejected(self, machine4, rng):
         rt = ChaosRuntime(machine4)
         tt = rt.irregular_table(rng.integers(0, 4, 10))
-        with pytest.warns(DeprecationWarning):
-            owners, offsets = tt.dereference([np.array([1, 2])] + [None] * 3)
-        assert owners[0].size == 2
-
-    def test_legacy_dereference_positional_category(self, machine4, rng):
-        # the old signature was (queries, category=..., ...); a positional
-        # category must still land in the right clock bucket
-        rt = ChaosRuntime(machine4)
-        tt = rt.irregular_table(rng.integers(0, 4, 10))
-        before = machine4.clocks.mean_category("remap")
-        with pytest.warns(DeprecationWarning):
+        # pre-context queries-first shapes, with/without positional
+        # category and backend: all gone
+        with pytest.raises(TypeError):
+            tt.dereference([np.array([1, 2])] + [None] * 3)
+        with pytest.raises(TypeError):
             tt.dereference([np.arange(4)] * 4, "remap")
-        assert machine4.clocks.mean_category("remap") > before
+        with pytest.raises(TypeError):
+            tt.dereference([np.arange(4)] * 4, "remap", get_backend("serial"))
 
-    def test_legacy_dereference_positional_backend(self, machine4, rng):
-        # old fully-positional call (queries, category, backend): the
-        # requested backend must actually run the lookup
-        rt = ChaosRuntime(machine4)
-        tt = rt.irregular_table(rng.integers(0, 4, 10))
-        captured = []
-        serial = get_backend("serial")
-        orig = type(serial).translation_lookup
-
-        def spy(self, ctx, ttable, qs, category):
-            captured.append((self.name, category))
-            return orig(self, ctx, ttable, qs, category)
-
-        type(serial).translation_lookup = spy
-        try:
-            with pytest.warns(DeprecationWarning):
-                tt.dereference([np.arange(4)] * 4, "remap", serial)
-        finally:
-            type(serial).translation_lookup = orig
-        assert captured == [("serial", "remap")]
-
-    def test_legacy_redistribute_positional_backend(self, ctx4, rng):
+    def test_legacy_redistribute_positional_backend_rejected(self, ctx4, rng):
         rt = ChaosRuntime(ctx4)
         tt = rt.irregular_table(rng.integers(0, 4, 12))
         x = rt.distribute(rng.standard_normal(12), tt)
         tt2 = rt.block_table(12)
-        with pytest.warns(DeprecationWarning):
-            moved = x.redistribute(tt2, "remap", "serial")
+        with pytest.raises(TypeError):
+            x.redistribute(tt2, "remap", "serial")
+        moved = x.redistribute(tt2, ctx=ctx4)
         assert np.array_equal(moved.to_global(), x.to_global())
+
+    def test_nested_pair_accessors_gone(self, ctx4, rng):
+        from repro.core import (
+            BlockDistribution,
+            LightweightSchedule,
+            RemapPlan,
+            Schedule,
+            remap,
+        )
+
+        rt = ChaosRuntime(ctx4)
+        tt, sched = self._small_schedule(rt, rng, n=16, refs=30)
+        plan = remap(ctx4, BlockDistribution(8, 4), BlockDistribution(8, 4))
+        dest = [rng.integers(0, 4, 5) for _ in range(4)]
+        lw = build_lightweight_schedule(ctx4, dest)
+        for obj in (sched, plan, lw):
+            assert not hasattr(obj, "send_pairs")
+        assert not hasattr(sched, "recv_pairs")
+        assert not hasattr(plan, "place_pairs")
+        for cls in (Schedule, LightweightSchedule, RemapPlan):
+            assert not hasattr(cls, "from_pair_lists")
 
     def test_program_instances_sharing_ctx_do_not_cross_hit(self, ctx4):
         # two different programs on ONE context: loop ids are
@@ -284,26 +275,14 @@ class TestDeprecatedShims:
         with pytest.raises(ValueError, match="machine"):
             tt.dereference(foreign, [None] * 4)
 
-    def test_nested_pair_accessors_warn(self, ctx4, rng):
+    def test_runtime_cache_stats_mirror(self, ctx4):
+        # ChaosRuntime and ProgramInstance report ScheduleCache counters
+        # through the same (hits, builds) shape
         rt = ChaosRuntime(ctx4)
-        tt = rt.irregular_table(rng.integers(0, 4, 16))
-        rt.hash_indirection(tt, split_by_block(rng.integers(0, 16, 30),
-                                               ctx4.machine), "s")
-        sched = rt.build_schedule(tt, "s")
-        with pytest.warns(DeprecationWarning):
-            sched.send_pairs()
-        with pytest.warns(DeprecationWarning):
-            sched.recv_pairs()
-        from repro.core import BlockDistribution, remap
-        plan = remap(ctx4, BlockDistribution(8, 4), BlockDistribution(8, 4))
-        with pytest.warns(DeprecationWarning):
-            plan.send_pairs()
-        with pytest.warns(DeprecationWarning):
-            plan.place_pairs()
-        dest = [rng.integers(0, 4, 5) for _ in range(4)]
-        lw = build_lightweight_schedule(ctx4, dest)
-        with pytest.warns(DeprecationWarning):
-            lw.send_pairs()
+        assert rt.cache_stats("nope") == (0, 0)
+        rt.schedule_cache.get_or_build("loop", (), lambda: 1)
+        rt.schedule_cache.get_or_build("loop", (), lambda: 1)
+        assert rt.cache_stats("loop") == (1, 1)
 
 
 # ---------------------------------------------------------------------

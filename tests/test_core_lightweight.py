@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     ExecutionContext,
-    LightweightSchedule,
     build_lightweight_schedule,
     scatter_append,
 )
@@ -35,9 +34,11 @@ class TestBuild:
         assert sched.total_moved() == 0
 
     def test_inconsistent_schedule_rejected(self):
+        from csr_helpers import lightweight_from_pairs
+
         z = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
         with pytest.raises(ValueError):
-            LightweightSchedule.from_pair_lists(
+            lightweight_from_pairs(
                 n_ranks=2,
                 send_sel=[[z(), np.array([0])], [z(), z()]],
                 recv_counts=np.zeros((2, 2), dtype=np.int64),

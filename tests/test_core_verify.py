@@ -98,8 +98,6 @@ class TestLightweightChecks:
         assert problems  # count mismatch and/or undelivered element
 
     def test_double_send_detected(self, ctx4, rng):
-        from repro.core import LightweightSchedule
-
         dest = [rng.integers(0, 4, 12) for _ in range(4)]
         sched = build_lightweight_schedule(ctx4, dest)
         # send element 0 of rank 0 to a second destination too
@@ -113,7 +111,9 @@ class TestLightweightChecks:
                 )
                 recv_counts[q][0] += 1
                 break
-        bad = LightweightSchedule.from_pair_lists(4, pairs, recv_counts)
+        from csr_helpers import lightweight_from_pairs
+
+        bad = lightweight_from_pairs(4, pairs, recv_counts)
         problems = check_lightweight(bad)
         assert any("multiple destinations" in msg for msg in problems)
 

@@ -36,7 +36,7 @@ from repro.core import (
 )
 from repro.sim import Machine
 
-BACKENDS = ("serial", "vectorized")
+BACKENDS = ("serial", "vectorized", "threaded")
 STORAGES = ("replicated", "distributed", "paged")
 
 
@@ -123,20 +123,21 @@ def _run_pipeline(backend, seed, n_ranks, n, n_ref, storage):
 )
 def test_inspector_pipeline_equivalence(seed, n_ranks, n, n_ref, storage):
     a = _run_pipeline("serial", seed, n_ranks, n, n_ref, storage)
-    b = _run_pipeline("vectorized", seed, n_ranks, n, n_ref, storage)
-    for la, lb in zip(a["loc"], b["loc"]):
-        for x, y in zip(la, lb):
-            assert np.array_equal(x, y)
-            assert x.dtype == y.dtype
-    for ta, tb in zip(a["tables"], b["tables"]):
-        for x, y in zip(ta[:-1], tb[:-1]):
-            assert np.array_equal(x, y)
-        assert ta[-1] == tb[-1]  # n_ghost
-    for sa, sb in zip(a["schedules"], b["schedules"]):
-        _assert_schedules_equal(sa, sb)
-    assert a["traffic"] == b["traffic"]
-    assert a["messages"] == b["messages"]
-    _assert_clocks_match(a["clocks"], b["clocks"])
+    for other in BACKENDS[1:]:
+        b = _run_pipeline(other, seed, n_ranks, n, n_ref, storage)
+        for la, lb in zip(a["loc"], b["loc"]):
+            for x, y in zip(la, lb):
+                assert np.array_equal(x, y)
+                assert x.dtype == y.dtype
+        for ta, tb in zip(a["tables"], b["tables"]):
+            for x, y in zip(ta[:-1], tb[:-1]):
+                assert np.array_equal(x, y)
+            assert ta[-1] == tb[-1]  # n_ghost
+        for sa, sb in zip(a["schedules"], b["schedules"]):
+            _assert_schedules_equal(sa, sb)
+        assert a["traffic"] == b["traffic"]
+        assert a["messages"] == b["messages"]
+        _assert_clocks_match(a["clocks"], b["clocks"])
 
 
 @settings(max_examples=15, deadline=None)
@@ -172,14 +173,16 @@ def test_stamp_release_reacquire_cycles_agree(seed, n_ranks, n, rounds):
             clear_stamp(ctx, hts, "nb", release=True)
         results[backend] = (per_round, m.traffic.snapshot(),
                             _clock_snapshots(m))
-    a, b = results["serial"], results["vectorized"]
-    for (loc_a, ma, ia), (loc_b, mb, ib) in zip(a[0], b[0]):
-        for x, y in zip(loc_a, loc_b):
-            assert np.array_equal(x, y)
-        _assert_schedules_equal(ma, mb)
-        _assert_schedules_equal(ia, ib)
-    assert a[1] == b[1]
-    _assert_clocks_match(a[2], b[2])
+    a = results["serial"]
+    for other in BACKENDS[1:]:
+        b = results[other]
+        for (loc_a, ma, ia), (loc_b, mb, ib) in zip(a[0], b[0]):
+            for x, y in zip(loc_a, loc_b):
+                assert np.array_equal(x, y)
+            _assert_schedules_equal(ma, mb)
+            _assert_schedules_equal(ia, ib)
+        assert a[1] == b[1]
+        _assert_clocks_match(a[2], b[2])
 
 
 # ---------------------------------------------------------------------

@@ -1,23 +1,29 @@
 """Property tests: the CSR-native schedule layout and its nested views.
 
 The flat int64 buffers + per-(rank, dest) offset vectors are the native
-representation; the nested per-pair accessors (``send_pairs`` /
-``recv_pairs`` / ``send_view``) are derived, zero-copy views.  These
-tests pin down that the two presentations agree exactly — round-trip
-through ``from_pair_lists``, merged and incremental schedules, empty
-ranks and ``n_global == 0`` — under both backends.
+representation; per-pair views (``send_view`` / ``recv_view``, plus the
+nested test helpers in ``csr_helpers.py``) are derived, zero-copy.
+These tests pin down that the two presentations agree exactly —
+round-trip through nested pair lists, merged and incremental schedules,
+empty ranks and ``n_global == 0`` — under every registered backend.
 """
 
 import numpy as np
 import pytest
+from csr_helpers import (
+    lightweight_from_pairs,
+    place_pair_views,
+    recv_pair_views,
+    remap_from_pairs,
+    schedule_from_pairs,
+    send_pair_views,
+)
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
     ChaosRuntime,
     ExecutionContext,
-    LightweightSchedule,
-    RemapPlan,
     Schedule,
     build_lightweight_schedule,
     build_schedule,
@@ -31,7 +37,7 @@ from repro.core.remap import remap
 from repro.core.translation import TranslationTable
 from repro.sim import Machine
 
-BACKENDS = ("serial", "vectorized")
+BACKENDS = ("serial", "vectorized", "threaded")
 
 
 def _assert_schedule_equal(a: Schedule, b: Schedule) -> None:
@@ -74,14 +80,12 @@ def _pipeline(backend, n_ranks=4, n=64, n_ref=96, seed=0):
 
 @pytest.mark.parametrize("backend", BACKENDS)
 class TestScheduleCSR:
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_round_trip_through_pair_lists(self, backend):
-        # legacy nested-accessor round-trip: opts into the deprecation
         ctx, tt, hts = _pipeline(backend)
         sched = build_schedule(ctx, hts, "a")
         _check_csr_invariants(sched)
-        rebuilt = Schedule.from_pair_lists(
-            sched.n_ranks, sched.send_pairs(), sched.recv_pairs(),
+        rebuilt = schedule_from_pairs(
+            sched.n_ranks, send_pair_views(sched), recv_pair_views(sched),
             list(sched.ghost_size),
         )
         _assert_schedule_equal(sched, rebuilt)
@@ -141,10 +145,8 @@ class TestScheduleCSR:
                 )
                 assert np.array_equal(merged.send_view(p, q), want)
 
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_empty_rank_edges(self, backend):
         # all references live on rank 0's slice; ranks 2..3 hash nothing
-        # (uses the legacy nested accessors for the round-trip: opts in)
         m = Machine(4)
         ctx = ExecutionContext.resolve(m, backend)
         tt = TranslationTable.from_map(m, np.zeros(16, dtype=np.int64))
@@ -160,8 +162,8 @@ class TestScheduleCSR:
             assert sched.recv_slots[p].size == 0
             assert np.array_equal(sched.send_offsets[p],
                                   np.zeros(5, dtype=np.int64))
-        rebuilt = Schedule.from_pair_lists(
-            4, sched.send_pairs(), sched.recv_pairs(),
+        rebuilt = schedule_from_pairs(
+            4, send_pair_views(sched), recv_pair_views(sched),
             list(sched.ghost_size),
         )
         _assert_schedule_equal(sched, rebuilt)
@@ -181,13 +183,12 @@ class TestScheduleCSR:
 
 
 class TestLightweightCSR:
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_round_trip(self, rng):
         m = Machine(4)
         dest = [rng.integers(0, 4, 20) for _ in range(4)]
         sched = build_lightweight_schedule(ExecutionContext.resolve(m), dest)
-        rebuilt = LightweightSchedule.from_pair_lists(
-            4, sched.send_pairs(), sched.recv_counts.copy()
+        rebuilt = lightweight_from_pairs(
+            4, send_pair_views(sched), sched.recv_counts.copy()
         )
         for p in range(4):
             assert np.array_equal(sched.send_sel[p], rebuilt.send_sel[p])
@@ -209,15 +210,15 @@ class TestLightweightCSR:
 
 
 class TestRemapCSR:
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_round_trip(self, rng):
         m = Machine(4)
         n = 40
         old = BlockDistribution(n, 4)
         new = IrregularDistribution(rng.integers(0, 4, n), 4)
         plan = remap(ExecutionContext.resolve(m), old, new)
-        rebuilt = RemapPlan.from_pair_lists(
-            4, plan.send_pairs(), plan.place_pairs(), list(plan.new_sizes)
+        rebuilt = remap_from_pairs(
+            4, send_pair_views(plan), place_pair_views(plan),
+            list(plan.new_sizes)
         )
         for p in range(4):
             assert np.array_equal(plan.send_sel[p], rebuilt.send_sel[p])
@@ -245,7 +246,7 @@ class TestRemapCSR:
     seed=st.integers(0, 2**16),
 )
 def test_backends_agree_on_csr_buffers(refs, seed):
-    """Serial and vectorized builders emit byte-identical CSR buffers."""
+    """Every registered builder emits byte-identical CSR buffers."""
     del seed  # reserved for stamp variation; keep draws deterministic
     scheds = []
     for backend in BACKENDS:

@@ -4,16 +4,20 @@ Callers historically controlled the dtype of the schedule index buffers —
 an int32 indirection array produced an int32 schedule, and downstream
 code (compiled plans, fancy indexing) silently depended on whatever
 arrived.  Construction now coerces every flat buffer and offset vector to
-int64, whether a schedule is built directly from CSR buffers or through
-the legacy nested ``from_pair_lists`` constructors.
+int64, whether a schedule is built directly from CSR buffers or
+assembled from nested per-pair lists (``tests/csr_helpers.py``).
 """
 
 import numpy as np
-import pytest
+
+from csr_helpers import (
+    lightweight_from_pairs,
+    remap_from_pairs,
+    schedule_from_pairs,
+    send_pair_views,
+)
 
 from repro.core import (
-    LightweightSchedule,
-    RemapPlan,
     Schedule,
     compile_lightweight_schedule,
     compile_remap_plan,
@@ -27,7 +31,7 @@ def _rows(n, arrs):
 
 def _sched_2ranks():
     z = np.zeros(0, dtype=np.int32)
-    return Schedule.from_pair_lists(
+    return schedule_from_pairs(
         n_ranks=2,
         send_indices=_rows(2, [[z, np.array([0, 1])], [np.array([2]), z]]),
         recv_slots=_rows(2, [[z, np.array([0])], [np.array([1, 0]), z]]),
@@ -62,13 +66,11 @@ def test_schedule_coerces_int32_csr_buffers():
     assert sched.counts().dtype == np.int64
 
 
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_pair_views_roundtrip():
-    # exercises the deprecated nested accessor deliberately: opts in
     sched = _sched_2ranks()
     assert np.array_equal(sched.send_view(0, 1), [0, 1])
     assert np.array_equal(sched.send_view(1, 0), [2])
-    pairs = sched.send_pairs()
+    pairs = send_pair_views(sched)
     for p in range(2):
         for q in range(2):
             assert np.array_equal(pairs[p][q], sched.send_view(p, q))
@@ -76,7 +78,7 @@ def test_pair_views_roundtrip():
 
 def test_lightweight_coerces_int32_indices():
     z = np.zeros(0, dtype=np.int32)
-    sched = LightweightSchedule.from_pair_lists(
+    sched = lightweight_from_pairs(
         n_ranks=2,
         send_sel=_rows(2, [[np.array([0]), np.array([1])],
                            [z, np.array([0, 1])]]),
@@ -90,7 +92,7 @@ def test_lightweight_coerces_int32_indices():
 
 def test_remap_plan_coerces_int32_indices():
     z = np.zeros(0, dtype=np.int32)
-    plan = RemapPlan.from_pair_lists(
+    plan = remap_from_pairs(
         n_ranks=2,
         send_sel=_rows(2, [[np.array([0]), np.array([1])], [z, np.array([0])]]),
         place_sel=_rows(2, [[np.array([0]), z], [np.array([0]), np.array([1])]]),
@@ -110,7 +112,7 @@ def test_compiled_plans_are_int64():
     assert plan.perm.dtype == np.int64
     assert plan.counts.dtype == np.int64
 
-    lw = LightweightSchedule.from_pair_lists(
+    lw = lightweight_from_pairs(
         n_ranks=1,
         send_sel=[[np.array([0, 1], dtype=np.int32)]],
         recv_counts=np.array([[2]]),
@@ -118,7 +120,7 @@ def test_compiled_plans_are_int64():
     lwp = compile_lightweight_schedule(lw)
     assert lwp.send_idx[0].dtype == np.int64
 
-    rp = RemapPlan.from_pair_lists(
+    rp = remap_from_pairs(
         n_ranks=1,
         send_sel=[[np.array([0], dtype=np.int32)]],
         place_sel=[[np.array([0], dtype=np.int32)]],

@@ -1,15 +1,20 @@
 #!/usr/bin/env python
 """Lint gate: the ExecutionContext seam must not regress.
 
-Scans ``src/repro/{core,lang,apps}`` and fails when:
+The PR-4 deprecation shims (machine-first signatures, ``backend=``
+keyword threading, nested pair accessors, ``from_pair_lists``) were
+deleted after their one-release grace period; this gate keeps them
+deleted.  It scans ``src/repro/{core,lang,apps}`` and fails when:
 
-* ``backend=`` keyword threading reappears anywhere outside the shim
-  module (``core/context.py``) — the only tolerated form elsewhere is
-  the shim parameter default ``backend=_UNSET``;
-* the deprecated nested pair accessors (``send_pairs(`` /
-  ``recv_pairs(`` / ``place_pairs(``) are *called* anywhere outside the
-  three plan modules that define them (``core/schedule.py``,
-  ``core/lightweight.py``, ``core/remap.py``).
+* ``backend=`` keyword threading reappears anywhere outside the one
+  module that resolves backends (``core/context.py``) — f-string debug
+  reprs (``backend={...}``) are tolerated;
+* the removed nested pair accessors (``send_pairs`` / ``recv_pairs`` /
+  ``place_pairs``) or nested constructors (``from_pair_lists``) are
+  mentioned anywhere — they no longer exist, so any occurrence is a
+  resurrection;
+* the deleted shim machinery (``_UNSET`` sentinel, ``_warn_legacy``)
+  reappears anywhere.
 
 Run from the repository root (CI lint job)::
 
@@ -35,15 +40,12 @@ SCAN_DIRS = ("src/repro/core", "src/repro/lang", "src/repro/apps")
 #: there and nowhere else)
 BACKEND_SHIM_MODULES = frozenset({"src/repro/core/context.py"})
 
-#: modules defining the deprecated nested accessors
-PAIR_SHIM_MODULES = frozenset({
-    "src/repro/core/schedule.py",
-    "src/repro/core/lightweight.py",
-    "src/repro/core/remap.py",
-})
-
-_BACKEND_KWARG = re.compile(r"backend=(?!_UNSET\b)")
-_PAIR_CALL = re.compile(r"\b(?:send_pairs|recv_pairs|place_pairs)\(")
+_BACKEND_KWARG = re.compile(r"backend=(?!\{)")
+#: fully banned — these names were deleted in PR 5 and must stay deleted
+_RESURRECTED = re.compile(
+    r"\b(?:send_pairs|recv_pairs|place_pairs|from_pair_lists"
+    r"|_warn_legacy|_UNSET)\b"
+)
 
 
 def scan(root: str = REPO_ROOT) -> list[str]:
@@ -62,14 +64,13 @@ def scan(root: str = REPO_ROOT) -> list[str]:
                                 and _BACKEND_KWARG.search(line)):
                             problems.append(
                                 f"{rel}:{lineno}: backend= kwarg threading "
-                                f"outside the context shim module: "
+                                f"outside the context module: "
                                 f"{line.strip()}"
                             )
-                        if rel not in PAIR_SHIM_MODULES \
-                                and _PAIR_CALL.search(line):
+                        if _RESURRECTED.search(line):
                             problems.append(
-                                f"{rel}:{lineno}: deprecated nested pair "
-                                f"accessor call site: {line.strip()}"
+                                f"{rel}:{lineno}: resurrected deprecated "
+                                f"surface (deleted in PR 5): {line.strip()}"
                             )
     return problems
 
