@@ -1,11 +1,13 @@
 """Pluggable executor backends.
 
-Importing this package registers the three built-in backends:
+Importing this package registers the four built-in backends:
 
 * ``serial`` — reference pair-loop semantics,
 * ``vectorized`` — compiled flat plans (the default),
 * ``threaded`` — vectorized kernels with the rank loops fanned out over
-  a per-context worker pool.
+  a per-context worker *thread* pool,
+* ``multiprocess`` — the same kernels shipped to worker *processes*
+  over shared-memory views of the compiled plan buffers.
 
 Selection happens through the
 :class:`~repro.core.context.ExecutionContext` every primitive takes
@@ -29,6 +31,7 @@ from repro.core.backends.base import (
     set_default_backend,
     use_backend,
 )
+from repro.core.backends.multiprocess import MultiprocessBackend
 from repro.core.backends.serial import SerialBackend
 from repro.core.backends.threaded import ThreadedBackend
 from repro.core.backends.vectorized import VectorizedBackend
@@ -37,6 +40,7 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "Backend",
     "BackendResources",
+    "MultiprocessBackend",
     "SerialBackend",
     "ThreadedBackend",
     "VectorizedBackend",

@@ -1,0 +1,458 @@
+"""Multiprocess backend: rank kernels in worker *processes* over
+shared-memory views of the compiled plans.
+
+The threaded backend fans the per-rank executor kernels over threads,
+but every kernel still competes for one GIL.  This backend runs the
+same kernels — bitwise identical results, schedules and traffic — in a
+per-context :class:`~concurrent.futures.ProcessPoolExecutor`, with all
+array payloads crossing the process boundary as *descriptors* into
+POSIX shared memory, never as pickled ndarrays:
+
+* **plan buffers** (``forward_flat``, ``place_stream``, ...) are
+  exported to the arena's *static* region once per compiled plan —
+  their identity is stable for the plan's lifetime (they are cached on
+  the plan), so steady-state calls reuse the same segments;
+* **per-call data** (the concatenated rank-partitioned stream, the
+  in/out rank arrays) is copied into the *scratch* region, which is
+  reset at the start of every shipped call;
+* **messages** are ``(segment name, offset, length, dtype)`` tuples
+  plus plain-int constants.  ``tests/test_multiprocess_backend.py``
+  instruments the pickler to prove no ndarray payload ever crosses.
+
+Work is chunked: each worker receives a contiguous range of ranks and
+runs the kernel loop over it, so a machine with more ranks than cores
+costs one round-trip per worker, not per rank.  All machine accounting
+(clocks, traffic) stays on the calling process in rank order — workers
+only move bytes.
+
+Whether a kernel is worth shipping is decided per call from
+:attr:`RankKernel.work` (total scalars moved machine-wide) against
+``REPRO_MP_SHIP_THRESHOLD`` (default 4096): tiny exchanges run inline
+on the vectorized path, since a process round-trip costs more than the
+kernel.  Kernels that cannot ship — bare closures from the inspector
+phase, scatter with a non-ufunc combiner, serial fallbacks — also run
+inline, so every primitive works under this backend.
+
+Lifecycle follows :class:`~repro.core.backends.base.PooledResources`:
+the pool and arena are owned by the per-context resource handle,
+``ctx.close()`` shuts the pool down and unlinks every shared-memory
+segment, and a GC finalizer backs both up.  The pool itself starts
+lazily on the first shipped kernel, so contexts that never cross the
+threshold pay nothing.  The start method defaults to ``forkserver``
+where available (``spawn`` elsewhere) and can be forced with
+``REPRO_MP_START_METHOD``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.core.backends.base import (
+    PooledResources,
+    collect_futures,
+    register_backend,
+)
+from repro.core.backends.vectorized import RankKernel, VectorizedBackend
+
+#: environment variable selecting the worker start method
+START_METHOD_ENV_VAR = "REPRO_MP_START_METHOD"
+
+#: environment variable overriding the ship/inline work threshold
+SHIP_THRESHOLD_ENV_VAR = "REPRO_MP_SHIP_THRESHOLD"
+
+#: minimum machine-wide scalars moved before a kernel is shipped
+DEFAULT_SHIP_THRESHOLD = 4096
+
+_ALIGN = 16
+
+
+class ShmRef(NamedTuple):
+    """Descriptor of a flat array living in a shared-memory segment."""
+
+    segment: str
+    offset: int
+    length: int
+    dtype: str
+
+
+def _start_method() -> str:
+    forced = os.environ.get(START_METHOD_ENV_VAR)
+    if forced:
+        return forced
+    methods = multiprocessing.get_all_start_methods()
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
+def _ship_threshold() -> int:
+    raw = os.environ.get(SHIP_THRESHOLD_ENV_VAR)
+    if raw is None:
+        return DEFAULT_SHIP_THRESHOLD
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_SHIP_THRESHOLD
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class _Region:
+    """Bump allocator over a growable list of shared-memory segments."""
+
+    __slots__ = ("segments", "used", "capacity")
+
+    def __init__(self, capacity: int):
+        self.segments: list[shared_memory.SharedMemory] = []
+        self.used = 0
+        self.capacity = int(capacity)
+
+    def alloc(self, nbytes: int) -> tuple[shared_memory.SharedMemory, int]:
+        nbytes = int(nbytes)
+        if not self.segments or self.used + nbytes > self.segments[-1].size:
+            size = max(nbytes, self.capacity, _ALIGN)
+            self.segments.append(
+                shared_memory.SharedMemory(create=True, size=size)
+            )
+            self.used = 0
+        segment = self.segments[-1]
+        offset = self.used
+        self.used = _aligned(offset + nbytes)
+        return segment, offset
+
+    def reset(self) -> None:
+        """Rewind the bump pointer; consolidate if growth fragmented us."""
+        if len(self.segments) > 1:
+            self.capacity = max(
+                self.capacity, sum(s.size for s in self.segments)
+            )
+            self.destroy()
+        self.used = 0
+
+    def destroy(self) -> None:
+        for segment in self.segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self.segments.clear()
+        self.used = 0
+
+
+class ShmArena:
+    """Per-context shared-memory arena with static and scratch regions.
+
+    The *static* region holds plan-derived buffers, exported at most
+    once per array object (keyed by identity — sound because compiled
+    plans cache their flat layouts for the plan's lifetime, and the
+    cache keeps a strong reference so ids cannot be recycled).  The
+    *scratch* region holds per-call payloads and is reset before every
+    shipped kernel.  ``close()`` unlinks every segment; the names are
+    recorded so tests can verify nothing is left in ``/dev/shm``.
+    """
+
+    def __init__(self):
+        self._static = _Region(1 << 20)
+        self._scratch = _Region(1 << 20)
+        self._exports: dict[int, tuple[np.ndarray, ShmRef]] = {}
+
+    # -- allocation ----------------------------------------------------
+    def _write(self, region: _Region, flat: np.ndarray
+               ) -> tuple[ShmRef, np.ndarray]:
+        if flat.size == 0:
+            return (ShmRef("", 0, 0, str(flat.dtype)),
+                    np.zeros(0, dtype=flat.dtype))
+        segment, offset = region.alloc(flat.nbytes)
+        view = np.ndarray(flat.size, dtype=flat.dtype,
+                          buffer=segment.buf, offset=offset)
+        view[:] = flat
+        ref = ShmRef(segment.name, offset, flat.size, str(flat.dtype))
+        return ref, view
+
+    def export_plan(self, arr: np.ndarray) -> ShmRef:
+        """Static export, at most once per (still-alive) array object."""
+        entry = self._exports.get(id(arr))
+        if entry is not None and entry[0] is arr:
+            return entry[1]
+        ref, _ = self._write(self._static, arr.reshape(-1))
+        self._exports[id(arr)] = (arr, ref)
+        return ref
+
+    def export_scratch(self, arr: np.ndarray) -> tuple[ShmRef, np.ndarray]:
+        """Copy ``arr`` (flattened) into scratch; ref plus parent view."""
+        return self._write(self._scratch, arr.reshape(-1))
+
+    def alloc_scratch(self, length: int, dtype) -> tuple[ShmRef, np.ndarray]:
+        """Uninitialized scratch output buffer of ``length`` scalars."""
+        dtype = np.dtype(dtype)
+        if length == 0:
+            return (ShmRef("", 0, 0, str(dtype)),
+                    np.zeros(0, dtype=dtype))
+        segment, offset = self._scratch.alloc(length * dtype.itemsize)
+        view = np.ndarray(length, dtype=dtype,
+                          buffer=segment.buf, offset=offset)
+        ref = ShmRef(segment.name, offset, int(length), str(dtype))
+        return ref, view
+
+    def reset_scratch(self) -> None:
+        self._scratch.reset()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in
+                     self._static.segments + self._scratch.segments)
+
+    def close(self) -> None:
+        self._exports.clear()
+        self._static.destroy()
+        self._scratch.destroy()
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: per-worker cache of attached segments (dies with the worker process)
+_WORKER_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(ref: ShmRef) -> np.ndarray:
+    if ref.length == 0:
+        return np.zeros(0, dtype=np.dtype(ref.dtype))
+    segment = _WORKER_SEGMENTS.get(ref.segment)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=ref.segment)
+        _WORKER_SEGMENTS[ref.segment] = segment
+    return np.ndarray(ref.length, dtype=np.dtype(ref.dtype),
+                      buffer=segment.buf, offset=ref.offset)
+
+
+def _k_gather_place(ranks, bufs, consts):
+    k, base = consts["k"], consts["recv_base"]
+    fwd, place, flat = bufs["fwd"], bufs["place"], bufs["flat"]
+    ghost = bufs["ghost"]
+    for p in ranks:
+        lo, hi = base[p] * k, base[p + 1] * k
+        if hi > lo:
+            ghost[p][place[lo:hi]] = flat[fwd[lo:hi]]
+
+
+def _k_scatter_apply(ranks, bufs, consts):
+    k, base = consts["k"], consts["send_base"]
+    op = getattr(np, consts["op"]) if consts["op"] else None
+    rev, send, flat = bufs["rev"], bufs["send"], bufs["flat"]
+    data = bufs["data"]
+    for p in ranks:
+        lo, hi = base[p] * k, base[p + 1] * k
+        if hi > lo:
+            seg = flat[rev[lo:hi]]
+            if op is None:
+                data[p][send[lo:hi]] = seg
+            else:
+                op.at(data[p], send[lo:hi], seg)
+
+
+def _k_append_stream(ranks, bufs, consts):
+    k, base = consts["k"], consts["recv_base"]
+    fwd, flat, out = bufs["fwd"], bufs["flat"], bufs["out"]
+    for p in ranks:
+        lo, hi = base[p] * k, base[p + 1] * k
+        if hi > lo:
+            out[p][:] = flat[fwd[lo:hi]]
+
+
+def _k_remap_place(ranks, bufs, consts):
+    k, base = consts["k"], consts["recv_base"]
+    fwd, place, flat = bufs["fwd"], bufs["place"], bufs["flat"]
+    out = bufs["out"]
+    for p in ranks:
+        buf = out[p]
+        buf[:] = 0
+        lo, hi = base[p] * k, base[p + 1] * k
+        if hi > lo:
+            buf[place[lo:hi]] = flat[fwd[lo:hi]]
+
+
+#: module-level (hence picklable-by-reference) kernel bodies, keyed by
+#: the :class:`RankKernel` name built in ``vectorized.py``
+_KERNELS = {
+    "gather_place": _k_gather_place,
+    "scatter_apply": _k_scatter_apply,
+    "append_stream": _k_append_stream,
+    "remap_place": _k_remap_place,
+}
+
+
+def _run_rank_chunk(name, ranks, refs, consts) -> None:
+    """Worker entry point: resolve descriptors, run one rank range."""
+    bufs = {}
+    for key, ref in refs.items():
+        if isinstance(ref, ShmRef):
+            bufs[key] = _attach(ref)
+        else:
+            bufs[key] = [_attach(r) for r in ref]
+    _KERNELS[name](ranks, bufs, consts)
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+def _plain(value):
+    """Constants as they cross the boundary: never a numpy object."""
+    if isinstance(value, np.ndarray):
+        return tuple(int(x) for x in value)
+    if isinstance(value, np.ufunc):
+        return value.__name__
+    if isinstance(value, np.dtype):
+        return str(value)
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _chunk_ranks(n_ranks: int, width: int) -> list[list[int]]:
+    """Contiguous rank ranges, one per worker, balanced to ±1."""
+    width = max(1, min(int(width), int(n_ranks)))
+    base, extra = divmod(n_ranks, width)
+    chunks, start = [], 0
+    for i in range(width):
+        stop = start + base + (1 if i < extra else 0)
+        if stop > start:
+            chunks.append(list(range(start, stop)))
+        start = stop
+    return chunks
+
+
+class MultiprocessResources(PooledResources):
+    """Per-context process pool plus the shared-memory arena."""
+
+    __slots__ = ()
+
+    def __init__(self, owner, n_ranks: int):
+        # the pool is lazy: launching worker processes is only worth it
+        # once a kernel actually crosses the ship threshold
+        super().__init__(owner, n_ranks, eager=False)
+        self._state["arena"] = ShmArena()
+
+    @property
+    def arena(self) -> ShmArena:
+        return self._state["arena"]
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        method = _start_method()
+        mp_context = multiprocessing.get_context(method)
+        if method == "forkserver":
+            # amortize the heavy imports across every forked worker (a
+            # no-op if another pool already launched the server)
+            mp_context.set_forkserver_preload(
+                ["numpy", "repro.core.backends.multiprocess"]
+            )
+        return ProcessPoolExecutor(max_workers=self.n_workers,
+                                   mp_context=mp_context)
+
+    @classmethod
+    def _emergency(cls, state: dict) -> None:
+        cls._shutdown_pool(state, wait=False)
+        arena = state.get("arena")
+        if arena is not None:
+            arena.close()
+
+    def _release_extra(self) -> None:
+        self.arena.close()
+
+
+@register_backend
+class MultiprocessBackend(VectorizedBackend):
+    """Vectorized kernels shipped to worker processes via shared memory."""
+
+    name = "multiprocess"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def open(self, ctx) -> MultiprocessResources:
+        return MultiprocessResources(self, ctx.machine.n_ranks)
+
+    # ------------------------------------------------------------------
+    # rank-loop execution hook
+    # ------------------------------------------------------------------
+    def _run_ranks(self, ctx, fn) -> list:
+        res = self._owned_resources(ctx, MultiprocessResources)
+        if not self._shippable(fn):
+            return [fn(p) for p in ctx.machine.ranks()]
+        return self._ship(ctx, res, fn)
+
+    @staticmethod
+    def _shippable(fn) -> bool:
+        if not isinstance(fn, RankKernel) or fn.name not in _KERNELS:
+            return False  # bare closure (inspector phase, fallbacks)
+        if fn.work <= 0 or fn.work < _ship_threshold():
+            return False  # the round-trip would cost more than the kernel
+        op = fn.consts.get("op")
+        if op is not None and not (isinstance(op, np.ufunc)
+                                   and getattr(np, op.__name__, None) is op):
+            return False  # only named numpy ufuncs cross the boundary
+        return True
+
+    def _ship(self, ctx, res: MultiprocessResources,
+              kernel: RankKernel) -> list:
+        n_ranks = ctx.machine.n_ranks
+        pool = res.ensure_pool()
+        arena = res.arena
+        arena.reset_scratch()
+        refs: dict = {
+            key: arena.export_plan(arr)
+            for key, arr in kernel.plans.items()
+        }
+        for key, arr in kernel.data.items():
+            refs[key], _ = arena.export_scratch(arr)
+        copyback = []
+        for key, arrays in kernel.inout.items():
+            rank_refs = []
+            for arr in arrays:
+                flat = arr.reshape(-1)
+                ref, view = arena.export_scratch(flat)
+                rank_refs.append(ref)
+                if flat.size:
+                    copyback.append((flat, view))
+            refs[key] = rank_refs
+        out_views = self._alloc_outputs(kernel, arena, refs, n_ranks)
+        consts = {key: _plain(v) for key, v in kernel.consts.items()}
+        collect_futures([
+            pool.submit(_run_rank_chunk, kernel.name, chunk, refs, consts)
+            for chunk in _chunk_ranks(n_ranks, res.n_workers)
+        ])
+        for flat, view in copyback:
+            flat[:] = view
+        if out_views is None:
+            return [None] * n_ranks
+        trailing = kernel.consts["trailing"]
+        return [v.reshape((-1,) + trailing).copy() for v in out_views]
+
+    @staticmethod
+    def _alloc_outputs(kernel, arena, refs, n_ranks):
+        """Scratch buffers for value-returning kernels (sizes are known
+        to the parent from the plan bounds — workers never send arrays
+        back, they fill these and return ``None``)."""
+        if kernel.name == "append_stream":
+            base = kernel.consts["recv_base"]
+            counts = [int(base[p + 1] - base[p]) for p in range(n_ranks)]
+        elif kernel.name == "remap_place":
+            counts = list(kernel.consts["new_sizes"])
+        else:
+            return None
+        k, dtype = kernel.consts["k"], kernel.consts["dtype"]
+        rank_refs, views = [], []
+        for count in counts:
+            ref, view = arena.alloc_scratch(count * k, dtype)
+            rank_refs.append(ref)
+            views.append(view)
+        refs["out"] = rank_refs
+        return views

@@ -9,12 +9,13 @@ kernel from :class:`~repro.core.backends.vectorized.VectorizedBackend`
 and overrides exactly one hook, ``_run_ranks``, to submit the rank loop
 to a :class:`concurrent.futures.ThreadPoolExecutor`.
 
-The pool is a *per-context resource*: :meth:`ThreadedBackend.open`
-creates it once when an :class:`~repro.core.context.ExecutionContext`
-is constructed (worker threads themselves start lazily on first use),
-and the owning component's ``close()`` shuts it down deterministically.
-A garbage-collection finalizer backs the deterministic path up, so a
-context that is dropped without ``close()`` cannot leak OS threads.
+The pool is a *per-context resource* built on the shared
+:class:`~repro.core.backends.base.PooledResources` lifecycle:
+:meth:`ThreadedBackend.open` creates it once when an
+:class:`~repro.core.context.ExecutionContext` is constructed (worker
+threads themselves start lazily on first use), and the owning
+component's ``close()`` shuts it down deterministically, with a
+garbage-collection finalizer as the safety net.
 
 Correctness is inherited, not re-derived: all machine accounting
 (clocks, traffic) happens on the calling thread in rank order — worker
@@ -22,52 +23,39 @@ threads never touch the machine — and each rank kernel computes exactly
 what the vectorized backend computes, writing into disjoint outputs.
 Results, schedules and traffic statistics are therefore bitwise
 identical to ``vectorized`` (enforced by ``tests/test_threaded_backend.py``
-three ways against ``serial`` too).
+four ways against ``serial`` and ``multiprocess`` too).
 
 Because the simulated machine runs in one process, the fan-out contends
 with the GIL; the win is bounded by how much of each kernel numpy runs
 with the GIL released (fancy indexing, argsort, ``ufunc.at``).  Real
 speedups need rank counts and payloads large enough to amortize the
-submit overhead — the backend exists first of all to prove that the
-context seam can host a genuinely concurrent execution strategy.
+submit overhead — for true parallelism over the same kernels see the
+``multiprocess`` backend, which runs them in worker *processes* over
+shared memory.
 """
 
 from __future__ import annotations
 
-import os
-import weakref
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.core.backends.base import BackendResources, register_backend
+from repro.core.backends.base import (
+    PooledResources,
+    collect_futures,
+    register_backend,
+)
 from repro.core.backends.vectorized import VectorizedBackend
 
 
-def _pool_width(n_ranks: int) -> int:
-    """Worker count: one per rank, capped by the host's cores."""
-    return max(1, min(int(n_ranks), os.cpu_count() or 1))
+class ThreadedResources(PooledResources):
+    """Per-context thread pool (plus its GC safety-net finalizer)."""
 
+    __slots__ = ()
 
-class ThreadedResources(BackendResources):
-    """Per-context worker pool (plus its GC safety-net finalizer)."""
-
-    __slots__ = ("pool", "n_workers", "_finalizer")
-
-    def __init__(self, backend, n_ranks: int):
-        super().__init__(backend)
-        self.n_workers = _pool_width(n_ranks)
-        self.pool = ThreadPoolExecutor(
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
             max_workers=self.n_workers,
             thread_name_prefix="repro-rank",
         )
-        # safety net only: deterministic teardown is ctx.close(); the
-        # callback must not capture ``self`` or the handle is immortal
-        self._finalizer = weakref.finalize(
-            self, self.pool.shutdown, wait=False, cancel_futures=True
-        )
-
-    def _release(self) -> None:
-        self._finalizer.detach()
-        self.pool.shutdown(wait=True)
 
 
 @register_backend
@@ -86,28 +74,8 @@ class ThreadedBackend(VectorizedBackend):
     # rank-loop execution hook
     # ------------------------------------------------------------------
     def _run_ranks(self, ctx, fn) -> list:
-        res = ctx.resources
-        if not isinstance(res, ThreadedResources) or res.backend is not self:
-            raise RuntimeError(
-                "threaded backend invoked on a context whose resources it "
-                "does not own; build the context with "
-                "ExecutionContext.resolve(machine, 'threaded')"
-            )
-        if res.closed:
-            raise RuntimeError(
-                "ExecutionContext already closed: its thread pool was shut "
-                "down; create a fresh context for new work"
-            )
-        futures = [res.pool.submit(fn, p) for p in ctx.machine.ranks()]
-        try:
-            return [f.result() for f in futures]
-        except BaseException:
-            # one kernel failed: stop the not-yet-started ranks and wait
-            # out the in-flight ones so no worker is still writing into
-            # the caller's arrays after the exception propagates
-            for f in futures:
-                f.cancel()
-            for f in futures:
-                if not f.cancelled():
-                    f.exception()
-            raise
+        res = self._owned_resources(ctx, ThreadedResources)
+        pool = res.ensure_pool()
+        return collect_futures(
+            [pool.submit(fn, p) for p in ctx.machine.ranks()]
+        )

@@ -83,6 +83,52 @@ def _serial():
     return get_backend(SerialBackend.name)
 
 
+class RankKernel:
+    """A named per-rank kernel: a closure plus its shippable payload.
+
+    In-process backends (vectorized, threaded) call it exactly like the
+    bare closure it wraps.  Backends that execute rank kernels in
+    *other processes* cannot pickle a closure; they look up
+    :attr:`name` in their module-level kernel table and rebuild the
+    same computation from the declarative payload instead:
+
+    * ``plans`` — plan-derived flat arrays (``forward_flat``,
+      ``place_stream``, ...).  Their identity is stable for the
+      compiled plan's lifetime, so they are exported to shared memory
+      once per plan and reused every call;
+    * ``data`` — per-call arrays (the concatenated rank-partitioned
+      data stream), copied into scratch shared memory each call;
+    * ``inout`` — per-rank arrays the kernel mutates in place (ghost
+      stores, scatter targets);
+    * ``consts`` — small scalars/offset vectors describing the stream
+      bounds (converted to plain tuples before crossing a process
+      boundary — no ndarray is ever pickled).
+
+    ``work`` is the total number of scalar elements the kernel moves
+    machine-wide; backends use it to decide whether shipping the kernel
+    beats running it inline.
+    """
+
+    __slots__ = ("name", "fn", "work", "plans", "data", "inout", "consts")
+
+    def __init__(self, name: str, fn: Callable, *, work: int = 0,
+                 plans: dict | None = None, data: dict | None = None,
+                 inout: dict | None = None, consts: dict | None = None):
+        self.name = name
+        self.fn = fn
+        self.work = int(work)
+        self.plans = plans or {}
+        self.data = data or {}
+        self.inout = inout or {}
+        self.consts = consts or {}
+
+    def __call__(self, p: int):
+        return self.fn(p)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RankKernel({self.name!r}, work={self.work})"
+
+
 @register_backend
 class VectorizedBackend(Backend):
     """Batched inspector + compiled-plan executor (no per-key or
@@ -303,17 +349,27 @@ class VectorizedBackend(Backend):
             plan.counts, [row_nbytes(np.asarray(d)) for d in data],
             tag="gather", category=category,
         )
+        # the global fancy gather runs *inside* the rank kernel, one
+        # receive-stream slice per rank, so parallel backends spread the
+        # expensive part instead of just the placement
         flat = np.concatenate(data, axis=0).reshape(-1)
-        arrived = flat[plan.forward_flat(sizes, k)]
-        place = plan.place_flat(k)
+        fwd = plan.forward_flat(sizes, k)
+        place = plan.place_stream(k)
 
         def place_rank(p):
-            if place[p].size:
-                ghosts[p].reshape(-1)[place[p]] = arrived[plan.recv_slice(p, k)]
+            sl = plan.recv_slice(p, k)
+            if sl.stop > sl.start:
+                ghosts[p].reshape(-1)[place[sl]] = flat[fwd[sl]]
 
-        self._run_ranks(ctx, place_rank)
+        self._run_ranks(ctx, RankKernel(
+            "gather_place", place_rank, work=plan.total * k,
+            plans={"fwd": fwd, "place": place},
+            data={"flat": flat},
+            inout={"ghost": ghosts},
+            consts={"k": k, "recv_base": plan.recv_base},
+        ))
         for p in machine.ranks():
-            if place[p].size:
+            if plan.place_idx[p].size:
                 machine.charge_copyops(p, plan.place_idx[p].size, category)
         return ghosts
 
@@ -335,21 +391,28 @@ class VectorizedBackend(Backend):
             tag="scatter", category=category,
         )
         flat = np.concatenate(ghosts, axis=0).reshape(-1)
-        outgoing = flat[plan.reverse_flat(gsizes, k)]
-        send = plan.send_flat(k)
+        rev = plan.reverse_flat(gsizes, k)
+        send = plan.send_stream(k)
 
         def apply_rank(p):
-            if send[p].size:
-                seg = outgoing[plan.send_slice(p, k)]
+            sl = plan.send_slice(p, k)
+            if sl.stop > sl.start:
+                seg = flat[rev[sl]]
                 target = data[p].reshape(-1)
                 if op is None:
-                    target[send[p]] = seg
+                    target[send[sl]] = seg
                 else:
-                    op.at(target, send[p], seg)
+                    op.at(target, send[sl], seg)
 
-        self._run_ranks(ctx, apply_rank)
+        self._run_ranks(ctx, RankKernel(
+            "scatter_apply", apply_rank, work=plan.total * k,
+            plans={"rev": rev, "send": send},
+            data={"flat": flat},
+            inout={"data": data},
+            consts={"k": k, "send_base": plan.send_base, "op": op},
+        ))
         for p in machine.ranks():
-            if send[p].size:
+            if plan.send_idx[p].size:
                 machine.charge_copyops(p, plan.send_idx[p].size, category)
 
     # ------------------------------------------------------------------
@@ -370,16 +433,22 @@ class VectorizedBackend(Backend):
             tag="scatter_append", category=category,
         )
         flat = np.concatenate(values, axis=0).reshape(-1)
-        arrived = flat[plan.forward_flat(sizes, k)]
+        fwd = plan.forward_flat(sizes, k)
+        dtype = np.asarray(values[0]).dtype
 
         def assemble_rank(p):
-            seg = arrived[plan.recv_slice(p, k)].reshape((-1,) + trailing)
-            if seg.shape[0]:
-                return seg
-            v = np.asarray(values[p])
-            return np.zeros((0,) + v.shape[1:], dtype=v.dtype)
+            sl = plan.recv_slice(p, k)
+            if sl.stop > sl.start:
+                return flat[fwd[sl]].reshape((-1,) + trailing)
+            return np.zeros((0,) + trailing, dtype=dtype)
 
-        out = self._run_ranks(ctx, assemble_rank)
+        out = self._run_ranks(ctx, RankKernel(
+            "append_stream", assemble_rank, work=plan.total * k,
+            plans={"fwd": fwd},
+            data={"flat": flat},
+            consts={"k": k, "recv_base": plan.recv_base,
+                    "trailing": trailing, "dtype": dtype},
+        ))
         for p in machine.ranks():
             arrived_n = int(plan.recv_base[p + 1] - plan.recv_base[p])
             from_others = arrived_n - int(plan.counts[p, p])
@@ -404,32 +473,32 @@ class VectorizedBackend(Backend):
             )
         machine.exchange_compiled(plan.counts, elem_bytes,
                                   tag="scatter_append", category=category)
-        streams = []
+        cols = []
         for values, (sizes, trailing, k) in zip(arrays, layouts):
             flat = np.concatenate(values, axis=0).reshape(-1)
-            streams.append((flat[plan.forward_flat(sizes, k)], trailing, k))
+            fwd = plan.forward_flat(sizes, k)
+            dtype = np.asarray(values[0]).dtype
 
-        def assemble_rank(p):
-            arrived = int(plan.recv_base[p + 1] - plan.recv_base[p])
-            row = []
-            for k in range(n_attr):
-                stream, trailing, width = streams[k]
-                if arrived:
-                    seg = stream[plan.recv_slice(p, width)]
-                    row.append(seg.reshape((-1,) + trailing))
-                else:
-                    v = np.asarray(arrays[k][p])
-                    row.append(np.zeros((0,) + v.shape[1:], dtype=v.dtype))
-            return row
+            def assemble_rank(p, flat=flat, fwd=fwd, trailing=trailing,
+                              k=k, dtype=dtype):
+                sl = plan.recv_slice(p, k)
+                if sl.stop > sl.start:
+                    return flat[fwd[sl]].reshape((-1,) + trailing)
+                return np.zeros((0,) + trailing, dtype=dtype)
 
-        rows = self._run_ranks(ctx, assemble_rank)
+            cols.append(self._run_ranks(ctx, RankKernel(
+                "append_stream", assemble_rank, work=plan.total * k,
+                plans={"fwd": fwd},
+                data={"flat": flat},
+                consts={"k": k, "recv_base": plan.recv_base,
+                        "trailing": trailing, "dtype": dtype},
+            )))
         for p in machine.ranks():
             arrived = int(plan.recv_base[p + 1] - plan.recv_base[p])
             from_others = arrived - int(plan.counts[p, p])
             if from_others:
                 machine.charge_copyops(p, n_attr * from_others, category)
-        return [[rows[p][k] for p in machine.ranks()]
-                for k in range(n_attr)]
+        return cols
 
     # ------------------------------------------------------------------
     # remap plans
@@ -449,18 +518,27 @@ class VectorizedBackend(Backend):
             tag="remap_data", category=category,
         )
         flat = np.concatenate(data, axis=0).reshape(-1)
-        arrived = flat[cp.forward_flat(sizes, k)]
-        place = cp.place_flat(k)
+        fwd = cp.forward_flat(sizes, k)
+        place = cp.place_stream(k)
+        new_sizes = tuple(int(n) for n in plan.new_sizes)
         dtype = np.asarray(data[0]).dtype
 
         def place_rank(p):
-            new_local = np.zeros((plan.new_sizes[p],) + trailing, dtype=dtype)
-            if place[p].size:
-                new_local.reshape(-1)[place[p]] = arrived[cp.recv_slice(p, k)]
+            new_local = np.zeros((new_sizes[p],) + trailing, dtype=dtype)
+            sl = cp.recv_slice(p, k)
+            if sl.stop > sl.start:
+                new_local.reshape(-1)[place[sl]] = flat[fwd[sl]]
             return new_local
 
-        out = self._run_ranks(ctx, place_rank)
+        out = self._run_ranks(ctx, RankKernel(
+            "remap_place", place_rank, work=cp.total * k,
+            plans={"fwd": fwd, "place": place},
+            data={"flat": flat},
+            consts={"k": k, "recv_base": cp.recv_base,
+                    "new_sizes": new_sizes, "trailing": trailing,
+                    "dtype": dtype},
+        ))
         for p in machine.ranks():
-            if place[p].size:
+            if cp.place_idx[p].size:
                 machine.charge_copyops(p, cp.place_idx[p].size, category)
         return out

@@ -287,6 +287,41 @@ class CompiledPlan:
             self._layouts[key] = out
         return out
 
+    # -- machine-wide streams (cached; shared-memory export surface) ----
+    #
+    # The concatenations below give one flat array per plan instead of a
+    # per-rank list: ``place_stream`` holds the scalar placement indices
+    # of the whole receive stream (rank ``p``'s segment is delimited by
+    # ``recv_base[p] * k``), ``send_stream`` the scalar apply indices of
+    # the whole send stream (delimited by ``send_base[p] * k``).  Rank
+    # kernels slice them by stream bounds, so a backend that runs rank
+    # kernels in other processes can materialize each plan as a handful
+    # of stable flat buffers — cached here, they keep their identity for
+    # the plan's lifetime, which is what makes export-once-per-plan
+    # shared-memory caching sound.
+
+    def place_stream(self, k: int) -> np.ndarray:
+        """All ranks' scalar placement indices, receive-stream order."""
+        key = ("pstream", k)
+        out = self._layouts.get(key)
+        if out is None:
+            parts = self.place_flat(k)
+            out = (np.concatenate(parts) if self.total
+                   else np.zeros(0, dtype=np.int64))
+            self._layouts[key] = out
+        return out
+
+    def send_stream(self, k: int) -> np.ndarray:
+        """All ranks' scalar apply indices, send-stream order."""
+        key = ("sstream", k)
+        out = self._layouts.get(key)
+        if out is None:
+            parts = self.send_flat(k)
+            out = (np.concatenate(parts) if self.total
+                   else np.zeros(0, dtype=np.int64))
+            self._layouts[key] = out
+        return out
+
 
 class CompiledSchedule(CompiledPlan):
     """Compiled form of :class:`~repro.core.schedule.Schedule`."""

@@ -1,10 +1,24 @@
-"""Shared fixtures."""
+"""Shared fixtures.
+
+``ALL_BACKENDS`` is the single source of truth for the registered
+backend names the equivalence suites sweep; import it (``from conftest
+import ALL_BACKENDS``) instead of repeating the tuple per file.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core import ExecutionContext
 from repro.sim import Machine
+
+#: every built-in backend, serial (the reference semantics) first
+ALL_BACKENDS = ("serial", "vectorized", "threaded", "multiprocess")
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def backend_name(request) -> str:
+    """Parametrizes a test over every registered backend name."""
+    return request.param
 
 
 @pytest.fixture

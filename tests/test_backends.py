@@ -1,8 +1,9 @@
-"""Backend equivalence: SerialBackend vs Vectorized/ThreadedBackend.
+"""Backend equivalence: SerialBackend vs every other registered backend.
 
 The serial pair loop defines the semantics; the vectorized compiled-plan
-path — and the threaded backend fanning its rank loops over a worker
-pool — must be observationally identical on randomized schedules:
+path — and the threaded/multiprocess backends fanning its rank loops
+over worker pools — must be observationally identical on randomized
+schedules (the sweep is ``conftest.ALL_BACKENDS``):
 
 * bitwise-identical ghosts / local results for gather, scatter,
   scatter_op (add and maximum), scatter_append(_multi), remap_array,
@@ -41,7 +42,7 @@ from repro.core import (
 from repro.core.backends import Backend, SerialBackend, VectorizedBackend
 from repro.sim import Machine
 
-BACKENDS = ("serial", "vectorized", "threaded")
+from conftest import ALL_BACKENDS as BACKENDS
 
 
 def _clock_snapshots(machine):

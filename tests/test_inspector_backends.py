@@ -36,7 +36,8 @@ from repro.core import (
 )
 from repro.sim import Machine
 
-BACKENDS = ("serial", "vectorized", "threaded")
+from conftest import ALL_BACKENDS as BACKENDS
+
 STORAGES = ("replicated", "distributed", "paged")
 
 

@@ -1,0 +1,258 @@
+"""MultiprocessBackend: lifecycle, shipping contract, shared memory.
+
+The four-way bitwise equivalence of results/schedules/traffic is
+covered by ``test_backends.py`` / ``test_threaded_backend.py`` (which
+force the ship threshold to zero); this module covers what is specific
+to the process backend:
+
+* lifecycle — the pool is lazy (never launched below the ship
+  threshold), created once per context, shut down on ``close()`` with
+  no leaked worker processes; foreign contexts are rejected;
+* the no-pickle contract — on the steady-state path no ndarray is ever
+  pickled across the process boundary (proved by instrumenting the
+  pickler the submission queue uses), only shared-memory descriptors
+  and plain constants;
+* the arena — plan buffers are exported once per compiled plan, and
+  every shared-memory segment is unlinked on ``close()``;
+* the fallbacks — non-ufunc combiners and sub-threshold kernels run
+  inline and still match; the ``spawn`` start method works end-to-end.
+"""
+
+import multiprocessing
+from multiprocessing import shared_memory
+from multiprocessing.reduction import ForkingPickler
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChaosRuntime,
+    ExecutionContext,
+    gather,
+    get_backend,
+    scatter,
+    scatter_op,
+    split_by_block,
+)
+from repro.core.backends.multiprocess import (
+    SHIP_THRESHOLD_ENV_VAR,
+    START_METHOD_ENV_VAR,
+    MultiprocessResources,
+    _chunk_ranks,
+)
+from repro.sim import Machine
+
+
+@pytest.fixture
+def ship_all(monkeypatch):
+    """Force every kernel across the process boundary."""
+    monkeypatch.setenv(SHIP_THRESHOLD_ENV_VAR, "0")
+
+
+def _workload(backend, n_ranks=4, n=96, n_ref=400, seed=11):
+    rng = np.random.default_rng(seed)
+    m = Machine(n_ranks, record_messages=True)
+    rt = ChaosRuntime(m)
+    tt = rt.irregular_table(rng.integers(0, n_ranks, n))
+    x = rt.distribute(rng.standard_normal((n, 3)), tt)
+    rt.hash_indirection(tt, split_by_block(rng.integers(0, n, n_ref), m),
+                        "s")
+    sched = rt.build_schedule(tt, "s")
+    ctx = ExecutionContext.resolve(m, backend)
+    return ctx, sched, x.local
+
+
+def _round(ctx, sched, data):
+    ghosts = gather(ctx, sched, data)
+    scatter_op(ctx, sched, data, [0.5 * g for g in ghosts], np.add)
+    return ghosts
+
+
+# ---------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------
+class TestLifecycle:
+    def test_pool_is_lazy_below_threshold(self):
+        # default threshold: this tiny exchange must never launch
+        # worker processes
+        ctx, sched, data = _workload("multiprocess", n=8, n_ref=12)
+        res = ctx.resources
+        assert isinstance(res, MultiprocessResources)
+        _round(ctx, sched, data)
+        assert res.pool is None
+        ctx.close()
+
+    def test_pool_and_arena_created_once_per_context(self, ship_all):
+        ctx, sched, data = _workload("multiprocess")
+        res = ctx.resources
+        arena = res.arena
+        _round(ctx, sched, data)
+        pool = res.pool
+        assert pool is not None
+        for _ in range(3):
+            _round(ctx, sched, data)
+            assert ctx.resources is res
+            assert res.pool is pool
+            assert res.arena is arena
+        ctx.close()
+
+    def test_close_is_idempotent_and_rejects_reuse(self, ship_all):
+        ctx, sched, data = _workload("multiprocess")
+        res = ctx.resources
+        _round(ctx, sched, data)
+        ctx.close()
+        assert ctx.closed and res.closed
+        ctx.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            ctx.backend._run_ranks(ctx, lambda p: p)
+
+    def test_no_process_leaks_across_contexts(self, ship_all):
+        for _ in range(3):
+            ctx, sched, data = _workload("multiprocess")
+            _round(ctx, sched, data)
+            assert ctx.resources.pool is not None
+            ctx.close()
+        # close(wait=True) joins the workers of every pool
+        assert multiprocessing.active_children() == []
+
+    def test_rejects_foreign_resources(self):
+        ctx = ExecutionContext.resolve(Machine(2), "vectorized")
+        with pytest.raises(RuntimeError, match="resources"):
+            get_backend("multiprocess")._run_ranks(ctx, lambda p: p)
+        ctx.close()
+
+    def test_retarget_opens_fresh_handle(self):
+        ctx = ExecutionContext.resolve(Machine(4), "threaded")
+        mp_ctx = ctx.with_backend("multiprocess")
+        assert isinstance(mp_ctx.resources, MultiprocessResources)
+        assert mp_ctx.resources is not ctx.resources
+        mp_ctx.close()
+        assert not ctx.closed
+        ctx.close()
+
+    def test_single_rank_machine(self, ship_all):
+        ctx, sched, data = _workload("multiprocess", n_ranks=1, n=40,
+                                     n_ref=120)
+        ref_ctx, ref_sched, ref_data = _workload("vectorized", n_ranks=1,
+                                                 n=40, n_ref=120)
+        a = _round(ctx, sched, data)
+        b = _round(ref_ctx, ref_sched, ref_data)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(data[0], ref_data[0])
+        ctx.close()
+        ref_ctx.close()
+
+
+# ---------------------------------------------------------------------
+# the no-pickle contract
+# ---------------------------------------------------------------------
+def test_steady_state_never_pickles_an_ndarray(ship_all):
+    """Messages are shm descriptors + plain ints: instrument the pickler
+    the submission queue uses and prove no ndarray payload crosses."""
+    ctx, sched, data = _workload("multiprocess")
+    _round(ctx, sched, data)  # warm up: pool launch + plan export
+    _round(ctx, sched, data)
+    pickled = []
+
+    def counting_reduce(arr):
+        pickled.append(arr.shape)
+        return arr.__reduce__()
+
+    saved = dict(ForkingPickler._extra_reducers)
+    ForkingPickler.register(np.ndarray, counting_reduce)
+    try:
+        for _ in range(3):
+            ghosts = _round(ctx, sched, data)
+            scatter(ctx, sched, data, [2.0 * g for g in ghosts])
+    finally:
+        ForkingPickler._extra_reducers.clear()
+        ForkingPickler._extra_reducers.update(saved)
+    assert pickled == []
+    ctx.close()
+
+
+def test_shipped_results_match_inline(ship_all):
+    ghosts = {}
+    locals_ = {}
+    for backend in ("vectorized", "multiprocess"):
+        ctx, sched, data = _workload(backend)
+        ghosts[backend] = _round(ctx, sched, data)
+        locals_[backend] = data
+        ctx.close()
+    for p in range(4):
+        assert np.array_equal(ghosts["vectorized"][p],
+                              ghosts["multiprocess"][p])
+        assert np.array_equal(locals_["vectorized"][p],
+                              locals_["multiprocess"][p])
+
+
+def test_non_ufunc_combiner_runs_inline_and_matches(ship_all):
+    class Clamp:
+        @staticmethod
+        def at(target, idx, seg):
+            np.minimum.at(target, idx, seg)
+
+    results = {}
+    for backend in ("serial", "multiprocess"):
+        ctx, sched, data = _workload(backend)
+        g = gather(ctx, sched, data)
+        scatter_op(ctx, sched, data, [g_p - 1.0 for g_p in g], Clamp)
+        results[backend] = data
+        ctx.close()
+    for p in range(4):
+        assert np.array_equal(results["serial"][p],
+                              results["multiprocess"][p])
+
+
+# ---------------------------------------------------------------------
+# the shared-memory arena
+# ---------------------------------------------------------------------
+def test_plan_buffers_export_once(ship_all):
+    ctx, sched, data = _workload("multiprocess")
+    res = ctx.resources
+    _round(ctx, sched, data)
+    static_used = (len(res.arena._static.segments),
+                   res.arena._static.used)
+    for _ in range(4):
+        _round(ctx, sched, data)
+    # steady state: the static region never grows again
+    assert (len(res.arena._static.segments),
+            res.arena._static.used) == static_used
+    ctx.close()
+
+
+def test_segments_unlinked_on_close(ship_all):
+    ctx, sched, data = _workload("multiprocess")
+    _round(ctx, sched, data)
+    names = ctx.resources.arena.segment_names
+    assert names  # the round above really used shared memory
+    ctx.close()
+    assert ctx.resources.arena.segment_names == ()
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+# ---------------------------------------------------------------------
+# start methods and chunking
+# ---------------------------------------------------------------------
+def test_spawn_start_method_end_to_end(ship_all, monkeypatch):
+    monkeypatch.setenv(START_METHOD_ENV_VAR, "spawn")
+    ctx, sched, data = _workload("multiprocess")
+    ref_ctx, ref_sched, ref_data = _workload("vectorized")
+    a = _round(ctx, sched, data)
+    b = _round(ref_ctx, ref_sched, ref_data)
+    for p in range(4):
+        assert np.array_equal(a[p], b[p])
+        assert np.array_equal(data[p], ref_data[p])
+    ctx.close()
+    ref_ctx.close()
+
+
+def test_chunk_ranks_covers_every_rank_once():
+    for n in (1, 3, 7, 16):
+        for width in (1, 2, 5, 16, 40):
+            chunks = _chunk_ranks(n, width)
+            flat = [p for chunk in chunks for p in chunk]
+            assert flat == list(range(n))
+            assert len(chunks) == min(n, max(1, min(width, n)))

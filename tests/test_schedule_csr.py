@@ -37,7 +37,7 @@ from repro.core.remap import remap
 from repro.core.translation import TranslationTable
 from repro.sim import Machine
 
-BACKENDS = ("serial", "vectorized", "threaded")
+from conftest import ALL_BACKENDS as BACKENDS
 
 
 def _assert_schedule_equal(a: Schedule, b: Schedule) -> None:

@@ -1,13 +1,18 @@
-"""ThreadedBackend: three-way equivalence + resource lifecycle.
+"""Pooled backends: four-way equivalence + thread-pool lifecycle.
 
-The threaded backend must be observationally identical to the serial
-reference and the vectorized default — bitwise-equal localized indices,
-schedules, executor results, and exact traffic on the CHARMM and DSMC
-end-to-end pipelines — while owning a real per-context resource (its
-worker pool) whose lifecycle is deterministic: created once per context,
-shut down on ``close()``, never leaked across contexts.
+Every backend must be observationally identical to the serial
+reference — bitwise-equal localized indices, schedules, executor
+results, and exact traffic on the CHARMM and DSMC end-to-end
+pipelines.  The sweep covers all of ``ALL_BACKENDS`` with the
+multiprocess ship threshold forced to zero, so the shared-memory
+process path is exercised on real workloads, not just big ones.  The
+lifecycle half covers the threaded backend's per-context worker pool:
+created once per context, shut down on ``close()``, never leaked
+across contexts (the multiprocess variants live in
+``test_multiprocess_backend.py``).
 """
 
+import os
 import threading
 
 import numpy as np
@@ -30,12 +35,26 @@ from repro.core import (
     scatter_op,
     split_by_block,
 )
+from repro.core.backends.multiprocess import SHIP_THRESHOLD_ENV_VAR
 from repro.core.backends.threaded import ThreadedResources
 from repro.core.translation import TranslationTable
 from repro.lang.program import ProgramInstance, compile_program
 from repro.sim import Machine
 
-BACKENDS = ("serial", "vectorized", "threaded")
+from conftest import ALL_BACKENDS as BACKENDS
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _ship_everything():
+    """Force the multiprocess backend to ship every kernel, however
+    small, so the equivalence sweep covers the shared-memory path."""
+    old = os.environ.get(SHIP_THRESHOLD_ENV_VAR)
+    os.environ[SHIP_THRESHOLD_ENV_VAR] = "0"
+    yield
+    if old is None:
+        os.environ.pop(SHIP_THRESHOLD_ENV_VAR, None)
+    else:
+        os.environ[SHIP_THRESHOLD_ENV_VAR] = old
 
 
 def _rank_threads() -> list[threading.Thread]:
