@@ -92,7 +92,7 @@ CHECKS = (
     ("BENCH_inspector.json", "bench_inspector.json", _inspector_ratios,
      frozenset({"hash+schedule"})),
     ("BENCH_backends.json", "backend_ablation.json", _backend_ratios,
-     frozenset({"gather_scatter", "scatter_append"})),
+     frozenset({"gather_scatter", "scatter_append", "fused_pipeline"})),
 )
 
 
@@ -146,8 +146,12 @@ def _maybe_update(baseline_path: str, current: dict, extract,
     name = os.path.basename(baseline_path)
     baseline = _load(baseline_path)
     if baseline is not None and baseline is not _CORRUPT:
-        old = _gated_mean(extract(baseline), gated)
-        new = _gated_mean(extract(current), gated)
+        # compare over the metrics both sides have: a gated metric the
+        # baseline predates (first run after registering it) must not
+        # drag the current mean down and block its own adoption
+        common = gated & set(extract(baseline)) & set(extract(current))
+        old = _gated_mean(extract(baseline), common)
+        new = _gated_mean(extract(current), common)
         if new < old and (new <= 0 or old / new > DRIFT_TOLERANCE):
             print(f"baseline kept: {name} (gated mean fell {old:.2f}x -> "
                   f"{new:.2f}x, beyond the {DRIFT_TOLERANCE}x drift "

@@ -15,12 +15,23 @@ against data array y distributed with elements 1..5 on processor 0 and
     inc_schedB     (stamp b - a)  -> gathers element 8
     merged_shedABC (stamp a+b+c)  -> gathers elements 7, 9, 8, 10
 
+then runs an adaptive gather loop through :func:`run_pipeline` with a
+``loop_id``, showing the fused-plan cache reusing one compiled chain
+across iterations — and rebuilding it exactly once after a stamp is
+cleared and re-hashed.
+
 Run:  python examples/schedule_reuse.py
 """
 
 import numpy as np
 
-from repro.core import ChaosRuntime, ExecutionContext
+from repro.core import (
+    ChaosRuntime,
+    ExecutionContext,
+    allocate_ghosts,
+    gather_phase,
+    run_pipeline,
+)
 from repro.sim import Machine
 
 
@@ -70,6 +81,39 @@ def main() -> None:
     print(f"\nafter re-hashing a modified ib: {len(ht0)} entries "
           f"({len(ht0) - entries_before} new), "
           f"sched_B now gathers {sorted(fetched(e('b')))}")
+
+    # fused pipelines in an adaptive loop: two gathers over sched_A,
+    # compiled into one single-permutation pass and cached under the
+    # loop id.  Iteration 1 builds the fused plan, iterations 2-3 hit.
+    y = rt.distribute(np.arange(1.0, 11.0), ttable)
+    w = rt.distribute(np.arange(1.0, 11.0) ** 2, ttable)
+    sched = rt.build_schedule(ttable, e("a"))
+    for _ in range(3):
+        run_pipeline(
+            rt.ctx,
+            [gather_phase(sched, y.local, allocate_ghosts(sched, y.local)),
+             gather_phase(sched, w.local, allocate_ghosts(sched, w.local))],
+            loop_id="example:field_gather",
+        )
+    hits, builds = rt.cache_stats("example:field_gather", fused=True)
+    print(f"\nfused plan cache after 3 iterations: "
+          f"{hits} hits, {builds} builds")
+
+    # re-hash stamp a (the mesh adapted): the next pipeline run detects
+    # the stale chain and rebuilds the fused plan exactly once
+    rt.clear_stamp(ttable, "a")
+    rt.hash_indirection(ttable, to0([1, 3, 7, 9, 2]), "a")
+    sched = rt.build_schedule(ttable, e("a"))
+    run_pipeline(
+        rt.ctx,
+        [gather_phase(sched, y.local, allocate_ghosts(sched, y.local)),
+         gather_phase(sched, w.local, allocate_ghosts(sched, w.local))],
+        loop_id="example:field_gather",
+    )
+    hits, builds = rt.cache_stats("example:field_gather", fused=True)
+    print(f"after a stamp change + rebuild:      "
+          f"{hits} hits, {builds} builds")
+    assert (hits, builds) == (2, 2)
     print("OK")
 
 

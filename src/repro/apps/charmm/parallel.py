@@ -38,10 +38,16 @@ from repro.apps.charmm.sequential import MDTrace
 from repro.apps.charmm.system import MolecularSystem
 from repro.core.context import resolve_component
 from repro.core.distribution import BlockDistribution
-from repro.core.executor import allocate_ghosts, gather, scatter_op, stack_local_ghost
+from repro.core.executor import (
+    allocate_ghosts,
+    gather_phase,
+    run_pipeline,
+    scatter_op_phase,
+    stack_local_ghost,
+)
 from repro.core.inspector import chaos_hash, clear_stamp, make_hash_tables
 from repro.core.iteration import partition_iterations, split_by_block
-from repro.core.remap import remap, remap_array
+from repro.core.remap import remap, remap_phase
 from repro.core.schedule import Schedule, build_schedule
 from repro.core.translation import TranslationTable
 from repro.partitioners.base import Partitioner, run_partitioner
@@ -148,14 +154,16 @@ class ParallelMD:
         block = BlockDistribution(s.n_atoms, m.n_ranks)
         plan = remap(self.ctx, block, dist, category="remap")
         split = lambda a: [a[block.global_indices(p)] for p in m.ranks()]  # noqa: E731
-        self.pos = remap_array(self.ctx, plan, split(s.positions),
-                               category="remap")
-        self.vel = remap_array(self.ctx, plan, split(s.velocities),
-                               category="remap")
-        self.mass = remap_array(self.ctx, plan, split(s.masses),
-                                category="remap")
-        self.charge = remap_array(self.ctx, plan, split(s.charges),
-                                  category="remap")
+        # all atom-associated arrays move with one plan (Phase B) — one
+        # fused pack/permute/apply pass instead of four remap rounds
+        self.pos, self.vel, self.mass, self.charge = run_pipeline(
+            self.ctx,
+            [remap_phase(plan, split(s.positions)),
+             remap_phase(plan, split(s.velocities)),
+             remap_phase(plan, split(s.masses)),
+             remap_phase(plan, split(s.charges))],
+            category="remap", loop_id="charmm:atoms_remap",
+        )
 
         # Phase C/D for the bonded loop.
         ib_g, jb_g = (
@@ -249,12 +257,17 @@ class ParallelMD:
                 self.ctx, self.htables, expr("nb"), category=category
             )
             self.sched = self.sched_nb  # ghost capacity is table-wide
-        # static ghost data: charges (atoms' charges never change)
-        self.charge_ghost = gather(self.ctx, self.sched_nb, self.charge,
-                                   category="comm")
+        # static ghost data: charges (atoms' charges never change); in
+        # multiple mode both schedules fill one table-wide ghost buffer,
+        # fused into a single pass
+        self.charge_ghost = allocate_ghosts(self.sched_nb, self.charge)
+        phases = [gather_phase(self.sched_nb, self.charge,
+                               self.charge_ghost)]
         if self.schedule_mode == "multiple":
-            gather(self.ctx, self.sched_bonded, self.charge, self.charge_ghost,
-                   category="comm")
+            phases.append(gather_phase(self.sched_bonded, self.charge,
+                                       self.charge_ghost))
+        run_pipeline(self.ctx, phases, category="comm",
+                     loop_id="charmm:charge_gather")
 
     # ==================================================================
     # adaptive: non-bonded list regeneration (stamp reuse)
@@ -288,11 +301,14 @@ class ParallelMD:
             m, result.to_distribution(m.n_ranks), storage=self.ttable_storage
         )
         plan = remap(self.ctx, self.ttable.dist, new_ttable.dist, category="remap")
-        self.pos = remap_array(self.ctx, plan, self.pos, category="remap")
-        self.vel = remap_array(self.ctx, plan, self.vel, category="remap")
-        self.mass = remap_array(self.ctx, plan, self.mass, category="remap")
-        self.charge = remap_array(self.ctx, plan, self.charge,
-                                  category="remap")
+        self.pos, self.vel, self.mass, self.charge = run_pipeline(
+            self.ctx,
+            [remap_phase(plan, self.pos),
+             remap_phase(plan, self.vel),
+             remap_phase(plan, self.mass),
+             remap_phase(plan, self.charge)],
+            category="remap", loop_id="charmm:atoms_remap",
+        )
         self.ttable = new_ttable
 
         ib_g, jb_g = (
@@ -329,10 +345,13 @@ class ParallelMD:
         s = self.system
         ff = s.forcefield
 
-        pos_ghost = gather(self.ctx, self.sched_nb, self.pos, category="comm")
+        pos_ghost = allocate_ghosts(self.sched_nb, self.pos)
+        phases = [gather_phase(self.sched_nb, self.pos, pos_ghost)]
         if self.schedule_mode == "multiple":
-            gather(self.ctx, self.sched_bonded, self.pos, pos_ghost,
-                   category="comm")
+            phases.append(gather_phase(self.sched_bonded, self.pos,
+                                       pos_ghost))
+        run_pipeline(self.ctx, phases, category="comm",
+                     loop_id="charmm:pos_gather")
         pos_stacked = stack_local_ghost(self.pos, pos_ghost)
         charge_stacked = stack_local_ghost(self.charge, self.charge_ghost)
 
@@ -373,11 +392,13 @@ class ParallelMD:
             force_ghost_b[p] += fb_stack[n_local:force_ghost_b[p].shape[0] + n_local]
             force_ghost_nb[p] += fn_stack[n_local:force_ghost_nb[p].shape[0] + n_local]
 
-        scatter_op(self.ctx, self.sched_nb, force_local, force_ghost_nb, np.add,
-                   category="comm")
+        phases = [scatter_op_phase(self.sched_nb, force_local,
+                                   force_ghost_nb, np.add)]
         if self.schedule_mode == "multiple":
-            scatter_op(self.ctx, self.sched_bonded, force_local, force_ghost_b,
-                       np.add, category="comm")
+            phases.append(scatter_op_phase(self.sched_bonded, force_local,
+                                           force_ghost_b, np.add))
+        run_pipeline(self.ctx, phases, category="comm",
+                     loop_id="charmm:force_scatter")
         m.barrier()
         return force_local, energy
 

@@ -32,7 +32,8 @@ from repro.core.lightweight import (
     build_lightweight_schedule,
     scatter_append_multi,
 )
-from repro.core.remap import remap, remap_array
+from repro.core.executor import run_pipeline
+from repro.core.remap import remap, remap_phase
 from repro.core.translation import TranslationTable
 from repro.partitioners.base import Partitioner, run_partitioner
 from repro.sim.metrics import load_balance_index
@@ -266,9 +267,13 @@ class ParallelDSMC:
         per_rank = lambda arr: [  # noqa: E731
             arr[src_rank == p] for p in m.ranks()
         ]
-        ids = remap_array(self.ctx, plan, per_rank(all_ids))
-        pos = remap_array(self.ctx, plan, per_rank(all_pos))
-        vel = remap_array(self.ctx, plan, per_rank(all_vel))
+        ids, pos, vel = run_pipeline(
+            self.ctx,
+            [remap_phase(plan, per_rank(all_ids)),
+             remap_phase(plan, per_rank(all_pos)),
+             remap_phase(plan, per_rank(all_vel))],
+            category="remap", loop_id="dsmc:particles_remap",
+        )
         del slot_of
         return [
             ParticleSet(ids=i, positions=x, velocities=v)

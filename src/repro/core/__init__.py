@@ -25,6 +25,7 @@ from repro.core.hashtable import (
 from repro.core.schedule import Schedule, build_schedule, merge_schedules
 from repro.core.lightweight import (
     LightweightSchedule,
+    append_phase,
     build_lightweight_schedule,
     scatter_append,
     scatter_append_multi,
@@ -36,14 +37,26 @@ from repro.core.inspector import (
     make_hash_tables,
 )
 from repro.core.executor import (
+    PipelinePhase,
     allocate_ghosts,
+    fusable,
     gather,
+    gather_phase,
+    run_pipeline,
     scatter,
     scatter_op,
+    scatter_op_phase,
+    scatter_phase,
     stack_local_ghost,
     split_local_ghost,
 )
-from repro.core.remap import RemapPlan, remap, remap_array, remap_global_values
+from repro.core.remap import (
+    RemapPlan,
+    remap,
+    remap_array,
+    remap_global_values,
+    remap_phase,
+)
 from repro.core.backends import (
     Backend,
     BackendResources,
@@ -63,6 +76,10 @@ from repro.core.compiled import (
     CompiledPlan,
     CompiledRemapPlan,
     CompiledSchedule,
+    FusedPlan,
+    FusedStage,
+    StageBind,
+    compile_fused,
     compile_lightweight_schedule,
     compile_remap_plan,
     compile_schedule,
@@ -101,6 +118,7 @@ __all__ = [
     "build_schedule",
     "merge_schedules",
     "LightweightSchedule",
+    "append_phase",
     "build_lightweight_schedule",
     "scatter_append",
     "scatter_append_multi",
@@ -108,16 +126,23 @@ __all__ = [
     "clear_stamp",
     "localize_only",
     "make_hash_tables",
+    "PipelinePhase",
     "allocate_ghosts",
+    "fusable",
     "gather",
+    "gather_phase",
+    "run_pipeline",
     "scatter",
     "scatter_op",
+    "scatter_op_phase",
+    "scatter_phase",
     "stack_local_ghost",
     "split_local_ghost",
     "RemapPlan",
     "remap",
     "remap_array",
     "remap_global_values",
+    "remap_phase",
     "Backend",
     "BackendResources",
     "SerialBackend",
@@ -134,6 +159,10 @@ __all__ = [
     "CompiledPlan",
     "CompiledRemapPlan",
     "CompiledSchedule",
+    "FusedPlan",
+    "FusedStage",
+    "StageBind",
+    "compile_fused",
     "compile_lightweight_schedule",
     "compile_remap_plan",
     "compile_schedule",

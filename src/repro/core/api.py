@@ -189,13 +189,18 @@ class ChaosRuntime:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
-    def cache_stats(self, key: str) -> tuple[int, int]:
+    def cache_stats(self, key: str, fused: bool = False) -> tuple[int, int]:
         """(hits, builds) of the context's :class:`ScheduleCache` entry.
 
         Mirrors :meth:`repro.lang.program.ProgramInstance.cache_stats`
         so both entry points report schedule-reuse counters uniformly;
-        ``key`` is the caller-chosen loop id handed to the cache.
+        ``key`` is the caller-chosen loop id handed to the cache.  With
+        ``fused=True`` it reports the loop's *fused-plan* entry instead
+        (the chain cached by ``run_pipeline(..., loop_id=key)``), so
+        fusion effectiveness is observable per loop id.
         """
+        if fused:
+            return self.schedule_cache.fused_stats(key)
         return self.schedule_cache.stats(key)
 
     # ---- Phase A: distributions/translation tables --------------------

@@ -99,11 +99,16 @@ class BackendResources:
     override :meth:`_release`.
     """
 
-    __slots__ = ("backend", "_closed", "__weakref__")
+    __slots__ = ("backend", "_closed", "fused_kernels", "__weakref__")
 
     def __init__(self, backend: "Backend"):
         self.backend = backend
         self._closed = False
+        #: dtype-specialized fused apply kernels, keyed ``(dtype, op
+        #: name)`` — populated at ``open(ctx)`` time by backends that
+        #: execute fused pipelines in one pass (``None`` means every
+        #: stage uses the generic numpy fallback)
+        self.fused_kernels: dict | None = None
 
     @property
     def closed(self) -> bool:
@@ -309,6 +314,41 @@ class Backend(ABC):
     def remap_array(self, ctx, plan, data, category: str):
         """Apply a remap plan to one per-rank array set; returns new
         arrays."""
+
+    def run_fused(self, ctx, fused, binds, category: str) -> list:
+        """Execute a fused pipeline; returns one result per stage.
+
+        ``fused`` is a :class:`~repro.core.compiled.FusedPlan` whose
+        stage chain the executor layer has already validated and deemed
+        legal to fuse; ``binds`` aligns one
+        :class:`~repro.core.compiled.StageBind` with each stage.  Stage
+        results match the unfused primitives: ghost arrays for gather,
+        ``None`` for scatter, fresh per-rank arrays for append/remap.
+
+        This default is the *reference multi-pass implementation* (the
+        serial backend's semantics): each stage runs through its own
+        unfused primitive, in order.  One-pass backends override it but
+        must stay bitwise-identical — same results, same traffic
+        message-for-message, same per-rank clock sequences.
+        """
+        out = []
+        for stage, bind in zip(fused.stages, binds):
+            if stage.kind == "gather":
+                out.append(self.gather(ctx, stage.sched, bind.sources,
+                                       bind.dests, category))
+            elif stage.kind == "scatter":
+                self.scatter(ctx, stage.sched, bind.dests, bind.sources,
+                             stage.op, category)
+                out.append(None)
+            elif stage.kind == "append":
+                out.append(self.scatter_append(ctx, stage.sched,
+                                               bind.sources, category))
+            elif stage.kind == "remap":
+                out.append(self.remap_array(ctx, stage.sched,
+                                            bind.sources, category))
+            else:  # pragma: no cover - FusedPlan validates kinds
+                raise ValueError(f"unknown fused stage {stage.kind!r}")
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -26,10 +26,13 @@ costs one round-trip per worker, not per rank.  All machine accounting
 only move bytes.
 
 Whether a kernel is worth shipping is decided per call from
-:attr:`RankKernel.work` (total scalars moved machine-wide) against
-``REPRO_MP_SHIP_THRESHOLD`` (default 4096): tiny exchanges run inline
-on the vectorized path, since a process round-trip costs more than the
-kernel.  Kernels that cannot ship — bare closures from the inspector
+:attr:`RankKernel.work` (total payload *bytes* moved machine-wide)
+against ``REPRO_MP_SHIP_THRESHOLD`` (default 32768 bytes): tiny
+exchanges run inline on the vectorized path, since a process round-trip
+costs more than the kernel.  Counting bytes rather than scalars means
+wide rows (3-vectors of float64) cross the threshold as early as their
+payload warrants, instead of being under-counted by a factor of the row
+width.  Kernels that cannot ship — bare closures from the inspector
 phase, scatter with a non-ufunc combiner, serial fallbacks — also run
 inline, so every primitive works under this backend.
 
@@ -58,7 +61,11 @@ from repro.core.backends.base import (
     collect_futures,
     register_backend,
 )
-from repro.core.backends.vectorized import RankKernel, VectorizedBackend
+from repro.core.backends.vectorized import (
+    RankKernel,
+    VectorizedBackend,
+    default_fused_registry,
+)
 
 #: environment variable selecting the worker start method
 START_METHOD_ENV_VAR = "REPRO_MP_START_METHOD"
@@ -66,8 +73,8 @@ START_METHOD_ENV_VAR = "REPRO_MP_START_METHOD"
 #: environment variable overriding the ship/inline work threshold
 SHIP_THRESHOLD_ENV_VAR = "REPRO_MP_SHIP_THRESHOLD"
 
-#: minimum machine-wide scalars moved before a kernel is shipped
-DEFAULT_SHIP_THRESHOLD = 4096
+#: minimum machine-wide payload bytes moved before a kernel is shipped
+DEFAULT_SHIP_THRESHOLD = 32768
 
 _ALIGN = 16
 
@@ -280,6 +287,36 @@ def _k_remap_place(ranks, bufs, consts):
             buf[place[lo:hi]] = flat[fwd[lo:hi]]
 
 
+def _k_fused_apply(ranks, bufs, consts):
+    """All stages of a fused pipeline over one rank range.
+
+    Ranks loop outer, stages inner — per-rank the stages run in chain
+    order, so two stages writing the same target keep the sequential
+    semantics.  Each stage is one composed assign from its flattened
+    source concat (``fl``) through the (possibly destination-sorted)
+    index pair ``sf``/``ap``; ``dense`` marks segments whose slots are
+    ``0..n-1`` in order, where the store is one contiguous write and no
+    ``ap`` vector ships at all.  Combining stages fold with the
+    unsorted vectors — ``op.at`` order is part of the bitwise contract.
+    """
+    n_stages = consts["n_stages"]
+    ops = consts["ops"]
+    bounds, dense = consts["bounds"], consts["dense"]
+    for p in ranks:
+        for s in range(n_stages):
+            lo, hi = bounds[s][p], bounds[s][p + 1]
+            if hi <= lo:
+                continue
+            dst = bufs[f"io{s}"][p]
+            seg = bufs[f"fl{s}"][bufs[f"sf{s}"][lo:hi]]
+            if ops[s] is not None:
+                getattr(np, ops[s]).at(dst, bufs[f"ap{s}"][lo:hi], seg)
+            elif dense[s]:
+                dst[:hi - lo] = seg
+            else:
+                dst[bufs[f"ap{s}"][lo:hi]] = seg
+
+
 #: module-level (hence picklable-by-reference) kernel bodies, keyed by
 #: the :class:`RankKernel` name built in ``vectorized.py``
 _KERNELS = {
@@ -287,6 +324,7 @@ _KERNELS = {
     "scatter_apply": _k_scatter_apply,
     "append_stream": _k_append_stream,
     "remap_place": _k_remap_place,
+    "fused_apply": _k_fused_apply,
 }
 
 
@@ -378,7 +416,9 @@ class MultiprocessBackend(VectorizedBackend):
     # lifecycle
     # ------------------------------------------------------------------
     def open(self, ctx) -> MultiprocessResources:
-        return MultiprocessResources(self, ctx.machine.n_ranks)
+        res = MultiprocessResources(self, ctx.machine.n_ranks)
+        res.fused_kernels = default_fused_registry()
+        return res
 
     # ------------------------------------------------------------------
     # rank-loop execution hook
@@ -399,6 +439,11 @@ class MultiprocessBackend(VectorizedBackend):
         if op is not None and not (isinstance(op, np.ufunc)
                                    and getattr(np, op.__name__, None) is op):
             return False  # only named numpy ufuncs cross the boundary
+        for name in fn.consts.get("ops") or ():
+            # fused combiners cross pre-plainified, as ufunc names
+            if name is not None and not isinstance(
+                    getattr(np, name, None), np.ufunc):
+                return False
         return True
 
     def _ship(self, ctx, res: MultiprocessResources,
@@ -414,14 +459,27 @@ class MultiprocessBackend(VectorizedBackend):
         for key, arr in kernel.data.items():
             refs[key], _ = arena.export_scratch(arr)
         copyback = []
+        exported: dict = {}
         for key, arrays in kernel.inout.items():
             rank_refs = []
             for arr in arrays:
                 flat = arr.reshape(-1)
-                ref, view = arena.export_scratch(flat)
+                # one scratch copy per distinct memory region: a fused
+                # pipeline may target the same array from several
+                # stages, and separate copies would lose all but the
+                # last stage's writes on copy-back
+                memo = ((flat.__array_interface__["data"][0],
+                         flat.nbytes, flat.dtype.str)
+                        if flat.size else None)
+                entry = exported.get(memo) if memo is not None else None
+                if entry is None:
+                    ref, view = arena.export_scratch(flat)
+                    if memo is not None:
+                        exported[memo] = (ref, view)
+                        copyback.append((flat, view))
+                else:
+                    ref, view = entry
                 rank_refs.append(ref)
-                if flat.size:
-                    copyback.append((flat, view))
             refs[key] = rank_refs
         out_views = self._alloc_outputs(kernel, arena, refs, n_ranks)
         consts = {key: _plain(v) for key, v in kernel.consts.items()}

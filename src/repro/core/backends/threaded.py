@@ -43,7 +43,10 @@ from repro.core.backends.base import (
     collect_futures,
     register_backend,
 )
-from repro.core.backends.vectorized import VectorizedBackend
+from repro.core.backends.vectorized import (
+    VectorizedBackend,
+    default_fused_registry,
+)
 
 
 class ThreadedResources(PooledResources):
@@ -68,7 +71,9 @@ class ThreadedBackend(VectorizedBackend):
     # lifecycle
     # ------------------------------------------------------------------
     def open(self, ctx) -> ThreadedResources:
-        return ThreadedResources(self, ctx.machine.n_ranks)
+        res = ThreadedResources(self, ctx.machine.n_ranks)
+        res.fused_kernels = default_fused_registry()
+        return res
 
     # ------------------------------------------------------------------
     # rank-loop execution hook

@@ -47,7 +47,12 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.backends.base import Backend, register_backend, row_nbytes
+from repro.core.backends.base import (
+    Backend,
+    BackendResources,
+    register_backend,
+    row_nbytes,
+)
 from repro.core.compiled import (
     compile_lightweight_schedule,
     compile_remap_plan,
@@ -83,6 +88,46 @@ def _serial():
     return get_backend(SerialBackend.name)
 
 
+# ----------------------------------------------------------------------
+# dtype-specialized fused apply kernels
+# ----------------------------------------------------------------------
+def _fused_assign_generic(flat, st, lo, hi, dst):
+    """Placement for any dtype: one composed fancy assign, straight from
+    the flattened source concat into the destination slots."""
+    dst[st.dst_index[lo:hi]] = flat[st.src_index[lo:hi]]
+
+
+def _fused_assign_sorted(flat, st, lo, hi, dst):
+    """float64/int64 fast path: the destination-sorted composed pair —
+    stores land in ascending order, and when the rank's slots are dense
+    the whole segment collapses to one contiguous write.  Bitwise-safe
+    because the per-segment sort is stable (see ``_sort_segments``)."""
+    seg = flat[st.sf[lo:hi]]
+    if st.sp is None:
+        dst[:hi - lo] = seg
+    else:
+        dst[st.sp[lo:hi]] = seg
+
+
+def default_fused_registry() -> dict:
+    """The stock dtype-specialized kernel registry, keyed ``(dtype, op
+    name)``.
+
+    Populated into ``BackendResources.fused_kernels`` at ``open(ctx)``
+    time.  Only pure-placement specializations are registered: a
+    combining stage (``op.at``) must keep numpy's exact accumulation
+    grouping to stay bitwise-identical to the serial reference, so
+    combiners always run the generic unsorted path.  Any ``(dtype, op)``
+    pair missing from the registry falls back to the generic numpy
+    kernel — the fallback is mandatory, specializations only ever add
+    speed.
+    """
+    registry: dict = {}
+    for dt in (np.dtype(np.float64), np.dtype(np.int64)):
+        registry[(dt, None)] = _fused_assign_sorted
+    return registry
+
+
 class RankKernel:
     """A named per-rank kernel: a closure plus its shippable payload.
 
@@ -104,9 +149,10 @@ class RankKernel:
       bounds (converted to plain tuples before crossing a process
       boundary — no ndarray is ever pickled).
 
-    ``work`` is the total number of scalar elements the kernel moves
-    machine-wide; backends use it to decide whether shipping the kernel
-    beats running it inline.
+    ``work`` is the total payload bytes the kernel moves machine-wide;
+    backends use it to decide whether shipping the kernel beats running
+    it inline (``work=0`` marks a kernel that must stay in the calling
+    process).
     """
 
     __slots__ = ("name", "fn", "work", "plans", "data", "inout", "consts")
@@ -135,6 +181,14 @@ class VectorizedBackend(Backend):
     per-pair Python loops)."""
 
     name = "vectorized"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def open(self, ctx) -> BackendResources:
+        res = BackendResources(self)
+        res.fused_kernels = default_fused_registry()
+        return res
 
     # ------------------------------------------------------------------
     # rank-loop execution hook
@@ -362,7 +416,8 @@ class VectorizedBackend(Backend):
                 ghosts[p].reshape(-1)[place[sl]] = flat[fwd[sl]]
 
         self._run_ranks(ctx, RankKernel(
-            "gather_place", place_rank, work=plan.total * k,
+            "gather_place", place_rank,
+            work=plan.total * k * flat.dtype.itemsize,
             plans={"fwd": fwd, "place": place},
             data={"flat": flat},
             inout={"ghost": ghosts},
@@ -405,7 +460,8 @@ class VectorizedBackend(Backend):
                     op.at(target, send[sl], seg)
 
         self._run_ranks(ctx, RankKernel(
-            "scatter_apply", apply_rank, work=plan.total * k,
+            "scatter_apply", apply_rank,
+            work=plan.total * k * flat.dtype.itemsize,
             plans={"rev": rev, "send": send},
             data={"flat": flat},
             inout={"data": data},
@@ -443,7 +499,8 @@ class VectorizedBackend(Backend):
             return np.zeros((0,) + trailing, dtype=dtype)
 
         out = self._run_ranks(ctx, RankKernel(
-            "append_stream", assemble_rank, work=plan.total * k,
+            "append_stream", assemble_rank,
+            work=plan.total * k * flat.dtype.itemsize,
             plans={"fwd": fwd},
             data={"flat": flat},
             consts={"k": k, "recv_base": plan.recv_base,
@@ -487,7 +544,8 @@ class VectorizedBackend(Backend):
                 return np.zeros((0,) + trailing, dtype=dtype)
 
             cols.append(self._run_ranks(ctx, RankKernel(
-                "append_stream", assemble_rank, work=plan.total * k,
+                "append_stream", assemble_rank,
+                work=plan.total * k * flat.dtype.itemsize,
                 plans={"fwd": fwd},
                 data={"flat": flat},
                 consts={"k": k, "recv_base": plan.recv_base,
@@ -531,7 +589,8 @@ class VectorizedBackend(Backend):
             return new_local
 
         out = self._run_ranks(ctx, RankKernel(
-            "remap_place", place_rank, work=cp.total * k,
+            "remap_place", place_rank,
+            work=cp.total * k * flat.dtype.itemsize,
             plans={"fwd": fwd, "place": place},
             data={"flat": flat},
             consts={"k": k, "recv_base": cp.recv_base,
@@ -542,3 +601,175 @@ class VectorizedBackend(Backend):
             if cp.place_idx[p].size:
                 machine.charge_copyops(p, cp.place_idx[p].size, category)
         return out
+
+    # ------------------------------------------------------------------
+    # fused pipelines
+    # ------------------------------------------------------------------
+    def run_fused(self, ctx, fused, binds, category):
+        """One-pass fused execution: every stage moves its data with a
+        single composed kernel, all stages inside one rank loop.
+
+        Per stage the data path is one fancy assign through the
+        composed ``pack ∘ permute ∘ place`` index vector — destination
+        slots written straight from the flattened source concat, with
+        no intermediate exchange stream.  Pure-placement stages use the
+        destination-sorted variant from the dtype registry (ascending
+        stores, contiguous when dense); combining stages keep the
+        unsorted ``op.at`` fold order.  Accounting is charged per stage
+        in stage order before any data moves; since rank kernels never
+        touch the machine, the clock/traffic call sequence is exactly
+        the unfused one.  Inputs the flat layout cannot express fall
+        back to the reference multi-pass default.
+        """
+        machine = ctx.machine
+        stages = fused.stages
+        key = []
+        trailings = []
+        flats = []
+        for stage, bind in zip(stages, binds):
+            layout = _flat_layout(bind.sources)
+            if layout is None:
+                return super().run_fused(ctx, fused, binds, category)
+            sizes, trailing, k = layout
+            dtype = np.asarray(bind.sources[0]).dtype
+            if bind.dests is not None:
+                dlayout = _flat_layout(bind.dests)
+                if (dlayout is None or dlayout[1] != trailing
+                        or np.asarray(bind.dests[0]).dtype != dtype):
+                    return super().run_fused(ctx, fused, binds, category)
+            key.append((k, str(dtype), sizes))
+            trailings.append(trailing)
+            flats.append(np.concatenate(
+                [np.asarray(a).reshape(-1) for a in bind.sources]))
+        combined = fused.layout(tuple(key))
+        layouts = combined.stages
+
+        for stage, bind in zip(stages, binds):
+            self._charge_fused_stage(machine, stage, bind, category)
+
+        # stage results + the per-rank arrays the apply phase writes
+        results = []
+        dests = []
+        dest_flats = []
+        for stage, bind, st, trailing in zip(stages, binds, layouts,
+                                             trailings):
+            if stage.kind == "scatter":
+                results.append(None)
+                dests.append(bind.dests)
+            elif stage.kind == "gather":
+                results.append(bind.dests)
+                dests.append(bind.dests)
+            elif stage.kind == "append":
+                base = stage.plan.recv_base
+                outs = [
+                    np.empty((int(base[p + 1] - base[p]),) + trailing,
+                             dtype=st.dtype)
+                    for p in machine.ranks()
+                ]
+                results.append(outs)
+                dests.append(outs)
+            else:  # remap
+                outs = [
+                    np.zeros((int(m),) + trailing, dtype=st.dtype)
+                    for m in stage.sched.new_sizes
+                ]
+                results.append(outs)
+                dests.append(outs)
+            dest_flats.append([np.asarray(d).reshape(-1)
+                               for d in dests[-1]])
+
+        # dtype-specialized apply kernels for the pure-placement stages;
+        # combiners keep the generic ``op.at`` path (bitwise contract)
+        registry = getattr(ctx.resources, "fused_kernels", None) or {}
+        stage_fns = [
+            registry.get((st.dtype, None), _fused_assign_generic)
+            if st.mode == "assign" else None
+            for st in layouts
+        ]
+
+        def apply_rank(p):
+            for st, fn, flat, dflat in zip(layouts, stage_fns, flats,
+                                           dest_flats):
+                lo = st.bounds[p]
+                hi = st.bounds[p + 1]
+                if hi <= lo:
+                    continue
+                dst = dflat[p]
+                if st.mode == "fill":
+                    dst[:hi - lo] = flat[st.src_index[lo:hi]]
+                elif st.mode == "accum":
+                    st.op.at(dst, st.dst_index[lo:hi],
+                             flat[st.src_index[lo:hi]])
+                else:
+                    fn(flat, st, lo, hi, dst)
+
+        data = {f"fl{s}": flat for s, flat in enumerate(flats)}
+        inout = {f"io{s}": ds for s, ds in enumerate(dests)}
+        self._run_ranks(ctx, RankKernel(
+            "fused_apply", apply_rank, work=combined.work,
+            plans=combined.plans, data=data, inout=inout,
+            consts=combined.consts,
+        ))
+        return results
+
+    @staticmethod
+    def _charge_fused_stage(machine, stage, bind, category) -> None:
+        """Charge one fused stage exactly like its unfused primitive:
+        pre-copyops, the compiled exchange, post-copyops, in that order."""
+        plan = stage.plan
+        if stage.kind == "gather":
+            for p in machine.ranks():
+                if plan.send_idx[p].size:
+                    machine.charge_copyops(p, plan.send_idx[p].size,
+                                           category)
+            machine.exchange_compiled(
+                plan.counts,
+                [row_nbytes(np.asarray(d)) for d in bind.sources],
+                tag="gather", category=category,
+            )
+            for p in machine.ranks():
+                if plan.place_idx[p].size:
+                    machine.charge_copyops(p, plan.place_idx[p].size,
+                                           category)
+        elif stage.kind == "scatter":
+            for p in machine.ranks():
+                if plan.place_idx[p].size:
+                    machine.charge_copyops(p, plan.place_idx[p].size,
+                                           category)
+            machine.exchange_compiled(
+                plan.counts.T,
+                [row_nbytes(np.asarray(g)) for g in bind.sources],
+                tag="scatter", category=category,
+            )
+            for p in machine.ranks():
+                if plan.send_idx[p].size:
+                    machine.charge_copyops(p, plan.send_idx[p].size,
+                                           category)
+        elif stage.kind == "append":
+            for p in machine.ranks():
+                machine.charge_copyops(
+                    p, np.asarray(bind.sources[p]).shape[0], category)
+            machine.exchange_compiled(
+                plan.counts,
+                [row_nbytes(np.asarray(v)) for v in bind.sources],
+                tag="scatter_append", category=category,
+            )
+            for p in machine.ranks():
+                arrived = int(plan.recv_base[p + 1] - plan.recv_base[p])
+                from_others = arrived - int(plan.counts[p, p])
+                if from_others:
+                    machine.charge_copyops(p, from_others, category)
+        else:  # remap
+            for p in machine.ranks():
+                if plan.send_idx[p].size:
+                    machine.charge_copyops(p, plan.send_idx[p].size,
+                                           category)
+            machine.exchange_compiled(
+                plan.counts,
+                [row_nbytes(np.asarray(d)) for d in bind.sources],
+                tag="remap_data", category=category,
+            )
+            for p in machine.ranks():
+                if plan.place_idx[p].size:
+                    machine.charge_copyops(p, plan.place_idx[p].size,
+                                           category)

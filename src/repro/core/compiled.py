@@ -23,15 +23,27 @@ Compilation is performed once per schedule and cached on the schedule
 object itself (schedules are immutable after construction), so repeated
 executor calls — the common case the paper's inspector/executor split is
 built around — pay nothing.
+
+On top of single plans sits *plan fusion*: a :class:`FusedPlan` composes
+a chain of compiled plans (a schedule gather feeding a scatter/apply, a
+schedule + lightweight + remap sequence in one loop body) into one
+combined execution — a single scratch stream per stage plus one
+pack/permute/apply index triple each, all lazily derived from the
+per-plan caches above and cached on the lead plan alongside the
+``_cached`` compile results.  Backends execute it through
+``Backend.run_fused``; legality is decided by the executor layer
+(:func:`repro.core.executor.fusable`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 _CACHE_ATTR = "_compiled_plan"
+_FUSED_CACHE_ATTR = "_fused_plans"
 
 
 # ---------------------------------------------------------------------
@@ -322,6 +334,45 @@ class CompiledPlan:
             self._layouts[key] = out
         return out
 
+    # -- destination-sorted compositions (fused one-pass executors) -----
+    #
+    # Sorting each rank's (source, destination) index pairs by
+    # destination turns the apply phase's scattered stores into
+    # ascending ones — and, when a rank's slots are dense (0..n-1 in
+    # order, the common case for exact-size ghost buffers, appends and
+    # remaps), into one contiguous write.  The argsort is *stable*, so
+    # duplicate destinations keep their stream order and a fancy assign
+    # (last write wins) lands bitwise-identical values; reordering is
+    # only ever legal for placement, never for combiners, whose fold
+    # order the unsorted vectors preserve.
+
+    def forward_sorted(
+        self, sizes: tuple[int, ...], k: int
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """:meth:`forward_flat` ∘ :meth:`place_stream`, sorted by
+        destination per receiving rank; ``(src, dst)`` with ``dst`` of
+        ``None`` when every rank's slots are dense."""
+        key = ("sfwd", sizes, k)
+        out = self._layouts.get(key)
+        if out is None:
+            out = _sort_segments(self.forward_flat(sizes, k),
+                                 self.place_stream(k), self.recv_base, k)
+            self._layouts[key] = out
+        return out
+
+    def reverse_sorted(
+        self, sizes: tuple[int, ...], k: int
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """:meth:`reverse_flat` ∘ :meth:`send_stream`, sorted by
+        destination per sending rank (the scatter direction)."""
+        key = ("srev", sizes, k)
+        out = self._layouts.get(key)
+        if out is None:
+            out = _sort_segments(self.reverse_flat(sizes, k),
+                                 self.send_stream(k), self.send_base, k)
+            self._layouts[key] = out
+        return out
+
 
 class CompiledSchedule(CompiledPlan):
     """Compiled form of :class:`~repro.core.schedule.Schedule`."""
@@ -346,6 +397,42 @@ def _expand(rows: np.ndarray, k: int) -> np.ndarray:
     if k == 1:
         return rows
     return (rows[:, None] * k + np.arange(k, dtype=np.int64)).reshape(-1)
+
+
+def _sort_segments(
+    src: np.ndarray, dst: np.ndarray, base: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Sort each rank's ``(src, dst)`` index pairs by destination.
+
+    ``base`` is the row-offset vector delimiting rank segments in the
+    stream (``recv_base`` or ``send_base``).  The per-segment argsort is
+    stable so duplicate destinations keep stream order; a fancy assign
+    through the sorted pair is therefore bitwise-identical to the
+    unsorted one.  Returns ``(sorted_src, sorted_dst)``; ``sorted_dst``
+    is ``None`` when every segment is dense (``0..len-1`` in order), in
+    which case the apply collapses to one contiguous write per rank.
+    """
+    sf = np.empty_like(src)
+    sp = np.empty_like(dst)
+    dense = True
+    for p in range(base.size - 1):
+        lo, hi = int(base[p]) * k, int(base[p + 1]) * k
+        seg_dst = dst[lo:hi]
+        order = np.argsort(seg_dst, kind="stable")
+        seg = seg_dst[order]
+        sp[lo:hi] = seg
+        sf[lo:hi] = src[lo:hi][order]
+        if dense:
+            n = hi - lo
+            dense = (
+                n == 0
+                or (
+                    int(seg[0]) == 0
+                    and int(seg[-1]) == n - 1
+                    and np.array_equal(seg, np.arange(n, dtype=seg.dtype))
+                )
+            )
+    return sf, (None if dense else sp)
 
 
 def _compile(
@@ -424,3 +511,221 @@ def compile_remap_plan(plan) -> CompiledRemapPlan:
             plan.send_offsets, plan.place_sel,
         ),
     )
+
+
+# ---------------------------------------------------------------------
+# plan fusion
+# ---------------------------------------------------------------------
+#: stage kinds whose data flows send stream → receive stream; the rest
+#: ("scatter", with or without a combiner) flow the reverse direction
+FORWARD_KINDS = frozenset({"gather", "append", "remap"})
+
+#: every stage kind a fused pipeline understands
+STAGE_KINDS = FORWARD_KINDS | {"scatter"}
+
+
+@dataclass(frozen=True)
+class FusedStage:
+    """One collective inside a fused pipeline.
+
+    ``kind`` names the executor primitive (``"gather"``, ``"scatter"``
+    — with ``op`` for the combining variant — ``"append"``,
+    ``"remap"``); ``sched`` is the CSR-native plan object the reference
+    backends dispatch on, ``plan`` its compiled machine-wide view, and
+    ``op`` the combining ufunc for scatter stages (``None`` overwrites).
+    """
+
+    kind: str
+    sched: Any
+    plan: CompiledPlan
+    op: Any = None
+
+
+@dataclass
+class StageBind:
+    """Per-call data binding for one fused stage.
+
+    ``sources`` are the arrays the stage packs from (local data for the
+    forward kinds, ghost buffers for scatter); ``dests`` are the arrays
+    it writes into — ``None`` for the value-returning kinds (append,
+    remap), whose outputs the backend allocates.
+    """
+
+    sources: list
+    dests: list | None = None
+
+
+class _StageLayout:
+    """One stage's composed index vectors for a fixed data layout.
+
+    Each stage collapses to a single composed pass — destination slots
+    fancy-assigned straight from the flattened source concat, with no
+    intermediate stream.  ``src_index`` maps destination stream
+    positions to source scalars; ``dst_index`` maps them into the
+    per-rank destination buffers (``None`` for appends, which fill
+    contiguously).  Assign-mode stages additionally carry the
+    destination-sorted pair ``(sf, sp)`` from the plan's
+    ``forward_sorted`` / ``reverse_sorted`` caches: stores land in
+    ascending order (``sp`` is ``None`` when dense — one contiguous
+    write).  Combining stages never sort; the unsorted vectors preserve
+    the ufunc's fold order bit for bit.
+    """
+
+    __slots__ = ("mode", "k", "dtype", "op", "base", "bounds",
+                 "src_index", "dst_index", "sf", "sp")
+
+    def __init__(self, stage: FusedStage, k: int, dtype: np.dtype,
+                 sizes: tuple[int, ...]):
+        plan = stage.plan
+        self.k = k
+        self.dtype = dtype
+        self.op = stage.op
+        if stage.kind in FORWARD_KINDS:
+            # local data, send order → receive stream → placement slots
+            self.src_index = plan.forward_flat(sizes, k)
+            self.base = plan.recv_base
+            if stage.kind == "append":
+                self.dst_index = None
+                self.mode = "fill"
+                self.sf, self.sp = self.src_index, None
+            else:
+                self.dst_index = plan.place_stream(k)
+                self.mode = "assign"
+                self.sf, self.sp = plan.forward_sorted(sizes, k)
+        else:
+            # ghost data, receive order → send stream → local elements
+            self.src_index = plan.reverse_flat(sizes, k)
+            self.base = plan.send_base
+            self.dst_index = plan.send_stream(k)
+            if stage.op is None:
+                self.mode = "assign"
+                self.sf, self.sp = plan.reverse_sorted(sizes, k)
+            else:
+                self.mode = "accum"
+                self.sf = self.sp = None
+        # scalar stream bounds as a plain list: the apply kernel's rank
+        # loop slices with these every call
+        self.bounds = [int(b) * k for b in self.base.tolist()]
+
+
+class _FusedLayout:
+    """All per-stage layouts for one data-layout key, plus the static
+    half of the shippable rank-kernel payload.
+
+    ``plans`` (the stable index vectors, exported to shared memory once
+    per plan), ``consts`` and ``work`` depend only on the layout key, so
+    they are built here once and reused every call; the executor adds
+    the per-call halves (``data``, ``inout``) on top.
+    """
+
+    __slots__ = ("stages", "plans", "consts", "work")
+
+    def __init__(self, stages: list[_StageLayout]):
+        self.stages = stages
+        self.plans = {}
+        ks, modes, ops, bases, dense = [], [], [], [], []
+        self.work = 0
+        for s, st in enumerate(stages):
+            if st.mode == "accum":
+                self.plans[f"sf{s}"] = st.src_index
+                self.plans[f"ap{s}"] = st.dst_index
+                dense.append(False)
+            else:
+                self.plans[f"sf{s}"] = st.sf
+                if st.sp is not None:
+                    self.plans[f"ap{s}"] = st.sp
+                dense.append(st.sp is None)
+            ks.append(st.k)
+            modes.append(st.mode)
+            ops.append(None if st.op is None
+                       else getattr(st.op, "__name__", None))
+            bases.append(tuple(st.bounds))
+            self.work += st.src_index.size * st.dtype.itemsize
+        self.consts = {"n_stages": len(stages), "ks": tuple(ks),
+                       "modes": tuple(modes), "ops": tuple(ops),
+                       "bounds": tuple(bases), "dense": tuple(dense)}
+
+
+@dataclass
+class FusedPlan:
+    """A chain of compiled plans executed as one combined pipeline.
+
+    The stages keep their individual count matrices and accounting —
+    traffic and clocks are charged per stage, identical to the unfused
+    sequence — but a backend's fused executor moves each stage's data
+    in a single composed pass (destination slots assigned straight from
+    the flattened sources through one permutation), instead of one full
+    gather → exchange → apply round per phase.  Layouts (the per-stage
+    composed index vectors) are derived lazily per
+    ``(row width, dtype, source sizes)`` chain and cached for the
+    plan's lifetime, like the single-plan ``_layouts`` caches they
+    borrow from.
+    """
+
+    stages: tuple[FusedStage, ...]
+    _layouts: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if not self.stages:
+            raise ValueError("a fused plan needs at least one stage")
+        n = self.stages[0].plan.n_ranks
+        for stage in self.stages:
+            if stage.kind not in STAGE_KINDS:
+                raise ValueError(f"unknown fused stage kind {stage.kind!r}")
+            if stage.plan.n_ranks != n:
+                raise ValueError("fused stages span different machines")
+        self.stages = tuple(self.stages)
+
+    @property
+    def n_ranks(self) -> int:
+        return self.stages[0].plan.n_ranks
+
+    def matches(self, stages) -> bool:
+        """Whether this fused plan was built from exactly ``stages``
+        (same compiled plans by identity, same kinds and combiners) —
+        the staleness check for cache layers keyed by loop id."""
+        if len(stages) != len(self.stages):
+            return False
+        return all(
+            mine.plan is theirs.plan and mine.kind == theirs.kind
+            and mine.op is theirs.op
+            for mine, theirs in zip(self.stages, stages)
+        )
+
+    def layout(self, key: tuple) -> _FusedLayout:
+        """Per-stage composed layouts (plus the static kernel payload)
+        for one ``((k, dtype, sizes), ...)`` key."""
+        out = self._layouts.get(key)
+        if out is None:
+            out = _FusedLayout([
+                _StageLayout(stage, k, np.dtype(dtype), sizes)
+                for stage, (k, dtype, sizes) in zip(self.stages, key)
+            ])
+            self._layouts[key] = out
+        return out
+
+
+def compile_fused(stages) -> FusedPlan:
+    """Fused view of a stage chain; cached on the lead compiled plan.
+
+    The cache key is the chain identity — plan object ids, kinds and
+    combiner names.  The cached :class:`FusedPlan` holds strong
+    references to every stage plan, so the ids cannot be recycled while
+    the entry is alive; a ``matches`` check guards against it anyway.
+    """
+    stages = tuple(stages)
+    lead = stages[0].plan
+    key = tuple(
+        (s.kind, id(s.plan),
+         None if s.op is None else getattr(s.op, "__name__", repr(s.op)))
+        for s in stages
+    )
+    cache = getattr(lead, _FUSED_CACHE_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(lead, _FUSED_CACHE_ATTR, cache)
+    fused = cache.get(key)
+    if fused is None or not fused.matches(stages):
+        fused = FusedPlan(stages=stages)
+        cache[key] = fused
+    return fused

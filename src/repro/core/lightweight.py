@@ -201,3 +201,13 @@ def scatter_append_multi(
                     f"schedule covers {expected}"
                 )
     return ctx.backend.scatter_append_multi(ctx, sched, arrays, category)
+
+
+def append_phase(sched: LightweightSchedule, values: list[np.ndarray]):
+    """A :func:`scatter_append` as a phase for
+    :func:`~repro.core.executor.run_pipeline` — e.g. migrating several
+    aligned particle attributes over one schedule in a single fused
+    pass.  The phase's result slot holds the new per-rank arrays."""
+    from repro.core.executor import PipelinePhase
+
+    return PipelinePhase("append", sched, values)

@@ -178,6 +178,17 @@ def remap_array(
     return ctx.backend.remap_array(ctx, plan, data, category)
 
 
+def remap_phase(plan: RemapPlan, data: list[np.ndarray]):
+    """A :func:`remap_array` as a phase for
+    :func:`~repro.core.executor.run_pipeline` — the paper remaps all
+    atom-associated arrays with one plan, which fuses into a single
+    pack/permute/apply pass.  The phase's result slot holds the new
+    per-rank arrays."""
+    from repro.core.executor import PipelinePhase
+
+    return PipelinePhase("remap", plan, data)
+
+
 def remap_global_values(
     ctx,
     old_dist: Distribution,

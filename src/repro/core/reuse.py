@@ -17,6 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+#: suffix appended to a loop id to key its fused-plan cache entry —
+#: fusion effectiveness stays observable per loop without changing the
+#: shape of :meth:`ScheduleCache.stats`
+FUSED_SUFFIX = "::fused"
+
 
 class ModificationRecord:
     """Version counters for named (indirection) arrays."""
@@ -79,6 +84,11 @@ class ScheduleCache:
         )
         return value, True
 
+    def peek(self, loop_id: str) -> Any | None:
+        """The cached value without counting a hit; ``None`` if absent."""
+        e = self._entries.get(loop_id)
+        return e.value if e else None
+
     def invalidate(self, loop_id: str) -> bool:
         """Drop one loop's cached value; True if it existed."""
         return self._entries.pop(loop_id, None) is not None
@@ -90,6 +100,15 @@ class ScheduleCache:
         """(hits, builds) for one loop id."""
         e = self._entries.get(loop_id)
         return (e.hits, e.builds) if e else (0, 0)
+
+    def fused_stats(self, loop_id: str) -> tuple[int, int]:
+        """(hits, builds) of the loop's *fused-plan* cache entry.
+
+        Fused pipelines keyed by ``loop_id`` cache their
+        :class:`~repro.core.compiled.FusedPlan` under
+        ``loop_id + FUSED_SUFFIX``; a hit means the whole stage chain was
+        reused as-is, a build means some stage's schedule changed."""
+        return self.stats(loop_id + FUSED_SUFFIX)
 
     def __contains__(self, loop_id: str) -> bool:
         return loop_id in self._entries

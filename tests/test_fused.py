@@ -1,0 +1,397 @@
+"""Fused pipelines (:func:`run_pipeline`) vs the unfused primitives.
+
+The fusion contract is the backend contract one level up: a fused chain
+must be *observationally identical* to running its phases through the
+ordinary primitives — bitwise-equal results and ghosts, the exact same
+traffic (message counts, bytes, tags, per-message records) and per-rank
+clocks (to float round-off) — on every registered backend.  Fusion only
+changes how fast the data moves, never what moves or what it costs.
+
+Covered here:
+
+* randomized gather + scatter_op chains (the CHARMM force pattern) and
+  multi-phase remaps over one plan (the DSMC / CHARMM Phase-B pattern),
+  fused vs unfused, four ways;
+* the "multiple schedule mode" shape: two gathers from two schedules
+  filling one shared table-wide ghost buffer in one pass;
+* legality fallbacks — a non-ufunc combiner and a chain whose scatter
+  reads the ghosts its gather writes both run unfused, with identical
+  results;
+* empty machines, empty schedules and zero-size plans;
+* fused-plan cache counters under a ``loop_id`` (hits, builds, and the
+  hit-preserving rebuild when a schedule is re-inspected).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ChaosRuntime,
+    ExecutionContext,
+    allocate_ghosts,
+    clear_stamp,
+    fusable,
+    gather,
+    gather_phase,
+    remap,
+    remap_array,
+    remap_phase,
+    run_pipeline,
+    scatter_op,
+    scatter_op_phase,
+    split_by_block,
+)
+from repro.core.reuse import FUSED_SUFFIX
+from repro.sim import Machine
+
+from conftest import ALL_BACKENDS as BACKENDS
+
+
+def _clock_snapshots(machine):
+    return [c.snapshot() for c in machine.clocks]
+
+
+def _assert_clocks_match(a, b):
+    for ca, cb in zip(a, b):
+        for key in set(ca) | set(cb):
+            assert ca.get(key, 0.0) == pytest.approx(
+                cb.get(key, 0.0), rel=1e-9, abs=1e-15
+            ), key
+
+
+def _schedule_env(seed, n_ranks, n, n_ref, trailing):
+    rng = np.random.default_rng(seed)
+    m = Machine(n_ranks, record_messages=True)
+    rt = ChaosRuntime(m)
+    tt = rt.irregular_table(rng.integers(0, n_ranks, n))
+    shape = (n,) + trailing
+    x = rt.distribute(rng.standard_normal(shape), tt)
+    idx_g = rng.integers(0, n, n_ref) if n else np.zeros(0, dtype=np.int64)
+    rt.hash_indirection(tt, split_by_block(idx_g, m), "s")
+    sched = rt.build_schedule(tt, "s")
+    m.reset_clocks()
+    m.reset_traffic()
+    return m, x, sched, rng
+
+
+def _observe(machine, *arrays):
+    return (
+        [[np.asarray(a).copy() for a in group] for group in arrays],
+        machine.traffic.snapshot(),
+        list(machine.traffic.messages),
+        _clock_snapshots(machine),
+    )
+
+
+def _assert_same(ref, got):
+    for g_ref, g_got in zip(ref[0], got[0]):
+        for a, b in zip(g_ref, g_got):
+            np.testing.assert_array_equal(a, b)
+    assert ref[1] == got[1]
+    assert ref[2] == got[2]
+    _assert_clocks_match(ref[3], got[3])
+
+
+def _gather_scatter(backend, fused, seed, n_ranks, n, n_ref, trailing):
+    """One gather + one scatter_op over the same schedule; observe all."""
+    m, x, sched, rng = _schedule_env(seed, n_ranks, n, n_ref, trailing)
+    ctx = ExecutionContext.resolve(m, backend)
+    try:
+        ghosts = allocate_ghosts(sched, x.local)
+        contrib = None
+        if fused:
+            run_pipeline(ctx, [gather_phase(sched, x.local, ghosts)],
+                         loop_id="gs:g")
+            contrib = [1.5 * g + 0.25 for g in ghosts]
+            run_pipeline(
+                ctx,
+                [scatter_op_phase(sched, x.local, contrib, np.add)],
+                loop_id="gs:s",
+            )
+        else:
+            gather(ctx, sched, x.local, ghosts)
+            contrib = [1.5 * g + 0.25 for g in ghosts]
+            scatter_op(ctx, sched, x.local, contrib, np.add)
+        return _observe(m, ghosts, x.local)
+    finally:
+        ctx.close()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_ranks=st.integers(1, 6),
+    n=st.integers(1, 60),
+    n_ref=st.integers(0, 150),
+    trailing=st.sampled_from([(), (3,)]),
+)
+def test_fused_gather_scatter_four_ways(seed, n_ranks, n, n_ref, trailing):
+    ref = _gather_scatter("serial", False, seed, n_ranks, n, n_ref,
+                          trailing)
+    for backend in BACKENDS:
+        for fused in (False, True):
+            got = _gather_scatter(backend, fused, seed, n_ranks, n,
+                                  n_ref, trailing)
+            _assert_same(ref, got)
+
+
+def _remap_pipeline(backend, fused, seed, n_ranks, n, trailing):
+    """Three arrays moved with one remap plan (the Phase-B pattern)."""
+    rng = np.random.default_rng(seed)
+    m = Machine(n_ranks, record_messages=True)
+    rt = ChaosRuntime(m)
+    old_tt = rt.irregular_table(rng.integers(0, n_ranks, n))
+    new_tt = rt.irregular_table(rng.integers(0, n_ranks, n))
+    a = rt.distribute(rng.standard_normal((n,) + trailing), old_tt)
+    b = rt.distribute(rng.integers(0, 1000, n), old_tt)
+    c = rt.distribute(rng.standard_normal(n), old_tt)
+    ctx = ExecutionContext.resolve(m, backend)
+    try:
+        plan = remap(ctx, old_tt.dist, new_tt.dist)
+        m.reset_clocks()
+        m.reset_traffic()
+        if fused:
+            ra, rb, rc = run_pipeline(
+                ctx,
+                [remap_phase(plan, a.local),
+                 remap_phase(plan, b.local),
+                 remap_phase(plan, c.local)],
+                category="remap", loop_id="rm",
+            )
+        else:
+            ra = remap_array(ctx, plan, a.local)
+            rb = remap_array(ctx, plan, b.local)
+            rc = remap_array(ctx, plan, c.local)
+        return _observe(m, ra, rb, rc)
+    finally:
+        ctx.close()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_ranks=st.integers(1, 5),
+    n=st.integers(0, 60),
+    trailing=st.sampled_from([(), (2,)]),
+)
+def test_fused_remap_four_ways(seed, n_ranks, n, trailing):
+    ref = _remap_pipeline("serial", False, seed, n_ranks, n, trailing)
+    for backend in BACKENDS:
+        for fused in (False, True):
+            got = _remap_pipeline(backend, fused, seed, n_ranks, n,
+                                  trailing)
+            _assert_same(ref, got)
+    # dtype is preserved through the fused path
+    assert got[0][1][0].dtype == np.int64 if n_ranks else True
+
+
+def _two_schedule_env(seed=7, n_ranks=4, n=90):
+    """Two schedules over one table — the CHARMM 'multiple' mode shape.
+
+    Ghost numbering is table-wide, so one ghost buffer (allocated from
+    either schedule) holds both gathers' arrivals.
+    """
+    rng = np.random.default_rng(seed)
+    m = Machine(n_ranks, record_messages=True)
+    rt = ChaosRuntime(m)
+    tt = rt.irregular_table(rng.integers(0, n_ranks, n))
+    x = rt.distribute(rng.standard_normal((n, 3)), tt)
+    rt.hash_indirection(tt, split_by_block(rng.integers(0, n, 120), m),
+                        "nb")
+    rt.hash_indirection(tt, split_by_block(rng.integers(0, n, 80), m),
+                        "bonded")
+    s1 = rt.build_schedule(tt, "nb")
+    s2 = rt.build_schedule(tt, "bonded")
+    m.reset_clocks()
+    m.reset_traffic()
+    return m, x, s1, s2
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fused_shared_ghost_double_gather(backend):
+    m, x, s1, s2 = _two_schedule_env()
+    ctx = ExecutionContext.resolve(m, "serial")
+    ghosts_ref = allocate_ghosts(s1, x.local)
+    gather(ctx, s1, x.local, ghosts_ref)
+    gather(ctx, s2, x.local, ghosts_ref)
+    ref = _observe(m, ghosts_ref)
+    ctx.close()
+
+    m, x, s1, s2 = _two_schedule_env()
+    ctx = ExecutionContext.resolve(m, backend)
+    try:
+        ghosts = allocate_ghosts(s1, x.local)
+        run_pipeline(
+            ctx,
+            [gather_phase(s1, x.local, ghosts),
+             gather_phase(s2, x.local, ghosts)],
+            loop_id="multi",
+        )
+        _assert_same(ref, _observe(m, ghosts))
+    finally:
+        ctx.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fused_shared_dest_double_scatter(backend):
+    """Two combining scatters into the same locals, stage order kept."""
+    m, x, s1, s2 = _two_schedule_env(seed=11)
+    ctx = ExecutionContext.resolve(m, "serial")
+    g = allocate_ghosts(s1, x.local)
+    gather(ctx, s1, x.local, g)
+    c1 = [1.5 * a + 0.25 for a in g]
+    c2 = [2.0 * a for a in g]
+    m.reset_clocks()
+    m.reset_traffic()
+    scatter_op(ctx, s1, x.local, c1, np.add)
+    scatter_op(ctx, s2, x.local, c2, np.maximum)
+    ref = _observe(m, x.local)
+    ctx.close()
+
+    for backend_name in (backend,):
+        m, x, s1, s2 = _two_schedule_env(seed=11)
+        ctx = ExecutionContext.resolve(m, backend_name)
+        try:
+            g = allocate_ghosts(s1, x.local)
+            gather(ctx, s1, x.local, g)
+            c1 = [1.5 * a + 0.25 for a in g]
+            c2 = [2.0 * a for a in g]
+            m.reset_clocks()
+            m.reset_traffic()
+            out = run_pipeline(
+                ctx,
+                [scatter_op_phase(s1, x.local, c1, np.add),
+                 scatter_op_phase(s2, x.local, c2, np.maximum)],
+                loop_id="fs",
+            )
+            assert out == [None, None]
+            _assert_same(ref, _observe(m, x.local))
+        finally:
+            ctx.close()
+
+
+class _OddCombiner:
+    """Has ``.at`` like a ufunc but is not a named numpy ufunc."""
+
+    __name__ = "odd_combiner"
+
+    @staticmethod
+    def at(target, idx, values):
+        np.add.at(target, idx, values)
+
+    def __call__(self, a, b):  # pragma: no cover - signature parity
+        return a + b
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_non_ufunc_combiner_falls_back(backend):
+    op = _OddCombiner()
+    m, x, sched, rng = _schedule_env(23, 4, 70, 140, ())
+    ctx = ExecutionContext.resolve(m, "serial")
+    g = allocate_ghosts(sched, x.local)
+    gather(ctx, sched, x.local, g)
+    c = [0.5 * a for a in g]
+    m.reset_clocks()
+    m.reset_traffic()
+    scatter_op(ctx, sched, x.local, c, op)
+    ref = _observe(m, x.local)
+    ctx.close()
+
+    m, x, sched, rng = _schedule_env(23, 4, 70, 140, ())
+    ctx = ExecutionContext.resolve(m, backend)
+    try:
+        g = allocate_ghosts(sched, x.local)
+        gather(ctx, sched, x.local, g)
+        c = [0.5 * a for a in g]
+        phases = [scatter_op_phase(sched, x.local, c, op)]
+        ok, reason = fusable(phases)
+        assert not ok and "ufunc" in reason
+        m.reset_clocks()
+        m.reset_traffic()
+        run_pipeline(ctx, phases)
+        _assert_same(ref, _observe(m, x.local))
+    finally:
+        ctx.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_read_write_overlap_falls_back(backend):
+    """A scatter reading the ghosts its gather writes cannot fuse."""
+    m, x, sched, rng = _schedule_env(31, 4, 60, 120, (3,))
+    ctx = ExecutionContext.resolve(m, "serial")
+    g = allocate_ghosts(sched, x.local)
+    gather(ctx, sched, x.local, g)
+    scatter_op(ctx, sched, x.local, g, np.add)
+    ref = _observe(m, g, x.local)
+    ctx.close()
+
+    m, x, sched, rng = _schedule_env(31, 4, 60, 120, (3,))
+    ctx = ExecutionContext.resolve(m, backend)
+    try:
+        g = allocate_ghosts(sched, x.local)
+        phases = [gather_phase(sched, x.local, g),
+                  scatter_op_phase(sched, x.local, g, np.add)]
+        ok, reason = fusable(phases)
+        assert not ok and "reads" in reason
+        run_pipeline(ctx, phases)
+        _assert_same(ref, _observe(m, g, x.local))
+    finally:
+        ctx.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("n_ranks,n,n_ref", [(1, 1, 0), (3, 3, 0),
+                                             (4, 0, 0), (2, 1, 1)])
+def test_fused_empty_and_tiny(backend, n_ranks, n, n_ref):
+    ref = _gather_scatter("serial", False, 5, n_ranks, max(n, 1), n_ref,
+                          ())
+    got = _gather_scatter(backend, True, 5, n_ranks, max(n, 1), n_ref,
+                          ())
+    _assert_same(ref, got)
+    # an entirely empty phase list is a no-op returning no results
+    m = Machine(n_ranks)
+    ctx = ExecutionContext.resolve(m, backend)
+    try:
+        assert run_pipeline(ctx, []) == []
+    finally:
+        ctx.close()
+
+
+def test_fused_cache_stats_and_rebuild():
+    rng = np.random.default_rng(2)
+    m = Machine(4)
+    rt = ChaosRuntime(m)
+    tt = rt.irregular_table(rng.integers(0, 4, 50))
+    x = rt.distribute(rng.standard_normal(50), tt)
+    rt.hash_indirection(tt, split_by_block(rng.integers(0, 50, 90), m),
+                        "s")
+    sched = rt.build_schedule(tt, "s")
+    ghosts = allocate_ghosts(sched, x.local)
+
+    assert rt.cache_stats("loop", fused=True) == (0, 0)
+    run_pipeline(rt.ctx, [gather_phase(sched, x.local, ghosts)],
+                 loop_id="loop")
+    assert rt.cache_stats("loop", fused=True) == (0, 1)
+    run_pipeline(rt.ctx, [gather_phase(sched, x.local, ghosts)],
+                 loop_id="loop")
+    assert rt.cache_stats("loop", fused=True) == (1, 1)
+
+    # re-inspect: a new schedule under the same loop id forces a rebuild
+    # of the fused plan without resetting the hit counter
+    clear_stamp(rt.ctx, rt.hash_tables(tt), "s")
+    rt.hash_indirection(tt, split_by_block(rng.integers(0, 50, 90), m),
+                        "s")
+    sched2 = rt.build_schedule(tt, "s")
+    ghosts2 = allocate_ghosts(sched2, x.local)
+    run_pipeline(rt.ctx, [gather_phase(sched2, x.local, ghosts2)],
+                 loop_id="loop")
+    assert rt.cache_stats("loop", fused=True) == (1, 2)
+    run_pipeline(rt.ctx, [gather_phase(sched2, x.local, ghosts2)],
+                 loop_id="loop")
+    assert rt.cache_stats("loop", fused=True) == (2, 2)
+    # the fused entry lives under its own suffixed key, so the unfused
+    # schedule-cache slot for the same loop id is untouched
+    assert rt.cache_stats("loop") == (0, 0)
+    assert rt.schedule_cache.stats("loop" + FUSED_SUFFIX) == (2, 2)
