@@ -14,6 +14,9 @@ Subpackages
     The paper's evaluation applications: mini-CHARMM and DSMC.
 ``repro.lang``
     Mini Fortran D compiler (parser → analysis → CHAOS plans).
+``repro.serve``
+    Async multi-tenant program server (admission queue, per-tenant
+    contexts, soft-failure isolation, graceful drain).
 ``repro.util``
     Counter-based PRNG and report formatting.
 """

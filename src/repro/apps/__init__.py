@@ -4,4 +4,17 @@
 structure of CHARMM (static bonded indirection, periodically-regenerated
 non-bonded lists).  ``dsmc`` — a Direct Simulation Monte Carlo
 particle-in-cell code (per-step particle migration, drifting load).
+``jobs`` — submit-friendly :class:`~repro.serve.job.JobSpec` wrappers
+(:class:`CharmmJob`, :class:`DsmcJob`) for hosting either app as a
+tenant of :class:`~repro.serve.server.ProgramServer`.
 """
+
+
+def __getattr__(name):
+    # lazy: the job specs pull in repro.serve, which plain charmm/dsmc
+    # users never need
+    if name in ("CharmmJob", "DsmcJob"):
+        from repro.apps import jobs
+
+        return getattr(jobs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

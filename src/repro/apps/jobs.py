@@ -1,0 +1,73 @@
+"""Submit-friendly job specs for the paper's applications.
+
+These wrap the CHARMM MD and DSMC drivers as
+:class:`~repro.serve.job.JobSpec`\\ s so a
+:class:`~repro.serve.server.ProgramServer` can host them as tenants:
+each spec builds its whole workload from its own parameters + seed
+inside ``run`` (nothing shared across submissions), steps the driver
+with a ``control.check()`` between steps so timeouts and cancellations
+take effect at step granularity, and returns plain numpy arrays —
+bitwise-comparable between served and solo runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.job import JobControl, JobSpec
+
+
+@dataclass(kw_only=True)
+class CharmmJob(JobSpec):
+    """A short mini-CHARMM MD trajectory on a fresh small system."""
+
+    name: str = "charmm"
+    n_atoms: int = 150
+    steps: int = 3
+    dt: float = 0.002
+    update_every: int = 2
+
+    def run(self, ctx, control: JobControl) -> dict:
+        from repro.apps.charmm import ParallelMD, build_small_system
+
+        control.check()
+        system = build_small_system(self.n_atoms, seed=self.seed)
+        md = ParallelMD(system, ctx, dt=self.dt,
+                        update_every=self.update_every)
+        for _ in range(self.steps):
+            control.check()
+            md.run(1)
+        return {
+            "positions": md.global_positions(),
+            "velocities": md.global_velocities(),
+        }
+
+
+@dataclass(kw_only=True)
+class DsmcJob(JobSpec):
+    """A short DSMC flow on a fresh grid (light-weight migration)."""
+
+    name: str = "dsmc"
+    grid_shape: tuple[int, ...] = (8, 4)
+    steps: int = 3
+    n_initial: int = 400
+    inflow_rate: int = 30
+    dt: float = 0.3
+    initial_profile: str = "uniform"
+
+    def run(self, ctx, control: JobControl) -> dict:
+        from repro.apps.dsmc import CartesianGrid, DSMCConfig, ParallelDSMC
+
+        control.check()
+        grid = CartesianGrid(self.grid_shape)
+        config = DSMCConfig(
+            n_initial=self.n_initial, inflow_rate=self.inflow_rate,
+            dt=self.dt, initial_profile=self.initial_profile,
+        )
+        dsmc = ParallelDSMC(grid, ctx, config=config)
+        for _ in range(self.steps):
+            control.check()
+            dsmc.step()
+        ids, positions, velocities = dsmc.canonical_state()
+        return {"ids": ids, "positions": positions,
+                "velocities": velocities}

@@ -52,6 +52,7 @@ plug in via :func:`register_backend` without touching applications.
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
@@ -357,6 +358,12 @@ class Backend(ABC):
 _REGISTRY: dict[str, type[Backend]] = {}
 _INSTANCES: dict[str, Backend] = {}
 _default_name: str | None = None
+#: guards the registry, the instance cache, and the process default —
+#: the multi-tenant server resolves backends from many threads at once,
+#: and the one-instance-per-name invariant (ExecutionContext compares
+#: backends by identity) must hold under that concurrency.  Reentrant:
+#: set_default_backend/default_backend call get_backend under the lock.
+_REGISTRY_LOCK = threading.RLock()
 
 
 def register_backend(cls: type[Backend]) -> type[Backend]:
@@ -364,32 +371,47 @@ def register_backend(cls: type[Backend]) -> type[Backend]:
     name = getattr(cls, "name", None)
     if not name or name == Backend.name:
         raise ValueError(f"backend class {cls!r} must define a unique name")
-    _REGISTRY[name] = cls
-    _INSTANCES.pop(name, None)
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = cls
+        _INSTANCES.pop(name, None)
     return cls
 
 
 def available_backends() -> tuple[str, ...]:
-    """Registered backend names, sorted."""
-    return tuple(sorted(_REGISTRY))
+    """Registered backend names, sorted (a copy: safe to iterate while
+    other threads register)."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
 
 
 def get_backend(name: str) -> Backend:
-    """Instantiate (once) and return the backend registered as ``name``."""
-    if name not in _REGISTRY:
-        raise KeyError(
-            f"unknown backend {name!r}; available: {available_backends()}"
-        )
-    if name not in _INSTANCES:
-        _INSTANCES[name] = _REGISTRY[name]()
-    return _INSTANCES[name]
+    """Instantiate (once) and return the backend registered as ``name``.
+
+    Thread-safe: concurrent callers racing on an uninstantiated name
+    all receive the same instance (double-checked under the module
+    lock), so backend identity comparisons stay sound.
+    """
+    inst = _INSTANCES.get(name)  # fast path: steady state, no lock
+    if inst is not None:
+        return inst
+    with _REGISTRY_LOCK:
+        if name not in _REGISTRY:
+            raise KeyError(
+                f"unknown backend {name!r}; available: "
+                f"{available_backends()}"
+            )
+        inst = _INSTANCES.get(name)
+        if inst is None:
+            inst = _INSTANCES[name] = _REGISTRY[name]()
+        return inst
 
 
 def set_default_backend(name: str) -> None:
-    """Select the process-wide default backend by name."""
+    """Select the process-wide default backend by name (thread-safe)."""
     global _default_name
-    get_backend(name)  # validate eagerly
-    _default_name = name
+    with _REGISTRY_LOCK:
+        get_backend(name)  # validate eagerly
+        _default_name = name
 
 
 def default_backend() -> Backend:
@@ -398,8 +420,10 @@ def default_backend() -> Backend:
     Resolution order: :func:`set_default_backend`, then the
     ``REPRO_BACKEND`` environment variable, then ``"vectorized"``.
     """
-    name = _default_name or os.environ.get(BACKEND_ENV_VAR) or "vectorized"
-    return get_backend(name)
+    with _REGISTRY_LOCK:
+        name = (_default_name or os.environ.get(BACKEND_ENV_VAR)
+                or "vectorized")
+        return get_backend(name)
 
 
 def resolve_backend(backend) -> Backend:
@@ -417,14 +441,22 @@ def resolve_backend(backend) -> Backend:
 
 @contextmanager
 def use_backend(name: str):
-    """Temporarily switch the default backend (tests, benchmarks)."""
+    """Temporarily switch the default backend (tests, benchmarks).
+
+    The swap and restore are lock-protected; the *default itself* is
+    still process-wide state, so concurrent ``use_backend`` blocks in
+    different threads interleave their defaults — server code passes
+    backends explicitly per job instead of toggling the default.
+    """
     global _default_name
-    previous = _default_name
-    set_default_backend(name)
+    with _REGISTRY_LOCK:
+        previous = _default_name
+        set_default_backend(name)
     try:
         yield get_backend(name)
     finally:
-        _default_name = previous
+        with _REGISTRY_LOCK:
+            _default_name = previous
 
 
 def row_nbytes(a: np.ndarray) -> int:

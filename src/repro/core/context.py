@@ -38,6 +38,22 @@ context at init and *own its lifecycle*: their ``close()`` (or use as a
 ``with`` block) releases the backend resources.  The pre-context
 machine-first signatures with a ``backend`` keyword, deprecated for one
 release, have been removed.
+
+Concurrency contract (audited for the multi-tenant server)
+----------------------------------------------------------
+The carrier is a *frozen* dataclass: every field rebind — including
+new attribute names — raises ``FrozenInstanceError``, so a context can
+be handed to another thread without defensive copying.  Backend
+resolution is thread-safe (the registry and the process default live
+behind a module lock, see :mod:`repro.core.backends.base`) and backend
+instances are process-wide singletons compared by identity.  What is
+**not** shareable across concurrently-running tenants are the mutable
+services a context carries — the machine's clocks/traffic, the
+modification record, the schedule cache, the backend resource handle.
+The server therefore gives every job its own machine + context
+(:func:`repro.serve.job.build_job_context`); sharing one context
+between sequential runs remains fine (instance-scoped cache keys keep
+programs from cross-hitting).
 """
 
 from __future__ import annotations

@@ -1,0 +1,67 @@
+"""Chaos-as-a-service: an async multi-tenant program server.
+
+The runtime below this package is a *library*: one caller builds one
+:class:`~repro.core.context.ExecutionContext` and drives one program.
+``repro.serve`` wraps it in a long-lived service that hosts many
+concurrent programs the way a production deployment would:
+
+* :class:`ProgramServer` — an asyncio admission/work queue over
+  submitted :class:`JobSpec`\\ s.  Every job runs under its own
+  per-tenant :class:`~repro.core.context.ExecutionContext` (own
+  simulated machine, own backend resources, own RNG seed) inside a
+  soft-failure wrapper: a tenant that raises, times out, or is
+  cancelled produces a recorded :class:`JobVerdict` and never takes
+  down the event loop or perturbs another tenant's bitwise results.
+* :class:`JobSpec` — the submit-friendly unit of work (program +
+  machine size + backend choice + seed + timeout).  Ships with
+  :class:`CallableJob` (any ``fn(ctx, control)``) and
+  :class:`ProgramJob` (mini-Fortran-D source + bindings); the
+  application-shaped specs (CHARMM, DSMC) live in
+  :mod:`repro.apps.jobs`.
+* :class:`JobVerdict` — the per-job record: terminal status, result or
+  error + traceback, traffic/virtual-clock/cache statistics, and the
+  resource audit (context closed, shared-memory segments unlinked).
+
+Backend work executes on a thread pool via ``run_in_executor`` so the
+event loop stays responsive; admission is bounded with configurable
+backpressure; ``drain()``/``close()`` finish running jobs, reject new
+submissions, and deterministically close every context's backend
+resources — worker pools and shared-memory arenas included — riding
+the backend lifecycle hooks (``open``/``close``).
+"""
+
+from repro.serve.config import ServerConfig
+from repro.serve.job import (
+    CallableJob,
+    JobCancelled,
+    JobControl,
+    JobSpec,
+    ProgramJob,
+    build_job_context,
+    run_job_inline,
+)
+from repro.serve.server import (
+    AdmissionFull,
+    JobHandle,
+    ProgramServer,
+    ServerClosed,
+)
+from repro.serve.verdict import TERMINAL_STATES, JobStatus, JobVerdict
+
+__all__ = [
+    "AdmissionFull",
+    "CallableJob",
+    "JobCancelled",
+    "JobControl",
+    "JobHandle",
+    "JobSpec",
+    "JobStatus",
+    "JobVerdict",
+    "ProgramJob",
+    "ProgramServer",
+    "ServerClosed",
+    "ServerConfig",
+    "TERMINAL_STATES",
+    "build_job_context",
+    "run_job_inline",
+]

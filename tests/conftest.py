@@ -15,6 +15,19 @@ from repro.sim import Machine
 ALL_BACKENDS = ("serial", "vectorized", "threaded", "multiprocess")
 
 
+def pytest_addoption(parser):
+    try:
+        import pytest_timeout  # noqa: F401
+    except ImportError:
+        # environments without the plugin (it is in the test extras but
+        # not baked into every image): register the ini keys it would
+        # own as inert options so pyproject's timeout config does not
+        # trigger unknown-ini warnings; tests then run without deadlines
+        parser.addini("timeout", "per-test timeout (inert: plugin absent)")
+        parser.addini("timeout_method",
+                      "timeout mechanism (inert: plugin absent)")
+
+
 @pytest.fixture(params=ALL_BACKENDS)
 def backend_name(request) -> str:
     """Parametrizes a test over every registered backend name."""

@@ -1,0 +1,496 @@
+"""Unit tests for the multi-tenant program server.
+
+Event-loop mechanics (admission, lifecycle states, per-tenant caps,
+backpressure, cancellation, timeouts, soft-failure isolation) on cheap
+jobs; the heavy end-to-end runs live in ``test_serve_soak.py``.  No
+pytest-asyncio in the toolchain — each test drives its own loop with
+``asyncio.run``.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+from serve_helpers import (
+    assert_verdict_results_equal,
+    figure8_job,
+    halo_job,
+    sleeper_job,
+)
+
+from repro.serve import (
+    AdmissionFull,
+    CallableJob,
+    JobCancelled,
+    JobControl,
+    JobSpec,
+    JobStatus,
+    ProgramServer,
+    ServerClosed,
+    ServerConfig,
+    run_job_inline,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def const_job(value, **kw):
+    return CallableJob(fn=lambda ctx, control: value, **kw)
+
+
+# ----------------------------------------------------------------------
+# lifecycle + verdicts
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_submit_wait_done(self):
+        async def main():
+            async with ProgramServer() as srv:
+                handle = await srv.submit(const_job(41, name="answer"))
+                verdict = await handle.wait()
+                return srv, handle, verdict
+
+        srv, handle, verdict = run(main())
+        assert verdict.ok
+        assert verdict.status is JobStatus.DONE
+        assert verdict.result == 41
+        assert verdict.name == "answer"
+        assert verdict.error is None and verdict.traceback is None
+        assert verdict.duration is not None and verdict.duration >= 0
+        # status queries agree between handle and server
+        assert handle.status is JobStatus.DONE
+        assert srv.status(handle.job_id) is JobStatus.DONE
+        assert srv.verdict(handle.job_id) is verdict
+        assert handle.verdict is verdict
+
+    def test_queued_running_states_observed(self):
+        async def main():
+            def wait_fn(ctx, control):
+                control.sleep(30)  # released via cancel below
+
+            async with ProgramServer(
+                ServerConfig(max_concurrency=1)
+            ) as srv:
+                first = await srv.submit(
+                    CallableJob(fn=wait_fn, name="hog")
+                )
+                second = await srv.submit(const_job(2, name="queued"))
+                await asyncio.sleep(0.1)
+                states = (first.status, second.status)
+                first.cancel()
+                v2 = await second.wait()
+                return states, v2
+
+        (s1, s2), v2 = run(main())
+        assert s1 is JobStatus.RUNNING
+        assert s2 is JobStatus.QUEUED
+        assert v2.ok and v2.result == 2
+
+    def test_failure_is_isolated_and_recorded(self):
+        def boom(ctx, control):
+            raise ValueError("tenant bug")
+
+        async def main():
+            async with ProgramServer() as srv:
+                bad = await srv.submit(
+                    CallableJob(fn=boom, name="boom", tenant="bad")
+                )
+                good = await srv.submit(const_job(7, tenant="good"))
+                return await bad.wait(), await good.wait()
+
+        vb, vg = run(main())
+        assert vb.status is JobStatus.FAILED and not vb.ok
+        assert "tenant bug" in vb.error
+        assert "ValueError" in vb.traceback
+        assert vg.ok and vg.result == 7
+
+    def test_verdict_stats_and_summary(self):
+        async def main():
+            async with ProgramServer() as srv:
+                h = await srv.submit(halo_job(seed=5))
+                return await h.wait()
+
+        v = run(main())
+        assert v.ok
+        assert v.stats["backend"] == v.backend
+        assert v.stats["n_ranks"] == 4
+        assert v.stats["traffic"]["n_messages"] > 0
+        assert v.stats["clock"]["execution"] > 0.0
+        # raw runtime-API calls bypass the plan-layer schedule cache
+        assert v.stats["cache"]["entries"] >= 0
+        assert v.resources_closed
+        line = v.summary()
+        assert "done" in line and "msgs=" in line
+
+    def test_program_job_matches_solo_run(self):
+        spec = figure8_job(seed=11)
+
+        async def main():
+            async with ProgramServer() as srv:
+                h = await srv.submit(spec)
+                return await h.wait()
+
+        verdict = run(main())
+        assert verdict.ok
+        solo = run_job_inline(figure8_job(seed=11))
+        assert_verdict_results_equal(verdict.result, solo)
+        assert set(verdict.result) == {"x"}
+
+    def test_jobs_listing_by_tenant(self):
+        async def main():
+            async with ProgramServer() as srv:
+                await srv.submit(const_job(1, tenant="a"))
+                await srv.submit(const_job(2, tenant="a"))
+                await srv.submit(const_job(3, tenant="b"))
+                for h in srv.jobs():
+                    await h.wait()
+                return (len(srv.jobs()), len(srv.jobs("a")),
+                        len(srv.jobs("b")), len(srv.jobs("zzz")),
+                        srv.stats())
+
+        total, a, b, z, stats = run(main())
+        assert (total, a, b, z) == (3, 2, 1, 0)
+        assert stats["admitted"] == 3
+        assert stats["by_status"] == {"done": 3}
+        assert stats["pending"] == 0
+
+
+# ----------------------------------------------------------------------
+# concurrency limits
+# ----------------------------------------------------------------------
+class TestConcurrencyLimits:
+    def test_per_tenant_cap_is_one(self):
+        import threading
+        import time
+
+        lock = threading.Lock()
+        counts = {"t": 0, "max_t": 0}
+
+        def fn(ctx, control):
+            with lock:
+                counts["t"] += 1
+                counts["max_t"] = max(counts["max_t"], counts["t"])
+            time.sleep(0.1)
+            with lock:
+                counts["t"] -= 1
+
+        async def main():
+            cfg = ServerConfig(max_concurrency=4, per_tenant=1)
+            async with ProgramServer(cfg) as srv:
+                handles = [
+                    await srv.submit(CallableJob(fn=fn, tenant="flood"))
+                    for _ in range(3)
+                ]
+                for h in handles:
+                    v = await h.wait()
+                    assert v.ok
+
+        run(main())
+        assert counts["max_t"] == 1
+
+    def test_tenants_run_concurrently_under_global_cap(self):
+        import threading
+        import time
+
+        lock = threading.Lock()
+        counts = {"g": 0, "max_g": 0}
+
+        def fn(ctx, control):
+            with lock:
+                counts["g"] += 1
+                counts["max_g"] = max(counts["max_g"], counts["g"])
+            time.sleep(0.2)
+            with lock:
+                counts["g"] -= 1
+
+        async def main():
+            cfg = ServerConfig(max_concurrency=4, per_tenant=1)
+            async with ProgramServer(cfg) as srv:
+                handles = [
+                    await srv.submit(CallableJob(fn=fn, tenant=t))
+                    for t in ("a", "b", "c")
+                ]
+                for h in handles:
+                    v = await h.wait()
+                    assert v.ok
+
+        run(main())
+        # three distinct tenants, cap 4: they overlap on the pool
+        assert counts["max_g"] >= 2
+
+    def test_global_cap_bounds_overlap(self):
+        import threading
+        import time
+
+        lock = threading.Lock()
+        counts = {"g": 0, "max_g": 0}
+
+        def fn(ctx, control):
+            with lock:
+                counts["g"] += 1
+                counts["max_g"] = max(counts["max_g"], counts["g"])
+            time.sleep(0.1)
+            with lock:
+                counts["g"] -= 1
+
+        async def main():
+            cfg = ServerConfig(max_concurrency=2, per_tenant=2)
+            async with ProgramServer(cfg) as srv:
+                handles = [
+                    await srv.submit(
+                        CallableJob(fn=fn, tenant=f"t{i % 3}")
+                    )
+                    for i in range(6)
+                ]
+                for h in handles:
+                    await h.wait()
+
+        run(main())
+        assert 1 <= counts["max_g"] <= 2
+
+
+# ----------------------------------------------------------------------
+# bounded admission
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_reject_policy_raises_admission_full(self):
+        async def main():
+            cfg = ServerConfig(max_concurrency=1, queue_limit=2,
+                               admission="reject")
+            async with ProgramServer(cfg) as srv:
+                h1 = await srv.submit(sleeper_job(30, name="hog"))
+                h2 = await srv.submit(const_job(2))
+                with pytest.raises(AdmissionFull):
+                    await srv.submit(const_job(3))
+                h1.cancel()
+                await h1.wait()
+                await h2.wait()
+                # room freed: admission works again
+                h3 = await srv.submit(const_job(3))
+                assert (await h3.wait()).ok
+
+        run(main())
+
+    def test_wait_policy_applies_backpressure(self):
+        async def main():
+            cfg = ServerConfig(max_concurrency=1, queue_limit=1,
+                               admission="wait")
+            async with ProgramServer(cfg) as srv:
+                hog = await srv.submit(sleeper_job(30, name="hog"))
+
+                second = asyncio.ensure_future(
+                    srv.submit(const_job(2, name="waiter"))
+                )
+                await asyncio.sleep(0.1)
+                # the submit coroutine is suspended, nothing admitted
+                assert not second.done()
+                assert srv.stats()["admitted"] == 1
+
+                hog.cancel()
+                handle2 = await asyncio.wait_for(second, timeout=5)
+                v2 = await handle2.wait()
+                assert v2.ok and v2.result == 2
+
+        run(main())
+
+    def test_backpressured_submit_rejected_on_drain(self):
+        async def main():
+            cfg = ServerConfig(max_concurrency=1, queue_limit=1,
+                               admission="wait")
+            srv = ProgramServer(cfg)
+            hog = await srv.submit(sleeper_job(30, name="hog"))
+            second = asyncio.ensure_future(srv.submit(const_job(2)))
+            await asyncio.sleep(0.05)
+            assert not second.done()
+            hog.cancel()
+            await srv.close()
+            with pytest.raises(ServerClosed):
+                await second
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# cancellation + timeout
+# ----------------------------------------------------------------------
+class TestCancelAndTimeout:
+    def test_cancel_queued_job(self):
+        async def main():
+            cfg = ServerConfig(max_concurrency=1)
+            async with ProgramServer(cfg) as srv:
+                hog = await srv.submit(sleeper_job(30, name="hog"))
+                queued = await srv.submit(const_job(2, name="victim"))
+                await asyncio.sleep(0.05)
+                assert queued.status is JobStatus.QUEUED
+                assert queued.cancel()
+                v = await queued.wait()
+                hog.cancel()
+                await hog.wait()
+                return v
+
+        v = run(main())
+        assert v.status is JobStatus.CANCELLED
+        assert "queued" in v.error
+
+    def test_cancel_running_job(self):
+        async def main():
+            async with ProgramServer() as srv:
+                h = await srv.submit(sleeper_job(30, name="hog"))
+                await asyncio.sleep(0.05)
+                assert h.status is JobStatus.RUNNING
+                assert h.cancel()
+                v = await h.wait()
+                # cancelling a finished job reports False
+                assert not h.cancel()
+                return v, srv.stats()
+
+        v, stats = run(main())
+        assert v.status is JobStatus.CANCELLED
+        # either the loop recorded the abandonment first ("cancelled
+        # while running") or the cooperative thread won the race and
+        # reported its own JobCancelled — both are correct
+        assert "running" in v.error or "asked to stop" in v.error
+        assert stats["by_status"] == {"cancelled": 1}
+
+    def test_timeout_records_verdict_and_run_continues(self):
+        async def main():
+            async with ProgramServer() as srv:
+                slow = await srv.submit(
+                    sleeper_job(30, name="slow", timeout=0.2)
+                )
+                quick = await srv.submit(const_job(1, tenant="other"))
+                vs = await slow.wait()
+                vq = await quick.wait()
+                return vs, vq
+
+        vs, vq = run(main())
+        assert vs.status is JobStatus.TIMEOUT
+        assert "deadline" in vs.error
+        assert vq.ok
+
+    def test_default_timeout_from_config(self):
+        async def main():
+            cfg = ServerConfig(default_timeout=0.2)
+            async with ProgramServer(cfg) as srv:
+                v = await (await srv.submit(
+                    sleeper_job(30, name="slow")
+                )).wait()
+                # per-spec timeout overrides the default upward
+                ok = await (await srv.submit(
+                    sleeper_job(0.01, name="quick", timeout=5)
+                )).wait()
+                return v, ok
+
+        v, ok = run(main())
+        assert v.status is JobStatus.TIMEOUT
+        assert ok.ok
+
+    def test_uncooperative_timeout_still_records(self):
+        async def main():
+            async with ProgramServer() as srv:
+                h = await srv.submit(
+                    sleeper_job(0.6, name="stubborn", timeout=0.1,
+                                cooperative=False)
+                )
+                v = await h.wait()
+                in_flight = srv.stats()["stragglers"]
+                await srv.close()
+                return v, in_flight, srv.stats()["stragglers"]
+
+        v, before, after = run(main())
+        assert v.status is JobStatus.TIMEOUT
+        assert before == 1  # the thread outlived its verdict...
+        assert after == 0   # ...and drain reaped it
+
+    def test_control_sleep_raises_on_stop(self):
+        control = JobControl()
+        control.stop()
+        assert control.stopped
+        with pytest.raises(JobCancelled):
+            control.sleep(10)
+        with pytest.raises(JobCancelled):
+            control.check()
+
+
+# ----------------------------------------------------------------------
+# validation + misuse
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(max_concurrency=0)
+        with pytest.raises(ValueError):
+            ServerConfig(per_tenant=0)
+        with pytest.raises(ValueError):
+            ServerConfig(queue_limit=0)
+        with pytest.raises(ValueError):
+            ServerConfig(admission="fifo")
+        with pytest.raises(ValueError):
+            ServerConfig(default_timeout=0)
+        with pytest.raises(ValueError):
+            ServerConfig(thread_workers=0)
+        assert ServerConfig(thread_workers=9).pool_size == 9
+        assert ServerConfig(max_concurrency=3).pool_size == 3
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            const_job(1, n_ranks=0)
+        with pytest.raises(ValueError):
+            const_job(1, timeout=-1)
+        with pytest.raises(TypeError):
+            JobSpec()  # abstract
+
+    def test_submit_rejects_non_spec(self):
+        async def main():
+            async with ProgramServer() as srv:
+                with pytest.raises(TypeError):
+                    await srv.submit(lambda ctx, control: 1)
+
+        run(main())
+
+    def test_unknown_job_id(self):
+        srv = ProgramServer()
+        with pytest.raises(KeyError):
+            srv.status(999)
+        with pytest.raises(KeyError):
+            srv.verdict(999)
+        asyncio.run(srv.close())
+
+    def test_spec_backend_is_honoured(self):
+        async def main():
+            async with ProgramServer() as srv:
+                h = await srv.submit(
+                    const_job(1, backend="serial", name="pinned")
+                )
+                return await h.wait()
+
+        v = run(main())
+        assert v.ok and v.backend == "serial"
+
+    def test_failed_context_build_is_a_tenant_failure(self):
+        async def main():
+            async with ProgramServer() as srv:
+                h = await srv.submit(const_job(1, backend="no-such"))
+                other = await srv.submit(const_job(2))
+                return await h.wait(), await other.wait()
+
+        vbad, vok = run(main())
+        assert vbad.status is JobStatus.FAILED
+        assert "no-such" in vbad.error
+        assert vok.ok
+
+    def test_result_survives_numpy_payloads(self):
+        payload = np.arange(12.0).reshape(3, 4)
+
+        async def main():
+            async with ProgramServer() as srv:
+                h = await srv.submit(
+                    CallableJob(fn=lambda ctx, control: payload * 2)
+                )
+                return await h.wait()
+
+        v = run(main())
+        np.testing.assert_array_equal(v.result, payload * 2)
