@@ -10,8 +10,12 @@ are advisory (reported, never fatal) because short phases are too noisy
 on shared CI runners to gate on individually.
 
 Baselines are committed JSON files at the repository root
-(``BENCH_inspector.json``, ``BENCH_backends.json``); fresh results are
-the files the benchmark scripts write under ``benchmarks/results/``.
+(``BENCH_inspector.json``, ``BENCH_backends.json``,
+``BENCH_adaptive.json``); fresh results are the files the benchmark
+scripts write under ``benchmarks/results/``.  The adaptive-caching gate
+extends the same idea to the incremental inspector: its delta-vs-full
+rebuild speedup is a same-process ratio, and its schedule-cache hit rate
+is deterministic, so both gate without machine sensitivity.
 ``--update`` refreshes a baseline when the gated ratios improved or
 stayed within a small drift tolerance: a sequence of sub-threshold
 erosions cannot ratchet itself into the baseline, one lucky fast run
@@ -30,11 +34,12 @@ Usage::
     python benchmarks/check_regression.py --run      # run benches + gate
     PYTHONPATH=src python benchmarks/bench_inspector.py
     PYTHONPATH=src python benchmarks/bench_backends.py
+    PYTHONPATH=src python benchmarks/bench_adaptive.py
     python benchmarks/check_regression.py            # gate (CI)
     python benchmarks/check_regression.py --update   # refresh baselines
                                                      # (main branch only)
 
-``--run`` executes the two gated benchmark scripts first; both build one
+``--run`` executes the gated benchmark scripts first; they build one
 shared :class:`~repro.core.context.ExecutionContext` per machine (see
 ``benchmarks/common.py``), so fresh results and committed baselines
 measure the same context-resolved pipeline.
@@ -53,7 +58,8 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_RESULTS = os.path.join(REPO_ROOT, "benchmarks", "results")
 
 #: scripts whose JSON results the gate consumes, in run order
-GATED_BENCH_SCRIPTS = ("bench_inspector.py", "bench_backends.py")
+GATED_BENCH_SCRIPTS = ("bench_inspector.py", "bench_backends.py",
+                       "bench_adaptive.py")
 
 
 def run_gated_benches() -> None:
@@ -86,6 +92,25 @@ def _backend_ratios(payload: dict) -> dict[str, float]:
     return {k: float(v) for k, v in payload.get("speedups", {}).items()}
 
 
+def _adaptive_ratios(payload: dict) -> dict[str, float]:
+    """Delta-vs-full rebuild speedup and cache hit fractions.
+
+    ``delta_speedup`` is a same-process wall-clock ratio (machine
+    independent, like the other gated ratios); ``hit_rate`` is a pure
+    function of the caching logic over a deterministic adaptive loop, so
+    any erosion is a logic bug rather than noise.  The paged-translation
+    hit rate stays advisory — it depends on the byte budget constant.
+    """
+    ratios: dict[str, float] = {}
+    for key in ("delta_speedup", "hit_rate"):
+        if key in payload:
+            ratios[key] = float(payload[key])
+    paged = payload.get("paged", {})
+    if "page_hit_rate" in paged:
+        ratios["page_hit_rate"] = float(paged["page_hit_rate"])
+    return ratios
+
+
 #: (baseline file at repo root, result file under benchmarks/results/,
 #:  ratio extractor, metrics that gate — the rest are advisory)
 CHECKS = (
@@ -93,6 +118,8 @@ CHECKS = (
      frozenset({"hash+schedule"})),
     ("BENCH_backends.json", "backend_ablation.json", _backend_ratios,
      frozenset({"gather_scatter", "scatter_append", "fused_pipeline"})),
+    ("BENCH_adaptive.json", "bench_adaptive.json", _adaptive_ratios,
+     frozenset({"delta_speedup", "hit_rate"})),
 )
 
 

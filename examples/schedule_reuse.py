@@ -28,6 +28,7 @@ import numpy as np
 from repro.core import (
     ChaosRuntime,
     ExecutionContext,
+    IrregularReduction,
     allocate_ghosts,
     gather_phase,
     run_pipeline,
@@ -114,6 +115,28 @@ def main() -> None:
     print(f"after a stamp change + rebuild:      "
           f"{hits} hits, {builds} builds")
     assert (hits, builds) == (2, 2)
+
+    # incremental delta rebuilds: an adapt() that names the *touched
+    # positions* repairs the cached schedule in place (rehash_delta +
+    # delta_rebuild_schedule) instead of re-running the full inspector.
+    # ia changes one entry per step — exactly the paper's few-percent
+    # non-bonded-list churn, at toy scale.
+    loop = IrregularReduction(rt, ttable, "example:adaptive")
+    ia = to0([1, 3, 7, 9, 2])
+    loop.bind(ia=ia)
+    loop.setup()                      # cold build
+    loop.execute(y, "ia", lambda wv: wv, {"w": (w, "ia")})
+    for step, replacement in enumerate([8, 10, 4]):
+        nxt = [ia[0].copy(), z]
+        nxt[0][step] = replacement - 1          # one touched position
+        loop.adapt("ia", nxt, touched=[np.array([step]), z])
+        loop.execute(y, "ia", lambda wv: wv, {"w": (w, "ia")})
+        ia = nxt
+    st = rt.cache_stats("example:adaptive")
+    print(f"\nadaptive loop cache: {st.builds} full build, "
+          f"{st.delta_rebuilds} delta rebuilds "
+          f"({st.resident_bytes} cached bytes)")
+    assert (st.builds, st.delta_rebuilds) == (1, 3)
     print("OK")
 
 

@@ -37,9 +37,17 @@ from repro.core.executor import (
     stack_local_ghost,
 )
 from repro.core.hashtable import IndexHashTable, StampExpr
-from repro.core.inspector import chaos_hash, clear_stamp, localize_only, make_hash_tables
+from repro.core.inspector import (
+    chaos_hash,
+    clear_stamp,
+    delta_rebuild_schedule,
+    localize_only,
+    make_hash_tables,
+    rehash_delta,
+)
 from repro.core.lightweight import build_lightweight_schedule, scatter_append
 from repro.core.remap import remap, remap_array
+from repro.core.reuse import CacheStats, DeltaFallback
 from repro.core.schedule import Schedule, build_schedule
 from repro.core.translation import TranslationTable
 from repro.sim.machine import Machine
@@ -189,19 +197,27 @@ class ChaosRuntime:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
-    def cache_stats(self, key: str, fused: bool = False) -> tuple[int, int]:
-        """(hits, builds) of the context's :class:`ScheduleCache` entry.
+    def cache_stats(self, key: str, fused: bool = False) -> CacheStats:
+        """Structured counters of the context's :class:`ScheduleCache` entry.
 
         Mirrors :meth:`repro.lang.program.ProgramInstance.cache_stats`
         so both entry points report schedule-reuse counters uniformly;
-        ``key`` is the caller-chosen loop id handed to the cache.  With
-        ``fused=True`` it reports the loop's *fused-plan* entry instead
-        (the chain cached by ``run_pipeline(..., loop_id=key)``), so
-        fusion effectiveness is observable per loop id.
+        ``key`` is the caller-chosen loop id handed to the cache.  The
+        returned :class:`~repro.core.reuse.CacheStats` compares equal to
+        and unpacks as the historical ``(hits, builds)`` tuple, and
+        additionally carries ``delta_rebuilds``, ``evictions`` and
+        ``resident_bytes``.  With ``fused=True`` it reports the loop's
+        *fused-plan* entry instead (the chain cached by
+        ``run_pipeline(..., loop_id=key)``), so fusion effectiveness is
+        observable per loop id.
         """
         if fused:
             return self.schedule_cache.fused_stats(key)
         return self.schedule_cache.stats(key)
+
+    def total_cache_stats(self, prefix: str | None = None) -> CacheStats:
+        """Aggregate :class:`CacheStats` over every cached loop id."""
+        return self.schedule_cache.total_stats(prefix)
 
     # ---- Phase A: distributions/translation tables --------------------
     def block_table(self, n_global: int, storage: str = "replicated"
@@ -266,9 +282,10 @@ class ChaosRuntime:
         return localize_only(self.ctx, self.hash_tables(ttable), indices)
 
     def clear_stamp(self, ttable: TranslationTable, stamp: str,
-                    release: bool = False) -> int:
+                    release: bool = False,
+                    purge: bool | None = None) -> int:
         return clear_stamp(self.ctx, self.hash_tables(ttable), stamp,
-                           release=release)
+                           release=release, purge=purge)
 
     def build_schedule(self, ttable: TranslationTable,
                        expr: StampExpr | str) -> Schedule:
@@ -318,7 +335,13 @@ class IrregularReduction:
 
     ``setup()`` runs the inspector once (hash + schedule); ``execute()``
     runs the executor any number of times; ``adapt()`` re-hashes a changed
-    indirection array, reusing unchanged index analysis.
+    indirection array, reusing unchanged index analysis.  Both route
+    through the context's :class:`~repro.core.reuse.ScheduleCache` under
+    loop id ``name``: an ``adapt`` that names the *touched positions*
+    records a delta payload and repairs the cached schedule incrementally
+    (``rehash_delta`` + ``delta_rebuild_schedule`` — bitwise-identical to
+    a full rebuild, cost proportional to the touched subset); an
+    untargeted ``adapt`` falls back to the full clear/rehash/rebuild.
     """
 
     def __init__(self, runtime: ChaosRuntime, ttable: TranslationTable,
@@ -331,43 +354,121 @@ class IrregularReduction:
         self._schedule: Schedule | None = None
         self._stamps: list[str] = []
 
+    def _stamp_of(self, name: str) -> str:
+        return f"{self.name}:{name}"
+
     def bind(self, **indirections: list[np.ndarray]) -> "IrregularReduction":
         """Bind named indirection arrays (per-rank global-index slices)."""
         for nm, per_rank in indirections.items():
             self.rt.machine.check_per_rank(per_rank, f"indirection {nm!r}")
             self._indirections[nm] = [np.asarray(a, dtype=np.int64)
                                       for a in per_rank]
+            # payload-less touch: a (re)bound array invalidates any
+            # cached schedule and breaks pending delta chains
+            self.rt.modification_record.touch(self._stamp_of(nm))
         return self
 
     def setup(self) -> Schedule:
         """Inspector: hash every indirection array, build merged schedule."""
         if not self._indirections:
             raise RuntimeError("bind() indirection arrays before setup()")
-        self._stamps = []
-        for nm, per_rank in self._indirections.items():
-            stamp = f"{self.name}:{nm}"
-            self._localized[nm] = self.rt.hash_indirection(
-                self.ttable, per_rank, stamp
-            )
-            self._stamps.append(stamp)
-        expr = self.rt.stamp_expr(self.ttable, *self._stamps)
-        self._schedule = self.rt.build_schedule(self.ttable, expr)
-        return self._schedule
+        self._stamps = [self._stamp_of(nm) for nm in self._indirections]
+        return self._rebuild()
 
-    def adapt(self, name: str, new_per_rank: list[np.ndarray]) -> Schedule:
-        """One indirection array changed: clear its stamp, re-hash, rebuild."""
+    def adapt(
+        self,
+        name: str,
+        new_per_rank: list[np.ndarray],
+        touched: list[np.ndarray] | None = None,
+    ) -> Schedule:
+        """One indirection array changed: re-hash it, repair the schedule.
+
+        ``touched`` (optional) gives per-rank *positions* into the
+        array's slices that may differ from the currently bound values;
+        all other positions must be unchanged.  With it, the update is
+        recorded as a delta payload and the cached schedule is repaired
+        incrementally; without it the whole array is re-hashed and the
+        schedule rebuilt from scratch.  Either way the result is
+        identical to a cold inspector run over the new values.
+        """
         if name not in self._indirections:
             raise KeyError(f"unknown indirection array {name!r}")
-        stamp = f"{self.name}:{name}"
-        self.rt.clear_stamp(self.ttable, stamp)
-        self._indirections[name] = [np.asarray(a, dtype=np.int64)
-                                    for a in new_per_rank]
-        self._localized[name] = self.rt.hash_indirection(
-            self.ttable, self._indirections[name], stamp
+        m = self.rt.machine
+        stamp = self._stamp_of(name)
+        old = self._indirections[name]
+        new = [np.asarray(a, dtype=np.int64) for a in new_per_rank]
+        m.check_per_rank(new, f"indirection {name!r}")
+        if touched is None:
+            self.rt.modification_record.touch(stamp)
+        else:
+            m.check_per_rank(touched, f"touched positions for {name!r}")
+            pos = [np.asarray(t, dtype=np.int64) for t in touched]
+            payload = (
+                pos,
+                [old[p][pos[p]] for p in m.ranks()],
+                [new[p][pos[p]] for p in m.ranks()],
+            )
+            self.rt.modification_record.touch(stamp, delta=payload)
+        self._indirections[name] = new
+        return self._rebuild()
+
+    # -- cached inspector ------------------------------------------------
+    def _rebuild(self) -> Schedule:
+        registry = self.rt.hash_tables(self.ttable)[0].registry
+        for s in self._stamps:
+            registry.acquire(s)
+        masks = {s: registry.mask_of(s) for s in self._stamps}
+        sched, _ = self.rt.schedule_cache.get_or_build(
+            self.name,
+            tuple(self._stamps),
+            builder=self._build_full,
+            delta_builder=self._apply_deltas,
+            dep_masks=masks,
         )
+        self._schedule = sched
+        return sched
+
+    def _build_full(self) -> Schedule:
+        """Cold inspector: clear + re-hash every array, build merged."""
+        registry = self.rt.hash_tables(self.ttable)[0].registry
+        for nm in self._indirections:
+            stamp = self._stamp_of(nm)
+            if stamp in registry:
+                self.rt.clear_stamp(self.ttable, stamp)
+            self._localized[nm] = self.rt.hash_indirection(
+                self.ttable, self._indirections[nm], stamp
+            )
         expr = self.rt.stamp_expr(self.ttable, *self._stamps)
-        self._schedule = self.rt.build_schedule(self.ttable, expr)
-        return self._schedule
+        return self.rt.build_schedule(self.ttable, expr)
+
+    def _apply_deltas(self, base: Schedule, moved) -> Schedule:
+        """Replay touch payloads: subset re-hash + schedule splice."""
+        htables = self.rt.hash_tables(self.ttable)
+        expr = self.rt.stamp_expr(self.ttable, *self._stamps)
+        sched = base
+        for stamp, (_mask, chain) in moved.items():
+            # stamp is f"{self.name}:{nm}" — strip the loop-name prefix
+            # wholesale (the loop name itself may contain colons)
+            nm = stamp[len(self.name) + 1:]
+            for positions, old_vals, new_vals in chain:
+                try:
+                    rehash = rehash_delta(
+                        self.rt.ctx, htables, self.ttable, stamp,
+                        old_vals, new_vals,
+                    )
+                    sched = delta_rebuild_schedule(
+                        self.rt.ctx, htables, expr, sched, rehash
+                    )
+                except (KeyError, ValueError, RuntimeError) as e:
+                    # e.g. the stamp lost its reference counts (tables
+                    # purged/manipulated outside this loop) — the full
+                    # inspector is always a correct recovery
+                    raise DeltaFallback(str(e)) from e
+                loc = self._localized[nm]
+                for p in self.rt.machine.ranks():
+                    if positions[p].size:
+                        loc[p][positions[p]] = rehash.localized[p]
+        return sched
 
     @property
     def schedule(self) -> Schedule:

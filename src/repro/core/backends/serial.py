@@ -62,9 +62,9 @@ class SerialBackend(Backend):
             machine.charge_memops(p, _INSERT_COST * new.size, category)
             ht.insert_translated(new, owners[p], offsets[p])
             if idx[p].size:
-                uniq = np.unique(idx[p])
+                uniq, cnt = np.unique(idx[p], return_counts=True)
                 slots = ht.lookup_slots(uniq)
-                ht.stamp_slots(slots, stamp)
+                ht.stamp_slots(slots, stamp, counts=cnt)
                 machine.charge_memops(p, uniq.size, category)
                 localized.append(ht.localize(idx[p]))
             else:
@@ -172,11 +172,12 @@ class SerialBackend(Backend):
                 pages = q // ttable.page_size
                 cache = ttable._page_cache[p]
                 uniq_pages = np.unique(pages)
-                missing = [pg for pg in uniq_pages.tolist()
-                           if pg not in cache]
-                cache.update(missing)
+                # admit touches residents, returns misses, and evicts
+                # down to the context's byte budget (LRU) — evicted
+                # pages re-charge their fetch on the next lookup
+                missing = cache.admit(uniq_pages, ttable.page_budget(ctx))
                 # only missing pages generate requests, whole pages return
-                for pg in missing:
+                for pg in missing.tolist():
                     home = int(ttable._table_dist.owner(
                         np.array([min(pg * ttable.page_size,
                                       ttable.dist.n_global - 1)],

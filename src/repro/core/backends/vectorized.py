@@ -222,11 +222,14 @@ class VectorizedBackend(Backend):
         new_per_rank: list[np.ndarray] = []
         uniq_per_rank: list[np.ndarray] = []
         inv_per_rank: list[np.ndarray] = []
+        cnt_per_rank: list[np.ndarray] = []
         for p in machine.ranks():
             machine.charge_memops(p, _PROBE_COST * idx[p].size, category)
-            uniq, inv = np.unique(idx[p], return_inverse=True)
+            uniq, inv, cnt = np.unique(idx[p], return_inverse=True,
+                                       return_counts=True)
             uniq_per_rank.append(uniq)
             inv_per_rank.append(inv)
+            cnt_per_rank.append(cnt)
             new_per_rank.append(htables[p].store.missing(uniq))
 
         # Step 2: translate only the new uniques.
@@ -243,7 +246,7 @@ class VectorizedBackend(Backend):
             if idx[p].size:
                 uniq = uniq_per_rank[p]
                 slots = ht.lookup_slots(uniq)
-                ht.stamp_slots(slots, stamp)
+                ht.stamp_slots(slots, stamp, counts=cnt_per_rank[p])
                 machine.charge_memops(p, uniq.size, category)
                 loc_uniq = np.where(
                     ht.proc[slots] == ht.rank,
@@ -360,10 +363,9 @@ class VectorizedBackend(Backend):
             if ttable.storage == "paged":
                 uniq_pages = np.unique(q // ttable.page_size)
                 cache = ttable._page_cache[p]
-                cached = cache.as_array()
-                missing = (uniq_pages[~np.isin(uniq_pages, cached)]
-                           if cached.size else uniq_pages)
-                cache.update(missing.tolist())
+                # same admit path as the serial reference: identical
+                # cache state, identical re-fetch traffic under a budget
+                missing = cache.admit(uniq_pages, ttable.page_budget(ctx))
                 if missing.size:
                     starts = np.minimum(missing * ttable.page_size,
                                         ttable.dist.n_global - 1)

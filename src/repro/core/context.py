@@ -91,11 +91,20 @@ class ExecutionContext:
     record: ModificationRecord | None = None
     schedule_cache: ScheduleCache | None = None
     resources: BackendResources | None = None
+    #: per-rank byte budget for paged translation caches (``None`` =
+    #: unbounded); carried frozen so every lookup in a run sees one policy
+    page_budget_bytes: int | None = None
 
     def __post_init__(self):
         if not isinstance(self.machine, Machine):
             raise TypeError(
                 f"machine must be a Machine, got {self.machine!r}"
+            )
+        if self.page_budget_bytes is not None \
+                and self.page_budget_bytes < 0:
+            raise ValueError(
+                f"page_budget_bytes must be >= 0 or None, got "
+                f"{self.page_budget_bytes}"
             )
         if not isinstance(self.backend, Backend):
             raise TypeError(
@@ -122,6 +131,7 @@ class ExecutionContext:
         seed: int | None = None,
         record: ModificationRecord | None = None,
         schedule_cache: ScheduleCache | None = None,
+        page_budget_bytes: int | None = None,
     ) -> "ExecutionContext":
         """The one place defaults are resolved.
 
@@ -129,19 +139,21 @@ class ExecutionContext:
         for it) or an existing context (returned as-is, or re-targeted
         with :meth:`with_backend` when ``backend`` names a different
         one; combining a context with ``seed``/``record``/
-        ``schedule_cache`` is an error — use :meth:`derive`).
-        ``backend`` may be ``None``, a registered name, or a
-        :class:`Backend` instance; ``None`` falls through the default
-        chain — runtime default (:func:`set_default_backend`), then the
-        ``REPRO_BACKEND`` environment variable, then ``"vectorized"``.
+        ``schedule_cache``/``page_budget_bytes`` is an error — use
+        :meth:`derive`).  ``backend`` may be ``None``, a registered name,
+        or a :class:`Backend` instance; ``None`` falls through the
+        default chain — runtime default (:func:`set_default_backend`),
+        then the ``REPRO_BACKEND`` environment variable, then
+        ``"vectorized"``.
         """
         if isinstance(machine, ExecutionContext):
             if seed is not None or record is not None \
-                    or schedule_cache is not None:
+                    or schedule_cache is not None \
+                    or page_budget_bytes is not None:
                 raise TypeError(
                     "resolve: cannot combine an existing ExecutionContext "
-                    "with seed/record/schedule_cache overrides; use "
-                    "ctx.derive(...) instead"
+                    "with seed/record/schedule_cache/page_budget_bytes "
+                    "overrides; use ctx.derive(...) instead"
                 )
             ctx = machine
             if backend is None or resolve_backend(backend) is ctx.backend:
@@ -153,6 +165,7 @@ class ExecutionContext:
             seed=0 if seed is None else seed,
             record=record,
             schedule_cache=schedule_cache,
+            page_budget_bytes=page_budget_bytes,
         )
 
     # ------------------------------------------------------------------

@@ -151,6 +151,30 @@ class DictKeyStore:
                 raise ValueError(f"duplicate insert of global index {k}")
             slot_of[k] = s
 
+    def delete(self, keys: np.ndarray) -> int:
+        """Forget the given keys; returns how many were present."""
+        slot_of = self._slot_of
+        removed = 0
+        for k in np.unique(np.asarray(keys, dtype=np.int64)).tolist():
+            if slot_of.pop(k, None) is not None:
+                removed += 1
+        return removed
+
+    def compact(self) -> None:
+        """No-op: a dict never holds tombstones."""
+
+    @property
+    def capacity(self) -> int:
+        return len(self._slot_of)
+
+    @property
+    def tombstones(self) -> int:
+        return 0
+
+    def nbytes(self) -> int:
+        """Approximate table bytes (key + value words per entry)."""
+        return 16 * len(self._slot_of)
+
 
 class OpenAddressedKeyStore:
     """Batched open-addressed int64 hash table (linear probing).
@@ -158,19 +182,29 @@ class OpenAddressedKeyStore:
     All operations are vectorized: a lookup of ``m`` keys runs a handful
     of numpy passes (expected O(1) probe rounds at load factor <= 1/2)
     instead of ``m`` dict operations.  Keys must be non-negative (-1 is
-    the empty-slot sentinel); global array indices always are.  Slot
-    assignment is identical to :class:`DictKeyStore` — callers choose the
-    slots, the store only maps keys to them.
+    the empty-slot sentinel, -2 the tombstone left by :meth:`delete`);
+    global array indices always are.  Slot assignment is identical to
+    :class:`DictKeyStore` — callers choose the slots, the store only maps
+    keys to them.
+
+    Deletion writes tombstones so probe chains through the deleted key
+    stay intact; tombstones count toward the load factor (probing must
+    still terminate) and are swept out by :meth:`compact`, which runs
+    automatically once they outnumber the live entries — the table
+    *shrinks* back toward its live size instead of leaking slots across
+    adaptive steps.
     """
 
     kind = "open-addressed"
     MIN_CAP = 64  # power of two
+    _TOMB = -2  # deleted-slot sentinel (probe skips, insert never reuses)
 
     def __init__(self) -> None:
         self._cap = self.MIN_CAP
         self._keys = np.full(self._cap, -1, dtype=np.int64)
         self._vals = np.zeros(self._cap, dtype=np.int64)
         self._n = 0
+        self._tombs = 0
 
     def __len__(self) -> int:
         return self._n
@@ -191,7 +225,9 @@ class OpenAddressedKeyStore:
     def _probe(self, keys: np.ndarray) -> np.ndarray:
         """Position of each key's slot, or of the first empty slot hit.
 
-        The table is never more than half full, so probing terminates.
+        Tombstones are passed over (the sought key may live beyond
+        them).  Live entries plus tombstones never exceed half the
+        capacity, so probing terminates.
         """
         capmask = self._cap - 1
         pos = (self._hash(keys) & np.uint64(capmask)).astype(np.int64)
@@ -244,21 +280,76 @@ class OpenAddressedKeyStore:
                 raise ValueError(
                     f"duplicate insert of global index {int(dup[0])}"
                 )
-        need = self._n + keys.size
+        # tombstones occupy probe positions, so they count toward the
+        # load factor; rehashing (grow) sweeps them out
+        need = self._n + self._tombs + keys.size
         if need * 2 > self._cap:
-            self._grow(need)
+            self._grow(self._n + keys.size)
         self._scatter_insert(keys, slots)
         self._n += keys.size
+
+    def delete(self, keys: np.ndarray) -> int:
+        """Tombstone the given keys; returns how many were present.
+
+        Compacts automatically when tombstones outnumber live entries.
+        """
+        keys = np.unique(np.asarray(keys, dtype=np.int64))
+        keys = keys[keys >= 0]
+        if keys.size == 0 or self._n == 0:
+            return 0
+        pos = self._probe(keys)
+        hit = pos[self._keys[pos] == keys]
+        if hit.size == 0:
+            return 0
+        self._keys[hit] = self._TOMB
+        removed = int(hit.size)
+        self._n -= removed
+        self._tombs += removed
+        if self._tombs > max(self._n, self.MIN_CAP // 2):
+            self.compact()
+        return removed
+
+    def compact(self) -> None:
+        """Rehash live entries into the smallest adequate table.
+
+        Drops every tombstone and shrinks capacity back toward the live
+        size (never below ``MIN_CAP``) — the release half of the
+        adaptive clear/rehash cycle.
+        """
+        cap = self.MIN_CAP
+        while self._n * 2 > cap:
+            cap *= 2
+        old_keys, old_vals = self._keys, self._vals
+        live = old_keys >= 0
+        self._cap = cap
+        self._keys = np.full(cap, -1, dtype=np.int64)
+        self._vals = np.zeros(cap, dtype=np.int64)
+        self._tombs = 0
+        if live.any():
+            self._scatter_insert(old_keys[live], old_vals[live])
+
+    @property
+    def capacity(self) -> int:
+        return self._cap
+
+    @property
+    def tombstones(self) -> int:
+        return self._tombs
+
+    def nbytes(self) -> int:
+        """Table bytes (key + value int64 words per capacity slot)."""
+        return self._cap * 16
 
     def _grow(self, need: int) -> None:
         cap = self._cap
         while need * 2 > cap:
             cap *= 2
         old_keys, old_vals = self._keys, self._vals
-        live = old_keys != -1
+        live = old_keys >= 0  # skips both empties (-1) and tombstones (-2)
         self._cap = cap
         self._keys = np.full(cap, -1, dtype=np.int64)
         self._vals = np.zeros(cap, dtype=np.int64)
+        self._tombs = 0
         if live.any():
             self._scatter_insert(old_keys[live], old_vals[live])
 
@@ -335,6 +426,14 @@ class IndexHashTable:
         self.buf = np.full(self._cap, -1, dtype=np.int64)  # ghost slot or -1
         self.mask = np.zeros(self._cap, dtype=np.int64)    # stamp bits
         self.n_ghost = 0                                    # slots assigned
+        # per-stamp per-slot reference counts (how many *positions* of the
+        # indirection array reference the slot) — maintained only for
+        # stamps hashed with counts; the basis of exact delta restamping
+        self._stamp_refs: dict[str, np.ndarray] = {}
+        # rows/ghost-slots freed by a purging clear_stamp, recycled
+        # (ascending) before fresh ones are appended
+        self._free_slots = np.zeros(0, dtype=np.int64)
+        self._free_bufs = np.zeros(0, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def _grow_to(self, n: int) -> None:
@@ -347,6 +446,10 @@ class IndexHashTable:
             arr = np.full(new_cap, fill, dtype=np.int64)
             arr[: self._cap] = old[: self._cap]
             setattr(self, name, arr)
+        for name, old in self._stamp_refs.items():
+            arr = np.zeros(new_cap, dtype=np.int64)
+            arr[: self._cap] = old[: self._cap]
+            self._stamp_refs[name] = arr
         self._cap = new_cap
 
     # ------------------------------------------------------------------
@@ -375,40 +478,157 @@ class IndexHashTable:
         n_new = gidx.size
         if n_new == 0:
             return np.zeros(0, dtype=np.int64)
-        self._grow_to(self.n_entries + n_new)
-        slots = np.arange(self.n_entries, self.n_entries + n_new, dtype=np.int64)
+        # recycle purged rows (ascending) before appending fresh ones
+        take = min(self._free_slots.size, n_new)
+        n_append = n_new - take
+        self._grow_to(self.n_entries + n_append)
+        if take:
+            reused = self._free_slots[:take]
+            self._free_slots = self._free_slots[take:]
+            slots = np.concatenate([reused, np.arange(
+                self.n_entries, self.n_entries + n_append, dtype=np.int64)])
+        else:
+            slots = np.arange(self.n_entries, self.n_entries + n_new,
+                              dtype=np.int64)
         self.g[slots] = gidx
         self.proc[slots] = owners
         self.off[slots] = offsets
+        self.mask[slots] = 0
+        for refs in self._stamp_refs.values():
+            refs[slots] = 0
         offproc = owners != self.rank
         n_off = int(np.count_nonzero(offproc))
-        self.buf[slots[offproc]] = np.arange(
-            self.n_ghost, self.n_ghost + n_off, dtype=np.int64
-        )
-        self.n_ghost += n_off
+        takeb = min(self._free_bufs.size, n_off)
+        fresh = np.arange(self.n_ghost, self.n_ghost + n_off - takeb,
+                          dtype=np.int64)
+        if takeb:
+            bufs = np.concatenate([self._free_bufs[:takeb], fresh])
+            self._free_bufs = self._free_bufs[takeb:]
+        else:
+            bufs = fresh
+        self.buf[slots[offproc]] = bufs
+        self.n_ghost += n_off - takeb
         self.store.insert(gidx, slots)
-        self.n_entries += n_new
+        self.n_entries += n_append
         return slots
 
-    def stamp_slots(self, slots: np.ndarray, stamp_name: str) -> None:
-        """Mark entries at ``slots`` with the stamp's bit."""
-        bit = self.registry.acquire(stamp_name)
-        self.mask[np.asarray(slots, dtype=np.int64)] |= bit
+    def stamp_slots(self, slots: np.ndarray, stamp_name: str,
+                    counts: np.ndarray | None = None) -> None:
+        """Mark entries at ``slots`` with the stamp's bit.
 
-    def clear_stamp(self, stamp_name: str, release: bool = False) -> int:
+        ``counts`` (aligned with ``slots``) records how many positions of
+        the indirection array reference each slot; passing it maintains
+        per-slot reference counts, the book-keeping that makes exact
+        *delta* restamping (:meth:`stamp_delta`) possible.  Stamping
+        without counts drops any refcounts held for the stamp — the stamp
+        falls back to full clear/rehash semantics.
+        """
+        bit = self.registry.acquire(stamp_name)
+        slots = np.asarray(slots, dtype=np.int64)
+        self.mask[slots] |= bit
+        if counts is None:
+            self._stamp_refs.pop(stamp_name, None)
+        else:
+            refs = self._stamp_refs.get(stamp_name)
+            if refs is None:
+                refs = np.zeros(self._cap, dtype=np.int64)
+                self._stamp_refs[stamp_name] = refs
+            refs[slots] += np.asarray(counts, dtype=np.int64)
+
+    def has_stamp_counts(self, stamp_name: str) -> bool:
+        """Whether per-slot refcounts are maintained for the stamp."""
+        return stamp_name in self._stamp_refs
+
+    def stamp_delta(
+        self,
+        stamp_name: str,
+        add_slots: np.ndarray,
+        add_counts: np.ndarray,
+        sub_slots: np.ndarray,
+        sub_counts: np.ndarray,
+    ) -> np.ndarray:
+        """Reconcile a stamp's refcounts after an aligned subset update.
+
+        Adds references for the new values at touched positions and drops
+        references for the old ones; the stamp bit is set wherever the
+        count became positive and cleared wherever it reached zero — the
+        resulting mask is exactly what a full clear + rehash of the
+        updated indirection array would produce.  Returns the slots whose
+        count dropped to zero (entries leaving the stamp's selection).
+        """
+        bit = self.registry.mask_of(stamp_name)
+        refs = self._stamp_refs.get(stamp_name)
+        if refs is None:
+            raise ValueError(
+                f"stamp {stamp_name!r} has no reference counts (hashed "
+                "without counts); delta restamping needs a counted hash"
+            )
+        add_slots = np.asarray(add_slots, dtype=np.int64)
+        sub_slots = np.asarray(sub_slots, dtype=np.int64)
+        if add_slots.size:
+            refs[add_slots] += np.asarray(add_counts, dtype=np.int64)
+            self.mask[add_slots] |= bit
+        dropped = np.zeros(0, dtype=np.int64)
+        if sub_slots.size:
+            refs[sub_slots] -= np.asarray(sub_counts, dtype=np.int64)
+            after = refs[sub_slots]
+            if np.any(after < 0):
+                bad = sub_slots[after < 0][0]
+                raise ValueError(
+                    f"stamp {stamp_name!r} refcount underflow at slot "
+                    f"{int(bad)} — old values do not match the recorded "
+                    "references"
+                )
+            dropped = sub_slots[after == 0]
+            self.mask[dropped] &= ~bit
+        return dropped
+
+    def clear_stamp(self, stamp_name: str, release: bool = False,
+                    purge: bool | None = None) -> int:
         """Remove a stamp's bit from every entry.
 
         With ``release=True`` the bit itself is freed for reuse (the paper
         reuses the cleared stamp when re-hashing a regenerated non-bonded
-        list).  Returns the number of entries that carried the stamp.
+        list).  ``purge`` (default: follows ``release``) additionally
+        *deletes* entries left with an empty stamp mask — their key-store
+        keys are tombstoned (the store compacts itself) and their rows and
+        ghost-buffer slots are recycled by later inserts, so releasing a
+        stamp shrinks the table instead of leaking slots.  Returns the
+        number of entries that carried the stamp.
         """
+        if purge is None:
+            purge = release
         bit = self.registry.mask_of(stamp_name)
         live = self.mask[: self.n_entries]
-        n = int(np.count_nonzero(live & bit))
+        carried = (live & bit) != 0
+        n = int(np.count_nonzero(carried))
         live &= ~bit
+        self._stamp_refs.pop(stamp_name, None)
+        if purge:
+            dead = np.flatnonzero(carried & (live == 0)).astype(np.int64)
+            self._purge_slots(dead)
         if release:
             self.registry.release(stamp_name)
         return n
+
+    def _purge_slots(self, slots: np.ndarray) -> int:
+        """Delete fully-unstamped rows; recycle their slots and bufs."""
+        if slots.size == 0:
+            return 0
+        self.store.delete(self.g[slots])
+        bufs = self.buf[slots]
+        bufs = bufs[bufs >= 0]
+        self.g[slots] = -1
+        self.proc[slots] = -1
+        self.off[slots] = -1
+        self.buf[slots] = -1
+        self.mask[slots] = 0
+        for refs in self._stamp_refs.values():
+            refs[slots] = 0
+        self._free_slots = np.sort(
+            np.concatenate([self._free_slots, slots]))
+        self._free_bufs = np.sort(np.concatenate([self._free_bufs, bufs]))
+        return int(slots.size)
 
     # ------------------------------------------------------------------
     def localize(self, gidx: np.ndarray) -> np.ndarray:
@@ -449,8 +669,19 @@ class IndexHashTable:
         """Ghost-buffer slots assigned so far (size the ghost region)."""
         return self.n_ghost
 
+    def nbytes(self) -> int:
+        """Resident bytes: entry columns, refcount planes, key store."""
+        n = 5 * self._cap * 8  # g/proc/off/buf/mask
+        n += len(self._stamp_refs) * self._cap * 8
+        store_bytes = getattr(self.store, "nbytes", None)
+        if callable(store_bytes):
+            n += store_bytes()
+        return n
+
     def __len__(self) -> int:
-        return self.n_entries
+        # live entries: the high-water row count minus purged rows
+        # awaiting recycling
+        return self.n_entries - int(self._free_slots.size)
 
     def __contains__(self, gidx: int) -> bool:
         return int(gidx) in self.store

@@ -10,12 +10,24 @@ last time the inspector was invoked."
 array.  :class:`ScheduleCache` keys built schedules (or any preprocessing
 artifact) by loop id and remembers the dependency versions they were built
 against; ``get_or_build`` rebuilds only when a dependency moved.
+
+Adaptive applications rarely rewrite a whole indirection array: the paper's
+premise is that most entries survive between inspector invocations.  The
+cache therefore supports *incremental* rebuilds: a ``touch`` may carry a
+*delta payload* describing exactly which positions changed, an entry may
+record the stamp mask each dependency was hashed under, and
+``get_or_build`` hands a contiguous chain of such payloads to a
+``delta_builder`` instead of running the full ``builder``.  Delta rebuilds
+are counted separately (:class:`CacheStats`) so reuse effectiveness stays
+observable — and gateable in CI.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
+
+import numpy as np
 
 #: suffix appended to a loop id to key its fused-plan cache entry —
 #: fusion effectiveness stays observable per loop without changing the
@@ -23,16 +35,137 @@ from typing import Any, Callable
 FUSED_SUFFIX = "::fused"
 
 
+@dataclass(frozen=True, eq=False)
+class CacheStats:
+    """Structured cache counters.
+
+    Compares equal to, and unpacks as, the historical ``(hits, builds)``
+    tuple so every caller written against the two-counter shape keeps
+    working; the richer counters ride along:
+
+    ``hits``            entries served without any rebuild,
+    ``builds``          full builder runs,
+    ``delta_rebuilds``  incremental rebuilds from touch deltas,
+    ``evictions``       values dropped by ``invalidate``/``invalidate_all``,
+    ``resident_bytes``  bytes of live cached values.
+    """
+
+    hits: int = 0
+    builds: int = 0
+    delta_rebuilds: int = 0
+    evictions: int = 0
+    resident_bytes: int = 0
+
+    def __iter__(self):
+        # tuple-unpacking compatibility: ``hits, builds = cache.stats(k)``
+        yield self.hits
+        yield self.builds
+
+    def __eq__(self, other):
+        if isinstance(other, CacheStats):
+            return (
+                self.hits == other.hits
+                and self.builds == other.builds
+                and self.delta_rebuilds == other.delta_rebuilds
+                and self.evictions == other.evictions
+                and self.resident_bytes == other.resident_bytes
+            )
+        if isinstance(other, tuple):
+            return (self.hits, self.builds) == other
+        return NotImplemented
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            hits=self.hits + other.hits,
+            builds=self.builds + other.builds,
+            delta_rebuilds=self.delta_rebuilds + other.delta_rebuilds,
+            evictions=self.evictions + other.evictions,
+            resident_bytes=self.resident_bytes + other.resident_bytes,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "builds": self.builds,
+            "delta_rebuilds": self.delta_rebuilds,
+            "evictions": self.evictions,
+            "resident_bytes": self.resident_bytes,
+        }
+
+
+class DeltaFallback(Exception):
+    """Raised by a ``delta_builder`` to decline the incremental path.
+
+    ``get_or_build`` catches it and runs the full ``builder`` instead
+    (counted as a build, not a delta rebuild).  Use it when the cached
+    value's substrate turned out to be unusable — e.g. the hash tables
+    were purged since the schedule was cached, so a splice would target
+    recycled ghost slots.
+    """
+
+
+def value_nbytes(value: Any) -> int:
+    """Approximate resident bytes of a cached value.
+
+    Counts ndarray buffers, recursing through lists/tuples/dicts and
+    through objects exposing CSR schedule buffers (``send_indices`` et
+    al.); scalars and opaque objects count as zero — the figure feeds an
+    observability counter, not an allocator.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (list, tuple)):
+        return sum(value_nbytes(v) for v in value)
+    if isinstance(value, dict):
+        return sum(value_nbytes(v) for v in value.values())
+    total = 0
+    for attr in ("send_indices", "send_offsets", "recv_slots",
+                 "recv_offsets"):
+        arrs = getattr(value, attr, None)
+        if arrs is not None:
+            total += value_nbytes(arrs)
+    return total
+
+
 class ModificationRecord:
-    """Version counters for named (indirection) arrays."""
+    """Version counters for named (indirection) arrays.
+
+    A ``touch`` may attach a *delta payload* — an opaque description of
+    exactly what changed (the adaptive caching layer passes per-rank
+    ``(positions, old_values, new_values)`` triples).  Payloads are kept
+    per version so a cache entry lagging several versions behind can
+    replay the contiguous chain; a payload-less touch (meaning "anything
+    may have changed") breaks the chain and forces full rebuilds.
+    """
+
+    #: per-name payload history bound — older deltas age out, breaking
+    #: chains for entries that lag far behind (they full-rebuild anyway)
+    MAX_DELTA_HISTORY = 16
 
     def __init__(self) -> None:
         self._versions: dict[str, int] = {}
+        self._deltas: dict[str, dict[int, Any]] = {}
 
-    def touch(self, name: str) -> int:
-        """Record that ``name`` may have been modified; bump its version."""
+    def touch(self, name: str, delta: Any = None) -> int:
+        """Record that ``name`` may have been modified; bump its version.
+
+        ``delta`` (optional) describes the modification precisely enough
+        for an incremental rebuild; ``None`` invalidates any recorded
+        chain for ``name``.
+        """
         v = self._versions.get(name, 0) + 1
         self._versions[name] = v
+        if delta is None:
+            self._deltas.pop(name, None)
+        else:
+            hist = self._deltas.setdefault(name, {})
+            hist[v] = delta
+            while len(hist) > self.MAX_DELTA_HISTORY:
+                del hist[min(hist)]
         return v
 
     def version(self, name: str) -> int:
@@ -40,6 +173,28 @@ class ModificationRecord:
 
     def versions_of(self, names: tuple[str, ...]) -> dict[str, int]:
         return {n: self.version(n) for n in names}
+
+    def delta_chain(self, name: str, since: int,
+                    until: int | None = None) -> list[Any] | None:
+        """Payloads covering versions ``since+1 .. until``, oldest first.
+
+        ``None`` when any version in the range lacks a payload (a
+        payload-less touch happened, or history aged out) — the caller
+        must fall back to a full rebuild.
+        """
+        if until is None:
+            until = self.version(name)
+        if until <= since:
+            return []
+        hist = self._deltas.get(name)
+        if hist is None:
+            return None
+        chain = []
+        for v in range(since + 1, until + 1):
+            if v not in hist:
+                return None
+            chain.append(hist[v])
+        return chain
 
     def names(self) -> list[str]:
         return sorted(self._versions)
@@ -49,8 +204,13 @@ class ModificationRecord:
 class _CacheEntry:
     value: Any
     dep_versions: dict[str, int]
+    dep_masks: dict[str, int] = field(default_factory=dict)
     hits: int = 0
     builds: int = 0
+    delta_rebuilds: int = 0
+    evictions: int = 0
+    value_bytes: int = 0
+    live: bool = True
 
 
 class ScheduleCache:
@@ -65,44 +225,120 @@ class ScheduleCache:
         loop_id: str,
         deps: tuple[str, ...],
         builder: Callable[[], Any],
+        delta_builder: Callable[[Any, dict[str, tuple[int, list]]], Any]
+        | None = None,
+        dep_masks: dict[str, int] | None = None,
     ) -> tuple[Any, bool]:
         """Return ``(value, rebuilt)``.
 
-        ``builder`` runs only when ``loop_id`` has no cached value or one of
-        its dependency arrays has been touched since the value was built.
+        ``builder`` runs only when ``loop_id`` has no cached value or one
+        of its dependency arrays has been touched since the value was
+        built.  When a ``delta_builder`` is given and *every* moved
+        dependency (a) was registered with a stamp mask via ``dep_masks``
+        on the build that produced the entry and (b) has a contiguous
+        chain of touch payloads in the modification record, the stale
+        value is repaired incrementally instead:
+        ``delta_builder(old_value, {dep: (mask, [payload, ...])})`` must
+        return the equivalent of a full rebuild.  ``rebuilt`` is ``True``
+        for both full and delta rebuilds.
         """
         current = self.record.versions_of(deps)
         entry = self._entries.get(loop_id)
-        if entry is not None and entry.dep_versions == current:
+        if entry is not None and entry.live \
+                and entry.dep_versions == current:
             entry.hits += 1
             return entry.value, False
+        if entry is not None and entry.live and delta_builder is not None:
+            deltas = self._movable_deltas(entry, current)
+            if deltas is not None:
+                try:
+                    value = delta_builder(entry.value, deltas)
+                except DeltaFallback:
+                    pass  # builder declined; run the full build below
+                else:
+                    entry.value = value
+                    entry.dep_versions = current
+                    entry.delta_rebuilds += 1
+                    entry.value_bytes = value_nbytes(value)
+                    return value, True
         value = builder()
-        builds = entry.builds + 1 if entry else 1
-        hits = entry.hits if entry else 0
         self._entries[loop_id] = _CacheEntry(
-            value=value, dep_versions=current, hits=hits, builds=builds
+            value=value,
+            dep_versions=current,
+            dep_masks=dict(dep_masks) if dep_masks else {},
+            hits=entry.hits if entry else 0,
+            builds=entry.builds + 1 if entry else 1,
+            delta_rebuilds=entry.delta_rebuilds if entry else 0,
+            evictions=entry.evictions if entry else 0,
+            value_bytes=value_nbytes(value),
         )
         return value, True
+
+    def _movable_deltas(
+        self, entry: _CacheEntry, current: dict[str, int]
+    ) -> dict[str, tuple[int, list]] | None:
+        """Per-dep ``(stamp mask, payload chain)`` for every moved dep,
+        or ``None`` when any moved dep is chain-less or mask-less."""
+        moved: dict[str, tuple[int, list]] = {}
+        for name, version in current.items():
+            built_at = entry.dep_versions.get(name)
+            if built_at is None:
+                return None  # dependency set itself changed
+            if version == built_at:
+                continue
+            if version < built_at:
+                return None  # record was replaced/rewound
+            mask = entry.dep_masks.get(name)
+            if mask is None:
+                return None
+            chain = self.record.delta_chain(name, built_at, version)
+            if chain is None:
+                return None
+            moved[name] = (mask, chain)
+        if set(entry.dep_versions) != set(current):
+            return None
+        return moved if moved else None
 
     def peek(self, loop_id: str) -> Any | None:
         """The cached value without counting a hit; ``None`` if absent."""
         e = self._entries.get(loop_id)
-        return e.value if e else None
+        return e.value if e is not None and e.live else None
 
     def invalidate(self, loop_id: str) -> bool:
-        """Drop one loop's cached value; True if it existed."""
-        return self._entries.pop(loop_id, None) is not None
+        """Drop one loop's cached value; True if a live value existed.
+
+        Cumulative hit/build/delta counters survive the eviction (the CI
+        reuse-rate gate cannot be dodged by invalidating an entry).
+        """
+        e = self._entries.get(loop_id)
+        if e is None or not e.live:
+            return False
+        e.live = False
+        e.value = None
+        e.value_bytes = 0
+        e.evictions += 1
+        return True
 
     def invalidate_all(self) -> None:
-        self._entries.clear()
+        for loop_id in list(self._entries):
+            self.invalidate(loop_id)
 
-    def stats(self, loop_id: str) -> tuple[int, int]:
-        """(hits, builds) for one loop id."""
+    def stats(self, loop_id: str) -> CacheStats:
+        """Counters for one loop id (tuple-compatible, see
+        :class:`CacheStats`)."""
         e = self._entries.get(loop_id)
-        return (e.hits, e.builds) if e else (0, 0)
+        if e is None:
+            return CacheStats()
+        return CacheStats(
+            hits=e.hits,
+            builds=e.builds,
+            delta_rebuilds=e.delta_rebuilds,
+            evictions=e.evictions,
+            resident_bytes=e.value_bytes if e.live else 0,
+        )
 
-    def fused_stats(self, loop_id: str) -> tuple[int, int]:
-        """(hits, builds) of the loop's *fused-plan* cache entry.
+    def fused_stats(self, loop_id: str) -> CacheStats:
+        """Counters of the loop's *fused-plan* cache entry.
 
         Fused pipelines keyed by ``loop_id`` cache their
         :class:`~repro.core.compiled.FusedPlan` under
@@ -110,8 +346,18 @@ class ScheduleCache:
         reused as-is, a build means some stage's schedule changed."""
         return self.stats(loop_id + FUSED_SUFFIX)
 
+    def total_stats(self, prefix: str | None = None) -> CacheStats:
+        """Aggregate counters over all entries (or ids starting with
+        ``prefix``)."""
+        total = CacheStats()
+        for loop_id in self._entries:
+            if prefix is None or loop_id.startswith(prefix):
+                total = total + self.stats(loop_id)
+        return total
+
     def __contains__(self, loop_id: str) -> bool:
-        return loop_id in self._entries
+        e = self._entries.get(loop_id)
+        return e is not None and e.live
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(1 for e in self._entries.values() if e.live)

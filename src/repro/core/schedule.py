@@ -162,6 +162,130 @@ def build_schedule(
     return ctx.backend.build_schedule(ctx, htables, expr, category)
 
 
+def splice_schedules(
+    ctx,
+    htables: list[IndexHashTable],
+    base: Schedule,
+    delta: Schedule,
+    dropped_bufs: list[np.ndarray],
+    category: str = "inspector",
+) -> Schedule:
+    """Graft a delta schedule into a cached base schedule.
+
+    ``base`` is the schedule cached before an adaptive subset update,
+    ``delta`` a schedule built over only the *newly participating*
+    entries, and ``dropped_bufs[p]`` the ghost-buffer slots of entries
+    that left rank ``p``'s selection.  The result is bitwise-identical
+    to a cold rebuild: dropped entries are filtered out of the base
+    segments, delta entries are merged in, and each ``(receiver,
+    source)`` segment is re-sorted into the canonical cold-build order —
+    ascending hash-table slot, recovered through the per-rank
+    ghost-buffer → slot inverse (``build_schedule`` selects slots with
+    ``np.flatnonzero`` and groups owner-stably, so slot order *is* the
+    cold segment order).  Requires ``base`` and ``delta`` to be built
+    against the same live table group with no intervening purge (a purge
+    recycles ghost slots, retargeting the inverse).
+    """
+    ctx = ensure_context(ctx, "splice_schedules")
+    machine = ctx.machine
+    machine.check_per_rank(htables, "hash tables")
+    n = base.n_ranks
+    if delta.n_ranks != n:
+        raise ValueError("base and delta schedules span different machines")
+    z = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
+
+    # buf -> slot inverse per rank (live entries only; purged rows carry
+    # buf == -1 and never appear)
+    inv: list[np.ndarray] = []
+    for p in machine.ranks():
+        ht = htables[p]
+        iv = np.full(ht.ghost_capacity(), -1, dtype=np.int64)
+        bufs = ht.buf[: ht.n_entries]
+        live = bufs >= 0
+        iv[bufs[live]] = np.flatnonzero(live)
+        inv.append(iv)
+        machine.charge_memops(p, ht.n_entries, category)
+
+    recv_segments: list[list[np.ndarray]] = [[z()] * n for _ in range(n)]
+    send_segments: list[list[np.ndarray]] = [[z()] * n for _ in range(n)]
+    for p in machine.ranks():  # receiver
+        drop = np.asarray(dropped_bufs[p], dtype=np.int64)
+        keep = None
+        if drop.size:
+            # O(1)-per-element membership via a ghost-slot lookup table
+            # (the per-segment np.isin sort path dwarfed the splice)
+            dropped = np.zeros(htables[p].ghost_capacity(), dtype=bool)
+            dropped[drop] = True
+            keep = ~dropped[base.recv_slots[p]]
+        boff = base.recv_offsets[p]
+        merged = 0
+        for q in machine.ranks():  # source
+            b_recv = base.recv_view(p, q)
+            b_send = base.send_view(q, p)
+            if keep is not None and b_recv.size:
+                kseg = keep[int(boff[q]):int(boff[q + 1])]
+                if not kseg.all():
+                    b_recv = b_recv[kseg]
+                    b_send = b_send[kseg]
+            d_recv = delta.recv_view(p, q)
+            # dropping preserves the base segment's canonical ascending-
+            # slot order, so a sort is only needed when both sides are
+            # non-empty and must interleave
+            if d_recv.size == 0:
+                recv_segments[p][q] = b_recv
+                send_segments[q][p] = b_send
+                merged += b_recv.size
+                continue
+            if b_recv.size == 0:
+                recv_segments[p][q] = d_recv
+                send_segments[q][p] = delta.send_view(q, p)
+                merged += d_recv.size
+                continue
+            # both sides are already in canonical ascending-slot order
+            # (disjoint slot sets), so this is a linear merge of two
+            # sorted sequences, not a sort
+            ib = inv[p][b_recv]
+            idv = inv[p][d_recv]
+            nb, nd = ib.size, idv.size
+            at = np.searchsorted(ib, idv) + np.arange(nd)
+            base_at = np.ones(nb + nd, dtype=bool)
+            base_at[at] = False
+            recv = np.empty(nb + nd, dtype=np.int64)
+            send = np.empty(nb + nd, dtype=np.int64)
+            recv[at] = d_recv
+            recv[base_at] = b_recv
+            send[at] = delta.send_view(q, p)
+            send[base_at] = b_send
+            recv_segments[p][q] = recv
+            send_segments[q][p] = send
+            merged += recv.size
+        machine.charge_memops(p, merged, category)
+
+    from repro.core.compiled import offsets_from_counts
+
+    send_indices, send_offsets = [], []
+    recv_slots, recv_offsets = [], []
+    for r in machine.ranks():
+        s_counts = np.array([send_segments[r][d].size
+                             for d in machine.ranks()], dtype=np.int64)
+        r_counts = np.array([recv_segments[r][s].size
+                             for s in machine.ranks()], dtype=np.int64)
+        send_indices.append(
+            np.concatenate(send_segments[r]) if s_counts.sum() else z())
+        recv_slots.append(
+            np.concatenate(recv_segments[r]) if r_counts.sum() else z())
+        send_offsets.append(offsets_from_counts(s_counts))
+        recv_offsets.append(offsets_from_counts(r_counts))
+    return Schedule(
+        n_ranks=n,
+        send_indices=send_indices,
+        send_offsets=send_offsets,
+        recv_slots=recv_slots,
+        recv_offsets=recv_offsets,
+        ghost_size=list(delta.ghost_size),
+    )
+
+
 def merge_schedules(ctx, scheds: list[Schedule],
                     category: str = "inspector") -> Schedule:
     """Merge already-built schedules into one (duplicates NOT removed).

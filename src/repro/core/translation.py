@@ -34,42 +34,98 @@ _ENTRY_BYTES = 12  # (proc: int32, offset: int64) per table entry
 
 
 class _PageCache:
-    """One rank's set of cached translation-table pages.
+    """One rank's cache of translation-table pages, LRU under a budget.
 
-    Supports the serial reference's per-page membership loop (``in`` /
-    ``update`` / ``clear`` / ``len``) and hands the vectorized backend a
-    sorted array view for batched ``np.isin`` miss detection.
+    The canonical storage is a sorted int64 array of resident page ids,
+    *incrementally* maintained (``np.union1d`` on bulk admits, batched
+    ``np.setdiff1d`` on evictions) — never rebuilt from a set on a miss.
+    A page→tick map carries recency; :meth:`admit` is the one entry point
+    both backends drive, so cache state (and therefore charged re-fetch
+    traffic) is identical whichever backend performs the lookups.
     """
 
-    __slots__ = ("_pages", "_arr")
+    __slots__ = ("_arr", "_last_used", "_tick", "hits", "misses",
+                 "evictions")
 
     def __init__(self) -> None:
-        self._pages: set[int] = set()
-        self._arr: np.ndarray | None = None
+        self._arr = np.zeros(0, dtype=np.int64)  # sorted resident pages
+        self._last_used: dict[int, int] = {}
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._pages)
+        return int(self._arr.size)
 
     def __contains__(self, page: int) -> bool:
-        return int(page) in self._pages
+        return int(page) in self._last_used
 
     def update(self, pages) -> None:
-        before = len(self._pages)
-        self._pages.update(int(p) for p in pages)
-        if len(self._pages) != before:
-            self._arr = None
+        """Bulk-ingest pages (no recency bump, no eviction)."""
+        pages = np.asarray(
+            pages if isinstance(pages, np.ndarray) else list(pages),
+            dtype=np.int64,
+        )
+        if pages.size == 0:
+            return
+        fresh = np.setdiff1d(pages, self._arr)
+        if fresh.size:
+            self._arr = np.union1d(self._arr, fresh)
+            t = self._tick
+            lu = self._last_used
+            for pg in fresh.tolist():
+                lu[pg] = t
+
+    def admit(self, uniq_pages: np.ndarray,
+              max_pages: int | None) -> np.ndarray:
+        """One collective lookup: touch resident pages, admit the rest.
+
+        ``uniq_pages`` must be sorted unique page ids.  Returns the pages
+        that were missing (the ones whose fetch must be charged).  After
+        admitting, evicts least-recently-used pages down to ``max_pages``
+        (``None`` = unbounded) — an evicted page's next lookup misses
+        again and re-charges its fetch traffic.
+        """
+        self._tick += 1
+        t = self._tick
+        uniq_pages = np.asarray(uniq_pages, dtype=np.int64)
+        if self._arr.size and uniq_pages.size:
+            present = np.isin(uniq_pages, self._arr)
+        else:
+            present = np.zeros(uniq_pages.size, dtype=bool)
+        missing = uniq_pages[~present]
+        lu = self._last_used
+        for pg in uniq_pages.tolist():
+            lu[pg] = t
+        self.hits += int(np.count_nonzero(present))
+        self.misses += int(missing.size)
+        if missing.size:
+            self._arr = np.union1d(self._arr, missing)
+        if max_pages is not None and self._arr.size > max_pages:
+            self._evict_to(max_pages)
+        return missing
+
+    def _evict_to(self, max_pages: int) -> None:
+        n_evict = int(self._arr.size) - int(max_pages)
+        lu = self._last_used
+        pages = self._arr
+        ticks = np.fromiter((lu[pg] for pg in pages.tolist()),
+                            dtype=np.int64, count=pages.size)
+        # oldest tick first; page id breaks ties deterministically
+        order = np.lexsort((pages, ticks))
+        victims = pages[order[:n_evict]]
+        self._arr = np.setdiff1d(pages, victims, assume_unique=True)
+        for pg in victims.tolist():
+            del lu[pg]
+        self.evictions += n_evict
 
     def clear(self) -> None:
-        self._pages.clear()
-        self._arr = None
+        self._arr = np.zeros(0, dtype=np.int64)
+        self._last_used.clear()
 
     def as_array(self) -> np.ndarray:
-        """Sorted int64 array of cached page ids (cached between misses)."""
-        if self._arr is None:
-            arr = np.fromiter(self._pages, dtype=np.int64,
-                              count=len(self._pages))
-            arr.sort()
-            self._arr = arr
+        """Sorted int64 array of cached page ids (the live storage)."""
         return self._arr
 
 
@@ -172,6 +228,34 @@ class TranslationTable:
     def clear_page_caches(self) -> None:
         for c in self._page_cache:
             c.clear()
+
+    def page_budget(self, ctx) -> int | None:
+        """Max resident pages per rank under the context's byte budget.
+
+        ``None`` (no ``page_budget_bytes`` on the context) leaves the
+        caches unbounded — the pre-budget behaviour.
+        """
+        budget = getattr(ctx, "page_budget_bytes", None)
+        if budget is None:
+            return None
+        return int(budget) // (self.page_size * _ENTRY_BYTES)
+
+    def page_resident_bytes(self, rank: int) -> int:
+        """Bytes of cached (not block-home) table pages held by ``rank``."""
+        return len(self._page_cache[rank]) * self.page_size * _ENTRY_BYTES
+
+    def page_stats(self) -> dict[str, int]:
+        """Aggregate page-cache counters across ranks (paged mode only)."""
+        out = {"pages": 0, "hits": 0, "misses": 0, "evictions": 0,
+               "resident_bytes": 0}
+        for p in self.machine.ranks():
+            c = self._page_cache[p]
+            out["pages"] += len(c)
+            out["hits"] += c.hits
+            out["misses"] += c.misses
+            out["evictions"] += c.evictions
+            out["resident_bytes"] += self.page_resident_bytes(p)
+        return out
 
     # ------------------------------------------------------------------
     def dereference(

@@ -38,6 +38,7 @@ from repro.core.inspector import chaos_hash, clear_stamp, make_hash_tables
 from repro.core.iteration import partition_iterations, split_by_block
 from repro.core.lightweight import build_lightweight_schedule, scatter_append
 from repro.core.remap import remap, remap_array
+from repro.core.reuse import CacheStats
 from repro.core.schedule import build_schedule
 from repro.core.translation import TranslationTable
 from repro.lang.analysis import Analyzer, analyze
@@ -584,9 +585,15 @@ class ProgramInstance:
         cache is per context and shared, so keys are instance-scoped)."""
         return f"{self._cache_scope}:{loop_id}"
 
-    def cache_stats(self, loop_id: str) -> tuple[int, int]:
-        """(hits, builds) of this instance's cached value for a loop."""
+    def cache_stats(self, loop_id: str) -> "CacheStats":
+        """Structured counters of this instance's cached value for a loop
+        (a :class:`~repro.core.reuse.CacheStats`; compares equal to and
+        unpacks as the historical ``(hits, builds)`` tuple)."""
         return self.cache.stats(self.cache_key(loop_id))
+
+    def total_cache_stats(self) -> "CacheStats":
+        """Aggregate :class:`CacheStats` over this instance's loops."""
+        return self.cache.total_stats(prefix=f"{self._cache_scope}:")
 
     # ---- expression evaluation ------------------------------------------
     def _eval(self, expr: Expr, env: dict[str, Any], rank: int):

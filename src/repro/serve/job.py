@@ -155,7 +155,10 @@ def collect_stats(ctx: ExecutionContext) -> dict:
             "execution": ctx.machine.execution_time(),
             "max_time": ctx.clocks.max_time(),
         },
-        "cache": {"entries": len(ctx.schedule_cache)},
+        "cache": {
+            "entries": len(ctx.schedule_cache),
+            **ctx.schedule_cache.total_stats().as_dict(),
+        },
         "backend": ctx.backend.name,
         "n_ranks": ctx.n_ranks,
     }

@@ -1,0 +1,178 @@
+"""Property tests: incremental delta rebuilds vs full inspector reruns.
+
+The contract of :func:`rehash_delta` + :func:`delta_rebuild_schedule` is
+*bitwise equivalence*: after any touched-subset update, the spliced
+schedule, the localized indices, and the table occupancy must be
+indistinguishable from running the full clear/rehash/rebuild path over
+the same tables — under every registered backend, including updates
+that introduce never-seen global indices (fresh ghost slots) and ones
+that drop the last reference to an index (ghost-slot retirement).
+
+Because schedules are compared bitwise, executor behaviour is identical
+by construction; ``test_delta_schedule_traffic_identity`` witnesses it
+anyway by running a gather through both schedules and comparing the
+simulated machines' aggregate traffic and per-message logs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExecutionContext,
+    TranslationTable,
+    allocate_ghosts,
+    build_schedule,
+    chaos_hash,
+    clear_stamp,
+    delta_rebuild_schedule,
+    gather,
+    make_hash_tables,
+    rehash_delta,
+)
+from repro.sim import Machine
+
+from conftest import ALL_BACKENDS as BACKENDS
+
+
+def _assert_schedule_equal(a, b) -> None:
+    assert a.n_ranks == b.n_ranks
+    assert list(a.ghost_size) == list(b.ghost_size)
+    for p in range(a.n_ranks):
+        assert np.array_equal(a.send_indices[p], b.send_indices[p])
+        assert np.array_equal(a.send_offsets[p], b.send_offsets[p])
+        assert np.array_equal(a.recv_slots[p], b.recv_slots[p])
+        assert np.array_equal(a.recv_offsets[p], b.recv_offsets[p])
+
+
+def _cold_env(ctx, seed, n, per_rank):
+    """Tables + cold-hashed indirection array + its schedule."""
+    rng = np.random.default_rng(seed)
+    m = ctx.machine
+    tt = TranslationTable.from_map(m, rng.integers(0, ctx.n_ranks, n))
+    hts = make_hash_tables(ctx, tt)
+    idx = [rng.integers(0, n, per_rank) for _ in range(ctx.n_ranks)]
+    chaos_hash(ctx, hts, tt, [a.copy() for a in idx], "s")
+    sched = build_schedule(ctx, hts, "s")
+    return tt, hts, idx, sched
+
+
+def _churn(rng, idx, n, frac):
+    """Touch ``frac`` of each rank's slice with fresh random values."""
+    positions, old_vals, new_vals, nxt = [], [], [], []
+    for a in idx:
+        k = int(frac * a.size)
+        pos = (rng.choice(a.size, size=k, replace=False)
+               if k else np.zeros(0, dtype=np.int64))
+        nv = rng.integers(0, n, k)
+        b = a.copy()
+        b[pos] = nv
+        positions.append(pos)
+        old_vals.append(a[pos])
+        new_vals.append(nv)
+        nxt.append(b)
+    return positions, old_vals, new_vals, nxt
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_ranks=st.integers(1, 5),
+    n=st.integers(1, 60),
+    per_rank=st.integers(0, 40),
+    frac=st.sampled_from([0.0, 0.1, 0.5, 1.0]),
+)
+def test_delta_rebuild_matches_full_rebuild(seed, n_ranks, n, per_rank,
+                                            frac):
+    """Two rounds of churn: the delta path must track the full path
+    bitwise — schedule, localized indices, and table occupancy — on
+    every backend."""
+    for backend in BACKENDS:
+        m_full = Machine(n_ranks)
+        m_delta = Machine(n_ranks)
+        ctx_f = ExecutionContext.resolve(m_full, backend)
+        ctx_d = ExecutionContext.resolve(m_delta, backend)
+        tt_f, hts_f, idx, _ = _cold_env(ctx_f, seed, n, per_rank)
+        tt_d, hts_d, _, sched_d = _cold_env(ctx_d, seed, n, per_rank)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(2):
+            positions, old_vals, new_vals, idx = _churn(rng, idx, n, frac)
+
+            clear_stamp(ctx_f, hts_f, "s")
+            loc_full = chaos_hash(ctx_f, hts_f, tt_f,
+                                  [a.copy() for a in idx], "s")
+            sched_f = build_schedule(ctx_f, hts_f, "s")
+
+            rehash = rehash_delta(ctx_d, hts_d, tt_d, "s",
+                                  old_vals, new_vals)
+            sched_d = delta_rebuild_schedule(ctx_d, hts_d, "s",
+                                             sched_d, rehash)
+
+            _assert_schedule_equal(sched_f, sched_d)
+            for p in range(n_ranks):
+                # the rehash's localized values patch the touched
+                # positions to exactly what a full localize yields
+                assert np.array_equal(rehash.localized[p],
+                                      loc_full[p][positions[p]])
+                assert len(hts_f[p]) == len(hts_d[p])
+                assert (hts_f[p].ghost_capacity()
+                        == hts_d[p].ghost_capacity())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_delta_schedules_identical_across_backends(seed):
+    """The spliced schedule (and the rehash's localized patches) must
+    not depend on which backend performed the update."""
+    results = {}
+    for backend in BACKENDS:
+        m = Machine(4)
+        ctx = ExecutionContext.resolve(m, backend)
+        tt, hts, idx, sched = _cold_env(ctx, seed, 50, 30)
+        rng = np.random.default_rng(seed + 1)
+        _, old_vals, new_vals, idx = _churn(rng, idx, 50, 0.3)
+        rehash = rehash_delta(ctx, hts, tt, "s", old_vals, new_vals)
+        sched = delta_rebuild_schedule(ctx, hts, "s", sched, rehash)
+        results[backend] = (sched, rehash.localized)
+    ref_sched, ref_loc = results[BACKENDS[0]]
+    for other in BACKENDS[1:]:
+        sched, loc = results[other]
+        _assert_schedule_equal(ref_sched, sched)
+        for p in range(4):
+            assert np.array_equal(ref_loc[p], loc[p])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_delta_schedule_traffic_identity(backend):
+    """A gather driven by the delta-rebuilt schedule moves exactly the
+    bytes (and messages) of one driven by the full rebuild."""
+    seed, n_ranks, n, per_rank = 7, 4, 80, 60
+    m_full = Machine(n_ranks, record_messages=True)
+    m_delta = Machine(n_ranks, record_messages=True)
+    ctx_f = ExecutionContext.resolve(m_full, backend)
+    ctx_d = ExecutionContext.resolve(m_delta, backend)
+    tt_f, hts_f, idx, _ = _cold_env(ctx_f, seed, n, per_rank)
+    tt_d, hts_d, _, sched_d = _cold_env(ctx_d, seed, n, per_rank)
+    rng = np.random.default_rng(seed + 1)
+    _, old_vals, new_vals, idx = _churn(rng, idx, n, 0.25)
+
+    clear_stamp(ctx_f, hts_f, "s")
+    chaos_hash(ctx_f, hts_f, tt_f, [a.copy() for a in idx], "s")
+    sched_f = build_schedule(ctx_f, hts_f, "s")
+    rehash = rehash_delta(ctx_d, hts_d, tt_d, "s", old_vals, new_vals)
+    sched_d = delta_rebuild_schedule(ctx_d, hts_d, "s", sched_d, rehash)
+    _assert_schedule_equal(sched_f, sched_d)
+
+    data_rng = np.random.default_rng(99)
+    sizes = [tt_f.dist.local_size(p) for p in range(n_ranks)]
+    x_f = [data_rng.standard_normal(s) for s in sizes]
+    x_d = [a.copy() for a in x_f]
+    m_full.reset_traffic()
+    m_delta.reset_traffic()
+    g_f = gather(ctx_f, sched_f, x_f, allocate_ghosts(sched_f, x_f))
+    g_d = gather(ctx_d, sched_d, x_d, allocate_ghosts(sched_d, x_d))
+    for p in range(n_ranks):
+        assert np.array_equal(g_f[p], g_d[p])
+    assert m_full.traffic.snapshot() == m_delta.traffic.snapshot()
+    assert list(m_full.traffic.messages) == list(m_delta.traffic.messages)

@@ -193,3 +193,108 @@ class TestIndexHashTable:
             IndexHashTable(rank=-1, n_local=0)
         with pytest.raises(ValueError):
             IndexHashTable(rank=0, n_local=-1)
+
+
+# ----------------------------------------------------------------------
+# key-store deletion / compaction properties
+# ----------------------------------------------------------------------
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+@st.composite
+def _store_op_sequences(draw):
+    """Random insert/delete/compact programs over a small key universe.
+
+    Small universe on purpose: re-inserting a previously deleted key is
+    the interesting case (the open-addressed store must probe *past* its
+    tombstone on lookup yet never resurrect the tombstoned slot).
+    """
+    n_ops = draw(st.integers(1, 8))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["insert", "delete", "compact"]))
+        keys = draw(st.lists(st.integers(0, 200), max_size=40))
+        ops.append((kind, keys))
+    return ops
+
+
+class TestKeyStoreDeleteCompact:
+    """The open-addressed store under churn, with the dict store as the
+    executable model — any divergence in lookups, sizes, or delete
+    counts is a probe-chain bug."""
+
+    UNIVERSE = np.arange(201, dtype=np.int64)
+
+    @given(ops=_store_op_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_oa_store_matches_dict_reference(self, ops):
+        oa, ref = OpenAddressedKeyStore(), DictKeyStore()
+        next_slot = 0
+        for kind, keys in ops:
+            arr = np.unique(np.asarray(keys, dtype=np.int64))
+            if kind == "insert":
+                fresh = arr[ref.lookup(arr) < 0]
+                slots = np.arange(next_slot, next_slot + fresh.size,
+                                  dtype=np.int64)
+                next_slot += fresh.size
+                oa.insert(fresh, slots)
+                ref.insert(fresh, slots)
+            elif kind == "delete":
+                assert oa.delete(arr) == ref.delete(arr)
+            else:
+                oa.compact()
+                ref.compact()
+            assert len(oa) == len(ref)
+            # auto-compaction keeps tombstones bounded by live entries
+            assert oa.tombstones <= max(
+                len(oa), OpenAddressedKeyStore.MIN_CAP // 2
+            )
+            assert np.array_equal(oa.lookup(self.UNIVERSE),
+                                  ref.lookup(self.UNIVERSE))
+
+    @given(ops=_store_op_sequences())
+    @settings(max_examples=30, deadline=None)
+    def test_compact_is_a_lookup_noop(self, ops):
+        oa = OpenAddressedKeyStore()
+        next_slot = 0
+        for kind, keys in ops:
+            arr = np.unique(np.asarray(keys, dtype=np.int64))
+            if kind == "insert":
+                fresh = arr[oa.lookup(arr) < 0]
+                oa.insert(fresh, np.arange(next_slot,
+                                           next_slot + fresh.size,
+                                           dtype=np.int64))
+                next_slot += fresh.size
+            else:
+                oa.delete(arr)
+        before = oa.lookup(self.UNIVERSE)
+        oa.compact()
+        assert oa.tombstones == 0
+        assert len(oa) * 2 <= oa.capacity
+        assert np.array_equal(oa.lookup(self.UNIVERSE), before)
+
+    @given(keys=st.lists(st.integers(0, 10_000), min_size=1,
+                         max_size=300, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_delete_all_then_compact_shrinks(self, keys):
+        oa = OpenAddressedKeyStore()
+        arr = np.sort(np.asarray(keys, dtype=np.int64))
+        oa.insert(arr, np.arange(arr.size, dtype=np.int64))
+        grown_nbytes = oa.nbytes()
+        assert oa.delete(arr) == arr.size
+        oa.compact()
+        assert len(oa) == 0
+        assert oa.tombstones == 0
+        assert oa.capacity == OpenAddressedKeyStore.MIN_CAP
+        assert oa.nbytes() <= grown_nbytes
+        assert np.all(oa.lookup(arr) == -1)
+
+    def test_reinsert_after_tombstone_gets_new_mapping(self):
+        oa = OpenAddressedKeyStore()
+        oa.insert(np.array([7, 8, 9]), np.array([0, 1, 2]))
+        assert oa.delete(np.array([8])) == 1
+        assert 8 not in oa
+        oa.insert(np.array([8]), np.array([5]))
+        assert np.array_equal(oa.lookup(np.array([7, 8, 9])),
+                              np.array([0, 5, 2]))

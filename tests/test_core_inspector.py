@@ -130,3 +130,33 @@ class TestChaosRuntimeFacade:
         sched = rt.build_schedule(tt, expr)
         # each stamp fetched one off-processor element on each of 2 ranks
         assert sched.total_elements() == 4
+
+    def test_release_purges_and_shrinks_occupancy(self, rng):
+        """``release=True`` tombstones entries whose stamp mask went
+        empty and recycles their rows: key-store occupancy, table bytes,
+        and ghost capacity all measurably shrink."""
+        m, rt, tt, hts = env(rng, n=3000)
+        idx = split_by_block(rng.integers(0, 3000, 4000), m)
+        chaos_hash(rt.ctx, hts, tt, idx, "nb")
+        occupied = [len(ht) for ht in hts]
+        nbytes = [ht.nbytes() for ht in hts]
+        assert any(n > 0 for n in occupied)
+        clear_stamp(rt.ctx, hts, "nb", release=True)
+        assert all(len(ht) == 0 for ht in hts)
+        assert all(ht.nbytes() <= b for ht, b in zip(hts, nbytes))
+        assert sum(ht.nbytes() for ht in hts) < sum(nbytes)
+
+    def test_release_keeps_entries_under_other_stamps(self, rng):
+        m, rt, tt, hts = env(rng)
+        shared = [np.array([0, 1, 2]), None, None, None]
+        chaos_hash(rt.ctx, hts, tt, shared, "a")
+        chaos_hash(rt.ctx, hts, tt, shared, "b")
+        chaos_hash(rt.ctx, hts, tt, [np.array([3, 4]), None, None, None],
+                   "b")
+        clear_stamp(rt.ctx, hts, "b", release=True)
+        # entries stamped only by "b" were purged, shared ones survive
+        assert len(hts[0]) == 3
+        assert np.array_equal(
+            localize_only(rt.ctx, hts, shared)[0],
+            chaos_hash(rt.ctx, hts, tt, shared, "a")[0],
+        )

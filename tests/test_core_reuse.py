@@ -1,6 +1,14 @@
 """Unit tests: modification records and the schedule cache (§5.3.1)."""
 
-from repro.core import ModificationRecord, ScheduleCache
+import numpy as np
+
+from repro.core import (
+    CacheStats,
+    DeltaFallback,
+    ModificationRecord,
+    ScheduleCache,
+    value_nbytes,
+)
 
 
 class TestModificationRecord:
@@ -90,3 +98,166 @@ class TestScheduleCache:
         r.touch("x")
         _, rebuilt = cache.get_or_build("L", ("x",), lambda: 2)
         assert rebuilt
+
+    def test_invalidate_preserves_counters(self):
+        cache = ScheduleCache()
+        cache.get_or_build("L", (), lambda: 1)
+        cache.get_or_build("L", (), lambda: 1)  # hit
+        st = cache.stats("L")
+        assert (st.hits, st.builds) == (1, 1)
+        assert cache.invalidate("L")
+        st = cache.stats("L")
+        # eviction drops the value (and its bytes) but not the history
+        assert (st.hits, st.builds, st.evictions) == (1, 1, 1)
+        assert st.resident_bytes == 0
+        cache.get_or_build("L", (), lambda: 2)
+        assert cache.stats("L").builds == 2
+
+    def test_peek_does_not_count_hit(self):
+        cache = ScheduleCache()
+        cache.get_or_build("L", (), lambda: "v")
+        assert cache.peek("L") == "v"
+        assert cache.peek("missing") is None
+        assert cache.stats("L").hits == 0
+
+
+class TestCacheStats:
+    def test_tuple_compatibility(self):
+        st = CacheStats(hits=3, builds=2, delta_rebuilds=1)
+        hits, builds = st
+        assert (hits, builds) == (3, 2)
+        assert st == (3, 2)
+        assert tuple(st) == (3, 2)
+
+    def test_add_and_as_dict(self):
+        a = CacheStats(hits=1, builds=2, delta_rebuilds=3, evictions=4,
+                       resident_bytes=5)
+        b = CacheStats(hits=10, builds=20, delta_rebuilds=30,
+                       evictions=40, resident_bytes=50)
+        assert (a + b).as_dict() == {
+            "hits": 11, "builds": 22, "delta_rebuilds": 33,
+            "evictions": 44, "resident_bytes": 55,
+        }
+
+    def test_resident_bytes_tracks_value(self):
+        cache = ScheduleCache()
+        arr = np.zeros(100, dtype=np.int64)
+        cache.get_or_build("L", (), lambda: [arr])
+        assert cache.stats("L").resident_bytes == arr.nbytes
+        assert cache.total_stats().resident_bytes == arr.nbytes
+
+    def test_total_stats_prefix(self):
+        cache = ScheduleCache()
+        cache.get_or_build("a:L1", (), lambda: 1)
+        cache.get_or_build("a:L2", (), lambda: 2)
+        cache.get_or_build("b:L1", (), lambda: 3)
+        assert cache.total_stats(prefix="a:").builds == 2
+        assert cache.total_stats().builds == 3
+
+
+class TestValueNbytes:
+    def test_ndarray_and_containers(self):
+        a = np.zeros(10, dtype=np.float64)
+        assert value_nbytes(a) == 80
+        assert value_nbytes([a, a]) == 160
+        assert value_nbytes({"x": a, "y": (a,)}) == 160
+        assert value_nbytes(None) == 0
+        assert value_nbytes(42) == 0
+
+
+class TestDeltaChains:
+    def test_chain_replay_in_order(self):
+        r = ModificationRecord()
+        r.touch("ia", delta="d1")
+        r.touch("ia", delta="d2")
+        assert r.delta_chain("ia", 0) == ["d1", "d2"]
+        assert r.delta_chain("ia", 1) == ["d2"]
+        assert r.delta_chain("ia", 2) == []
+
+    def test_payloadless_touch_breaks_chain(self):
+        r = ModificationRecord()
+        r.touch("ia", delta="d1")
+        r.touch("ia")  # "anything may have changed"
+        assert r.delta_chain("ia", 0) is None
+        r.touch("ia", delta="d3")
+        assert r.delta_chain("ia", 0) is None  # hole at version 2
+        assert r.delta_chain("ia", 2) == ["d3"]
+
+    def test_history_ages_out(self):
+        r = ModificationRecord()
+        for i in range(ModificationRecord.MAX_DELTA_HISTORY + 4):
+            r.touch("ia", delta=i)
+        assert r.delta_chain("ia", 0) is None  # oldest payloads gone
+        since = r.version("ia") - ModificationRecord.MAX_DELTA_HISTORY
+        chain = r.delta_chain("ia", since)
+        assert chain is not None
+        assert len(chain) == ModificationRecord.MAX_DELTA_HISTORY
+
+    def test_delta_rebuild_path(self):
+        cache = ScheduleCache()
+        calls = []
+
+        def builder():
+            calls.append("full")
+            return "v1"
+
+        def delta_builder(old, moved):
+            calls.append(("delta", old, moved))
+            return "v2"
+
+        cache.get_or_build("L", ("ia",), builder,
+                           delta_builder=delta_builder,
+                           dep_masks={"ia": 0b100})
+        cache.record.touch("ia", delta="p1")
+        cache.record.touch("ia", delta="p2")
+        v, rebuilt = cache.get_or_build("L", ("ia",), builder,
+                                        delta_builder=delta_builder,
+                                        dep_masks={"ia": 0b100})
+        assert rebuilt and v == "v2"
+        assert calls == ["full", ("delta", "v1",
+                                  {"ia": (0b100, ["p1", "p2"])})]
+        st = cache.stats("L")
+        assert (st.builds, st.delta_rebuilds, st.hits) == (1, 1, 0)
+        # the repaired entry is current: next lookup is a plain hit
+        _, rebuilt = cache.get_or_build("L", ("ia",), builder,
+                                        delta_builder=delta_builder)
+        assert not rebuilt
+
+    def test_payloadless_touch_forces_full_build(self):
+        cache = ScheduleCache()
+        builds = []
+        cache.get_or_build("L", ("ia",), lambda: builds.append(1) or "v1",
+                           delta_builder=lambda *_: "never",
+                           dep_masks={"ia": 1})
+        cache.record.touch("ia")
+        v, _ = cache.get_or_build("L", ("ia",),
+                                  lambda: builds.append(2) or "v2",
+                                  delta_builder=lambda *_: "never",
+                                  dep_masks={"ia": 1})
+        assert v == "v2" and builds == [1, 2]
+
+    def test_missing_mask_forces_full_build(self):
+        cache = ScheduleCache()
+        cache.get_or_build("L", ("ia",), lambda: "v1",
+                           delta_builder=lambda *_: "never")
+        cache.record.touch("ia", delta="p")
+        v, _ = cache.get_or_build("L", ("ia",), lambda: "v2",
+                                  delta_builder=lambda *_: "never")
+        assert v == "v2"
+
+    def test_delta_fallback_runs_full_build(self):
+        cache = ScheduleCache()
+
+        def delta_builder(old, moved):
+            raise DeltaFallback("substrate purged")
+
+        cache.get_or_build("L", ("ia",), lambda: "v1",
+                           delta_builder=delta_builder,
+                           dep_masks={"ia": 1})
+        cache.record.touch("ia", delta="p")
+        v, rebuilt = cache.get_or_build("L", ("ia",), lambda: "v2",
+                                        delta_builder=delta_builder,
+                                        dep_masks={"ia": 1})
+        assert rebuilt and v == "v2"
+        st = cache.stats("L")
+        assert (st.builds, st.delta_rebuilds) == (2, 0)

@@ -104,3 +104,78 @@ class TestMemory:
         before = tt.memory_per_rank(0)
         tt.dereference(ExecutionContext.resolve(m), [np.arange(64)] + [None] * 3)
         assert tt.memory_per_rank(0) > before
+
+
+class TestPageBudget:
+    """Byte-budgeted LRU eviction on the paged storage policy."""
+
+    def _paged(self, maparr, budget_bytes, page_size=8):
+        m = Machine(4)
+        ctx = ExecutionContext.resolve(m, page_budget_bytes=budget_bytes)
+        tt = TranslationTable.from_map(m, maparr, storage="paged",
+                                       page_size=page_size)
+        return m, ctx, tt
+
+    def test_budget_bounds_resident_bytes(self, maparr):
+        budget = 2 * 8 * 12  # two 8-entry pages per rank
+        m, ctx, tt = self._paged(maparr, budget)
+        rng = np.random.default_rng(3)
+        for _ in range(6):
+            refs = [rng.integers(0, 64, 20) for _ in range(4)]
+            tt.dereference(ctx, refs)
+            for p in range(4):
+                assert tt.page_resident_bytes(p) <= budget
+        assert tt.page_stats()["evictions"] > 0
+
+    def test_evicted_page_recharges_traffic(self, maparr):
+        # budget of one page: the second page's fetch evicts the first,
+        # so re-touching the first must communicate again (pages from a
+        # remote rank's table segment — local segments never message)
+        m, ctx, tt = self._paged(maparr, 1 * 8 * 12)
+        page0 = [np.arange(32, 40), None, None, None]
+        page1 = [np.arange(40, 48), None, None, None]
+        tt.dereference(ctx, page0)
+        m.reset_traffic()
+        tt.dereference(ctx, page0)  # resident: free
+        assert m.traffic.n_messages == 0
+        tt.dereference(ctx, page1)  # evicts page 0
+        m.reset_traffic()
+        tt.dereference(ctx, page0)  # miss again: re-charged
+        assert m.traffic.n_messages > 0
+
+    def test_lru_prefers_recent_pages(self, maparr):
+        m, ctx, tt = self._paged(maparr, 2 * 8 * 12)
+        one = lambda lo: [np.arange(lo, lo + 8), None, None, None]  # noqa: E731
+        tt.dereference(ctx, one(0))   # page 0
+        tt.dereference(ctx, one(8))   # page 1
+        tt.dereference(ctx, one(0))   # page 0 most recent
+        tt.dereference(ctx, one(16))  # page 2 evicts LRU = page 1
+        cache = tt._page_cache[0]
+        assert 0 in cache and 2 in cache and 1 not in cache
+
+    def test_no_budget_never_evicts(self, maparr):
+        m = Machine(4)
+        ctx = ExecutionContext.resolve(m)
+        tt = TranslationTable.from_map(m, maparr, storage="paged",
+                                       page_size=8)
+        tt.dereference(ctx, [np.arange(64)] * 4)
+        stats = tt.page_stats()
+        assert stats["evictions"] == 0
+        assert tt.page_resident_bytes(0) == 8 * 8 * 12  # all pages held
+
+    def test_page_budget_conversion(self, maparr):
+        m, ctx, tt = self._paged(maparr, 3 * 8 * 12 + 5)
+        assert tt.page_budget(ctx) == 3  # floor to whole pages
+        assert tt.page_budget(ExecutionContext.resolve(Machine(4))) is None
+
+    def test_bulk_update_ingests_without_eviction(self):
+        from repro.core.translation import _PageCache
+        pc = _PageCache()
+        pc.update(np.array([5, 1, 3, 1, 5]))
+        assert len(pc) == 3
+        assert np.array_equal(pc.as_array(), np.array([1, 3, 5]))
+        assert 3 in pc and 2 not in pc
+        # re-ingest is a no-op, counters untouched
+        pc.update([1, 3])
+        assert len(pc) == 3
+        assert (pc.hits, pc.misses, pc.evictions) == (0, 0, 0)
